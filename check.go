@@ -1,0 +1,134 @@
+package dvs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	dvsspec "repro/internal/spec/dvs"
+	tospec "repro/internal/spec/to"
+	vsspec "repro/internal/spec/vs"
+	"repro/internal/toimpl"
+	"repro/internal/types"
+)
+
+// CheckConfig configures the specification-layer checks.
+type CheckConfig struct {
+	// Procs is the universe size (default 4).
+	Procs int
+	// Initial lists the members of v0 (default: processes 0, 1 and the
+	// highest id, exercising both members and late joiners).
+	Initial []int
+	// Steps per execution (default 500).
+	Steps int
+	// Seeds is the number of seeded executions (default 10).
+	Seeds int
+	// Seed is the base seed.
+	Seed int64
+}
+
+func (c CheckConfig) fill() (CheckConfig, types.ProcSet, types.View) {
+	if c.Procs <= 0 {
+		c.Procs = 4
+	}
+	if c.Steps <= 0 {
+		c.Steps = 500
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 10
+	}
+	universe := types.RangeProcSet(c.Procs)
+	p0 := types.NewProcSet()
+	if len(c.Initial) == 0 {
+		p0 = types.NewProcSet(0, 1, types.ProcID(c.Procs-1))
+	} else {
+		for _, i := range c.Initial {
+			p0.Add(types.ProcID(i))
+		}
+	}
+	return c, universe, types.InitialView(p0)
+}
+
+// CheckVSInvariants drives the VS specification automaton (Figure 1)
+// through seeded random executions, checking Invariant 3.1 at every state.
+func CheckVSInvariants(cfg CheckConfig) error {
+	cfg, universe, v0 := cfg.fill()
+	ex := &ioa.Executor{Steps: cfg.Steps, Seed: cfg.Seed}
+	return ex.RunSeeds(cfg.Seeds,
+		func() ioa.Automaton { return vsspec.New(universe, v0) },
+		vsspec.NewEnv(cfg.Seed+1, universe),
+		vsspec.Invariants())
+}
+
+// CheckDVSInvariants drives the DVS specification automaton (Figure 2)
+// through seeded random executions, checking Invariants 4.1 and 4.2 at
+// every state.
+func CheckDVSInvariants(cfg CheckConfig) error {
+	cfg, universe, v0 := cfg.fill()
+	ex := &ioa.Executor{Steps: cfg.Steps, Seed: cfg.Seed}
+	return ex.RunSeeds(cfg.Seeds,
+		func() ioa.Automaton { return dvsspec.New(universe, v0) },
+		dvsspec.NewEnv(cfg.Seed+1, universe),
+		dvsspec.Invariants())
+}
+
+// CheckDVSRefinement mechanically checks Theorem 5.9: every step of the
+// DVS-IMPL system (Figure 3 over Figure 1) simulates, under the refinement
+// of Figure 4, a fragment of the (amended) DVS specification with the same
+// trace — while Invariants 5.1–5.6 hold at every reachable implementation
+// state and Invariants 4.1–4.2 at every specification state.
+func CheckDVSRefinement(cfg CheckConfig) error {
+	cfg, universe, v0 := cfg.fill()
+	ref := &core.Refinement{Universe: universe, Initial: v0}
+	return ioa.CheckRefinementSeeds(cfg.Seeds,
+		func() ioa.Automaton { return core.NewImpl(universe, v0) },
+		ref,
+		func() ioa.Environment { return core.NewEnv(cfg.Seed+1, universe) },
+		ioa.CheckerConfig{
+			Steps:          cfg.Steps,
+			Seed:           cfg.Seed,
+			ImplInvariants: core.Invariants(),
+			SpecInvariants: dvsspec.Invariants(),
+		})
+}
+
+// CheckTOTraceInclusion mechanically checks Theorem 6.4: every trace of
+// TO-IMPL (Figure 5 over the literal Figure 2 DVS specification) is a trace
+// of the TO service, while Invariants 6.1–6.3 hold at every reachable
+// state.
+func CheckTOTraceInclusion(cfg CheckConfig) error {
+	cfg, universe, v0 := cfg.fill()
+	for i := 0; i < cfg.Seeds; i++ {
+		seed := cfg.Seed + int64(i)
+		impl := toimpl.NewImpl(universe, v0, toimpl.Config{DVS: toimpl.DVSLiteral})
+		mon := tospec.NewMonitor(universe)
+		err := ioa.CheckTraceInclusion(impl, mon, toimpl.NewEnv(seed+1, universe), ioa.CheckerConfig{
+			Steps:          cfg.Steps,
+			Seed:           seed,
+			ImplInvariants: toimpl.Invariants(),
+		})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+	}
+	return nil
+}
+
+// CheckAll runs every specification-layer check.
+func CheckAll(cfg CheckConfig) error {
+	checks := []struct {
+		name string
+		run  func(CheckConfig) error
+	}{
+		{"VS invariants", CheckVSInvariants},
+		{"DVS invariants", CheckDVSInvariants},
+		{"DVS refinement (Theorem 5.9)", CheckDVSRefinement},
+		{"TO trace inclusion (Theorem 6.4)", CheckTOTraceInclusion},
+	}
+	for _, c := range checks {
+		if err := c.run(cfg); err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package dvs
+
+import "testing"
+
+func TestCheckVSInvariants(t *testing.T) {
+	if err := CheckVSInvariants(CheckConfig{Steps: 300, Seeds: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDVSInvariants(t *testing.T) {
+	if err := CheckDVSInvariants(CheckConfig{Steps: 300, Seeds: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDVSRefinement(t *testing.T) {
+	if err := CheckDVSRefinement(CheckConfig{Steps: 300, Seeds: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckTOTraceInclusion(t *testing.T) {
+	if err := CheckTOTraceInclusion(CheckConfig{Steps: 300, Seeds: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckAllSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by the individual checks")
+	}
+	if err := CheckAll(CheckConfig{Procs: 3, Steps: 250, Seeds: 2, Initial: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckConfigDefaults(t *testing.T) {
+	cfg, universe, v0 := CheckConfig{}.fill()
+	if cfg.Procs != 4 || cfg.Steps != 500 || cfg.Seeds != 10 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if universe.Len() != 4 {
+		t.Error("universe wrong")
+	}
+	if v0.Members.Len() != 3 {
+		t.Errorf("default v0 = %s", v0)
+	}
+}

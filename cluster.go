@@ -1,0 +1,235 @@
+package dvs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dvsg"
+	netfab "repro/internal/net"
+	"repro/internal/quorum"
+	"repro/internal/staticp"
+	"repro/internal/tob"
+	"repro/internal/types"
+	"repro/internal/vsg"
+)
+
+// Cluster is a running group of processes over a partitionable in-memory
+// network. All processes run the full stack: membership, view-synchronous
+// ordering, the primary-view filter, and totally-ordered broadcast.
+type Cluster struct {
+	cfg      Config
+	universe types.ProcSet
+	initial  types.View
+	fabric   *netfab.Fabric
+	procs    map[ProcID]*Process
+}
+
+// Process is the application-facing handle of one cluster member.
+type Process struct {
+	id  ProcID
+	vsg *vsg.Node
+	dvs *dvsg.Layer
+	tob *tob.Layer
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Processes <= 0 {
+		return nil, errors.New("dvs: Config.Processes must be positive")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeDynamic
+	}
+	universe := types.RangeProcSet(cfg.Processes)
+	p0 := types.NewProcSet()
+	if len(cfg.Initial) == 0 {
+		p0 = universe.Clone()
+	} else {
+		for _, i := range cfg.Initial {
+			if i < 0 || i >= cfg.Processes {
+				return nil, fmt.Errorf("dvs: initial member %d out of range", i)
+			}
+			p0.Add(ProcID(i))
+		}
+	}
+	initial := types.InitialView(p0)
+
+	c := &Cluster{
+		cfg:      cfg,
+		universe: universe,
+		initial:  initial,
+		fabric:   netfab.NewFabric(universe, netfab.Config{Seed: cfg.Seed, LossRate: cfg.LossRate}),
+		procs:    make(map[ProcID]*Process, cfg.Processes),
+	}
+	for _, id := range universe.Sorted() {
+		node := vsg.NewNode(vsg.Config{
+			Self:           id,
+			Universe:       universe,
+			Initial:        initial,
+			Transport:      c.fabric,
+			TickInterval:   cfg.TickInterval,
+			SuspectTimeout: cfg.SuspectTimeout,
+			ProposeRetry:   cfg.ProposeRetry,
+		})
+
+		var filter dvsg.Filter
+		if cfg.Mode == ModeStatic {
+			filter = staticp.NewNode(id, initial, initial.Contains(id), quorum.Majority(p0))
+		} else {
+			filter = core.NewNode(id, initial, initial.Contains(id))
+		}
+		app := tob.New(id, initial, !cfg.DisableRegistration, node.Stopped())
+		layer := dvsg.New(filter, app, cfg.Mode == ModeDynamic)
+		layer.Bind(node)
+		app.Bind(layer)
+		node.SetHandler(layer)
+
+		c.procs[id] = &Process{id: id, vsg: node, dvs: layer, tob: app}
+	}
+	for _, id := range universe.Sorted() {
+		c.procs[id].vsg.Start()
+	}
+	return c, nil
+}
+
+// Process returns the handle of process i.
+func (c *Cluster) Process(i int) *Process { return c.procs[ProcID(i)] }
+
+// Processes returns all handles in id order.
+func (c *Cluster) Processes() []*Process {
+	out := make([]*Process, 0, len(c.procs))
+	for _, id := range c.universe.Sorted() {
+		out = append(out, c.procs[id])
+	}
+	return out
+}
+
+// InitialView returns v0.
+func (c *Cluster) InitialView() View { return c.initial.Clone() }
+
+// Partition splits the network into the given components; unmentioned
+// processes form one extra component together.
+func (c *Cluster) Partition(groups ...[]int) {
+	conv := make([][]ProcID, len(groups))
+	for i, g := range groups {
+		conv[i] = make([]ProcID, len(g))
+		for j, p := range g {
+			conv[i][j] = ProcID(p)
+		}
+	}
+	c.fabric.Partition(conv...)
+}
+
+// Heal reconnects the whole network.
+func (c *Cluster) Heal() { c.fabric.Heal() }
+
+// Crash permanently disconnects process i (crash-stop).
+func (c *Cluster) Crash(i int) { c.fabric.Crash(ProcID(i)) }
+
+// NetStats returns the cumulative fabric counters.
+func (c *Cluster) NetStats() netfab.Stats { return c.fabric.Stats() }
+
+// Close stops every process and disconnects the fabric.
+func (c *Cluster) Close() {
+	c.fabric.Close()
+	for _, p := range c.procs {
+		p.vsg.Stop()
+	}
+}
+
+// ID returns the process id.
+func (p *Process) ID() ProcID { return p.id }
+
+// Broadcast submits a payload for totally-ordered delivery. It reports
+// false if the process has stopped.
+func (p *Process) Broadcast(payload string) bool {
+	return p.vsg.Do(func() { p.tob.Broadcast(payload) })
+}
+
+// Deliveries is the totally ordered stream of messages delivered to this
+// process. Consumers must drain it.
+func (p *Process) Deliveries() <-chan Delivery { return p.tob.Deliveries() }
+
+// Views is the stream of primary views at this process (best effort).
+func (p *Process) Views() <-chan ViewEvent { return p.tob.Views() }
+
+// CurrentPrimary returns this process's current primary view, if any.
+func (p *Process) CurrentPrimary() (View, bool) {
+	type reply struct {
+		v  View
+		ok bool
+	}
+	ch := make(chan reply, 1)
+	if !p.vsg.Do(func() {
+		v, ok := p.dvs.ClientCur()
+		ch <- reply{v.Clone(), ok}
+	}) {
+		return View{}, false
+	}
+	r := <-ch
+	return r.v, r.ok
+}
+
+// Established reports whether this process has established (completed state
+// exchange for) its current primary view.
+func (p *Process) Established() bool {
+	ch := make(chan bool, 1)
+	if !p.vsg.Do(func() {
+		// v0 needs no state exchange: the paper initializes
+		// registered[g0] = P0, so the initial view counts as established.
+		cur, ok := p.tob.Node().Current()
+		ch <- ok && (cur.ID.IsZero() || p.tob.Node().Established(cur.ID))
+	}) {
+		return false
+	}
+	return <-ch
+}
+
+// Stats returns snapshots of the broadcast-layer and view-layer counters.
+func (p *Process) Stats() (tob.Stats, dvsg.Stats) {
+	type reply struct {
+		t tob.Stats
+		d dvsg.Stats
+	}
+	ch := make(chan reply, 1)
+	if !p.vsg.Do(func() { ch <- reply{p.tob.Stats(), p.dvs.Stats()} }) {
+		return tob.Stats{}, dvsg.Stats{}
+	}
+	r := <-ch
+	return r.t, r.d
+}
+
+// AmbiguousViews returns the current size of the filter's ambiguous-view
+// set (dynamic mode; always 0 in static mode).
+func (p *Process) AmbiguousViews() int {
+	ch := make(chan int, 1)
+	if !p.vsg.Do(func() { ch <- p.dvs.AmbCount() }) {
+		return 0
+	}
+	return <-ch
+}
+
+// Leader returns the coordinator of this process's current primary view —
+// by convention its minimum-id member — and whether this process currently
+// has an established primary. All members of the same established primary
+// agree on its leader. Note the standard caveat: a process cut off from the
+// rest (crashed link, minority partition) retains its stale primary and may
+// still believe in an old leader until it reconnects — so guard actions by
+// running them through the total order (e.g. via StateMachine), where a
+// stale leader cannot commit anything, rather than trusting leadership
+// alone.
+func (p *Process) Leader() (ProcID, bool) {
+	v, ok := p.CurrentPrimary()
+	if !ok || !p.Established() {
+		return 0, false
+	}
+	return v.Members.Sorted()[0], true
+}
+
+// IsLeader reports whether this process is the leader of its current
+// established primary view.
+func (p *Process) IsLeader() bool {
+	l, ok := p.Leader()
+	return ok && l == p.id
+}

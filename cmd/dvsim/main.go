@@ -1,0 +1,90 @@
+// Command dvsim runs the runtime-stack experiment scenarios from the shell
+// and prints the result rows recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dvsim -scenario availability|cascade|throughput|recovery|ablation [flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	dvs "repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenario = flag.String("scenario", "availability", "availability, cascade, throughput, recovery, or ablation")
+		procs    = flag.Int("procs", 5, "group size")
+		spares   = flag.Int("spares", 5, "spare processes (availability)")
+		rounds   = flag.Int("rounds", 6, "rounds / replacements")
+		duration = flag.Duration("duration", 500*time.Millisecond, "pump duration (throughput)")
+		period   = flag.Duration("period", 150*time.Millisecond, "churn/round period")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	switch *scenario {
+	case "availability":
+		for _, mode := range []dvs.Mode{dvs.ModeDynamic, dvs.ModeStatic} {
+			res, err := sim.Availability(sim.AvailabilityConfig{
+				Active: *procs, Spares: *spares, Mode: mode,
+				Replacements: *rounds, ChurnPeriod: *period, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
+	case "cascade":
+		res, err := sim.PartitionCascade(sim.CascadeConfig{
+			Processes: *procs, Rounds: *rounds, RoundPeriod: *period, Seed: *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%w (result %s)", err, res)
+		}
+		fmt.Println(res)
+		for _, v := range res.Primaries {
+			fmt.Printf("  primary %s\n", v)
+		}
+	case "throughput":
+		res, err := sim.Throughput(sim.ThroughputConfig{
+			Processes: *procs, Duration: *duration, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	case "recovery":
+		res, err := sim.Recovery(sim.RecoveryConfig{Processes: *procs, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("%w (result %s)", err, res)
+		}
+		fmt.Println(res)
+	case "ablation":
+		for _, disable := range []bool{false, true} {
+			res, err := sim.RegisterAblation(sim.AblationConfig{
+				Processes: *procs, Rounds: *rounds, RoundPeriod: *period,
+				DisableReg: disable, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command dvsnode runs one process of a TCP-connected group: the deployable
+// form of the stack. Lines read from stdin are broadcast; totally-ordered
+// deliveries and primary-view changes are printed to stdout.
+//
+// Example (three shells):
+//
+//	dvsnode -id 0 -n 3 -listen 127.0.0.1:7000 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002
+//	dvsnode -id 1 -n 3 -listen 127.0.0.1:7001 -peers 0=127.0.0.1:7000,2=127.0.0.1:7002
+//	dvsnode -id 2 -n 3 -listen 127.0.0.1:7002 -peers 0=127.0.0.1:7000,1=127.0.0.1:7001
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	dvs "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dvsnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id     = flag.Int("id", 0, "this process's id")
+		n      = flag.Int("n", 3, "universe size")
+		listen = flag.String("listen", "127.0.0.1:7000", "listen address")
+		peers  = flag.String("peers", "", "comma-separated id=host:port pairs")
+		static = flag.Bool("static", false, "use static majority primaries instead of dynamic")
+		tick   = flag.Duration("tick", 20*time.Millisecond, "heartbeat tick")
+	)
+	flag.Parse()
+
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	mode := dvs.ModeDynamic
+	if *static {
+		mode = dvs.ModeStatic
+	}
+	node, err := dvs.StartNode(dvs.NodeConfig{
+		ID:           *id,
+		Processes:    *n,
+		Listen:       *listen,
+		Peers:        peerMap,
+		Mode:         mode,
+		TickInterval: *tick,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Printf("node %d listening on %s (%s primaries)\n", *id, node.Addr(), mode)
+
+	go func() {
+		for d := range node.Deliveries() {
+			fmt.Printf("[deliver] %q from %d\n", d.Payload, d.Origin)
+		}
+	}()
+	go func() {
+		for e := range node.Views() {
+			tag := "view"
+			if e.Established {
+				tag = "established"
+			}
+			fmt.Printf("[%s] %s\n", tag, e.View)
+		}
+	}()
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !node.Broadcast(line) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+func parsePeers(s string) (map[int]string, error) {
+	out := make(map[int]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		idStr, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", pair)
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", idStr, err)
+		}
+		out[id] = addr
+	}
+	return out, nil
+}

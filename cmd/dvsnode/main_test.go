@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers("1=127.0.0.1:7001, 2=10.0.0.2:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != "127.0.0.1:7001" || got[2] != "10.0.0.2:7002" {
+		t.Errorf("got %v", got)
+	}
+	if m, err := parsePeers(""); err != nil || len(m) != 0 {
+		t.Error("empty peers should parse to empty map")
+	}
+	if _, err := parsePeers("nonsense"); err == nil {
+		t.Error("missing = accepted")
+	}
+	if _, err := parsePeers("x=127.0.0.1:1"); err == nil {
+		t.Error("non-numeric id accepted")
+	}
+}

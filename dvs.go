@@ -1,0 +1,105 @@
+// Package dvs is a dynamic view-oriented group communication service: a Go
+// implementation of De Prisco, Fekete, Lynch and Shvartsman, "A Dynamic
+// View-Oriented Group Communication Service" (PODC 1998).
+//
+// The package offers two things:
+//
+//   - A runtime stack (Cluster/Process): per-process goroutines over a
+//     partitionable in-memory network running membership, a
+//     view-synchronous layer (VS), the paper's dynamic primary-view filter
+//     (VS-TO-DVS, Figure 3), and the totally-ordered broadcast application
+//     (DVS-TO-TO, Figure 5). Applications broadcast payloads and receive a
+//     gap-free prefix of a single system-wide total order, across
+//     partitions, merges, churn and crashes.
+//
+//   - A specification layer (Check* functions): executable I/O automata for
+//     the paper's VS, DVS and TO specifications, with mechanized checks of
+//     every invariant (3.1, 4.1–4.2, 5.1–5.6, 6.1–6.3) and of both
+//     refinement theorems (5.9 and 6.4) over seeded random executions.
+//
+// The filter and application automata that run in the runtime stack are the
+// same code that the specification layer verifies.
+//
+// The mechanization surfaced five discrepancies in the printed paper, each
+// reproducible via DemonstrateFindings (or `dvscheck -findings`) and
+// documented in EXPERIMENTS.md: the literal dvs-safe precondition is not
+// implementable by Figure 3 (F1); the two theorems do not compose without a
+// view-synchronous drain rule (F2); Figure 5's LABEL can double-order a
+// message (F3); Invariant 5.2(3) as printed is falsifiable (F4); and the
+// free choice of recovery representative can reorder confirmed prefixes
+// (F5). The
+// default configurations use the minimal repairs; the literal figures
+// remain available so every claim can be re-checked.
+package dvs
+
+import (
+	"time"
+
+	"repro/internal/tob"
+	"repro/internal/types"
+)
+
+// Re-exported fundamental types. ProcID identifies a process; ViewID is a
+// totally ordered view identifier; View is a pair of identifier and
+// membership set.
+type (
+	// ProcID identifies a process.
+	ProcID = types.ProcID
+	// ViewID is a totally ordered view identifier.
+	ViewID = types.ViewID
+	// View is a view: identifier plus membership.
+	View = types.View
+	// Delivery is one totally-ordered message handed to the application.
+	Delivery = tob.Delivery
+	// ViewEvent reports a primary view becoming current or established.
+	ViewEvent = tob.ViewEvent
+)
+
+// Mode selects the primary-view discipline.
+type Mode int
+
+// Modes. ModeDynamic is the paper's contribution: primaries defined
+// relative to recent views via majority intersection and registration.
+// ModeStatic is the classical baseline: primaries are majorities of the
+// static initial membership.
+const (
+	ModeDynamic Mode = iota + 1
+	ModeStatic
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeDynamic:
+		return "dynamic"
+	case ModeStatic:
+		return "static"
+	default:
+		return "mode?"
+	}
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// Processes is the size of the process universe (ids 0..Processes-1).
+	Processes int
+	// Initial lists the members of the initial view v0. Empty means all
+	// processes. Processes outside v0 participate in membership and can
+	// join later views — the dynamic universe the paper targets.
+	Initial []int
+	// Mode selects dynamic (default) or static primaries.
+	Mode Mode
+	// DisableRegistration turns off the application's REGISTER calls
+	// (ablation experiment E6: ambiguous views are never garbage
+	// collected).
+	DisableRegistration bool
+	// Seed seeds loss injection and any randomized behavior.
+	Seed int64
+	// LossRate injects per-link message loss in [0, 1).
+	LossRate float64
+	// TickInterval drives heartbeats (default 2ms); SuspectTimeout and
+	// ProposeRetry default to 5 and 10 ticks.
+	TickInterval   time.Duration
+	SuspectTimeout time.Duration
+	ProposeRetry   time.Duration
+}

@@ -1,0 +1,42 @@
+// Command churn reproduces the paper's motivating claim live (experiment
+// E4): under rolling membership replacement, dynamic primaries stay
+// available while static majorities of the initial membership die once
+// fewer than a majority of the original processes remain.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	dvs "repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("rolling replacement of a 5-process group, one member at a time:")
+	fmt.Println()
+	for _, mode := range []dvs.Mode{dvs.ModeDynamic, dvs.ModeStatic} {
+		res, err := sim.Availability(sim.AvailabilityConfig{
+			Active:       5,
+			Spares:       5,
+			Mode:         mode,
+			Replacements: 5,
+			ChurnPeriod:  150 * time.Millisecond,
+			Seed:         1,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s\n", res)
+	}
+	fmt.Println()
+	fmt.Println("final=true means a primary still exists after every original member retired.")
+	return nil
+}

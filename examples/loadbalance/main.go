@@ -1,0 +1,72 @@
+// Command loadbalance demonstrates the load-balancing application sketched
+// in the paper's discussion (Section 7): work items are deterministically
+// sharded over the membership of the current established primary view.
+// Because all members agree on the primary view, every item has exactly one
+// owner at a time, and churn (partitions, departures, merges) redistributes
+// ownership automatically when a new primary is established.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+	"time"
+
+	dvs "repro"
+)
+
+// owner deterministically assigns an item to a member of the view.
+func owner(item string, v dvs.View) dvs.ProcID {
+	members := v.Members.Sorted()
+	h := fnv.New32a()
+	h.Write([]byte(item))
+	return members[int(h.Sum32())%len(members)]
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const n = 6
+	items := []string{"users", "orders", "billing", "search", "mail", "cache", "logs", "feed"}
+
+	cl, err := dvs.NewCluster(dvs.Config{Processes: n, Seed: 11})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	time.Sleep(150 * time.Millisecond)
+
+	show := func(label string) {
+		v, ok := cl.Process(0).CurrentPrimary()
+		if !ok {
+			fmt.Printf("%s: no primary at process 0\n", label)
+			return
+		}
+		fmt.Printf("%s: primary %s\n", label, v)
+		assign := make(map[dvs.ProcID][]string)
+		for _, it := range items {
+			o := owner(it, v)
+			assign[o] = append(assign[o], it)
+		}
+		for _, m := range v.Members.Sorted() {
+			fmt.Printf("  worker %d: %v\n", m, assign[m])
+		}
+	}
+
+	show("initial")
+
+	fmt.Println("== workers 4 and 5 depart (partition)")
+	cl.Partition([]int{0, 1, 2, 3})
+	time.Sleep(250 * time.Millisecond)
+	show("after departure")
+
+	fmt.Println("== workers return (heal)")
+	cl.Heal()
+	time.Sleep(250 * time.Millisecond)
+	show("after merge")
+	return nil
+}

@@ -1,0 +1,26 @@
+package dvs
+
+import "testing"
+
+// TestDemonstrateFindings reproduces all five documented discrepancies
+// (EXPERIMENTS.md §C) through the public API.
+func TestDemonstrateFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("witness search")
+	}
+	found, err := DemonstrateFindings(CheckConfig{Steps: 500, Seeds: 6})
+	if err != nil {
+		t.Fatalf("after %d findings: %v", len(found), err)
+	}
+	if len(found) != 5 {
+		t.Fatalf("found %d findings, want 5", len(found))
+	}
+	for i, want := range []string{"F1", "F2", "F3", "F4", "F5"} {
+		if found[i].ID != want {
+			t.Errorf("finding %d = %s, want %s", i, found[i].ID, want)
+		}
+		if found[i].Witness == "" {
+			t.Errorf("finding %s has no witness", found[i].ID)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"repro/internal/ioa"
+	"repro/internal/spec/dvs"
+	vsspec "repro/internal/spec/vs"
+	"repro/internal/types"
+)
+
+// BoundedEnv is a finitely-branching, *stateless* environment for
+// exhaustive exploration of DVS-IMPL (ioa.Explore): the available inputs
+// are a function of the automaton state only, so state deduplication
+// remains sound.
+//
+//   - dvs-gpsnd("m")_p is offered while the total number of client messages
+//     in the system is below MaxMsgs (client messages never leave the
+//     system state — queues are persistent — so the count bounds every
+//     path);
+//   - dvs-register_p is offered only when p's client view is unregistered
+//     (registering twice would grow the "registered" message queues without
+//     bound);
+//   - vs-createview is offered for each candidate membership in Views, with
+//     the next available identifier, while fewer than MaxViews views exist.
+type BoundedEnv struct {
+	MaxMsgs  int
+	MaxViews int
+	Views    []types.ProcSet
+}
+
+var _ ioa.Environment = (*BoundedEnv)(nil)
+
+// Inputs implements ioa.Environment.
+func (e *BoundedEnv) Inputs(a ioa.Automaton) []ioa.Action {
+	im, ok := a.(*Impl)
+	if !ok {
+		return nil
+	}
+	var acts []ioa.Action
+
+	if countClientMsgs(im) < e.MaxMsgs {
+		for _, p := range im.Procs() {
+			acts = append(acts, ioa.Action{Name: dvs.ActGpSnd, Kind: ioa.KindInput,
+				Param: dvs.SndParam{M: types.ClientMsg("m"), P: p}})
+		}
+	}
+	for _, p := range im.Procs() {
+		n := im.Node(p)
+		if cc, ok := n.ClientCur(); ok && !n.Reg(cc.ID) {
+			acts = append(acts, ioa.Action{Name: dvs.ActRegister, Kind: ioa.KindInput,
+				Param: dvs.RegisterParam{P: p}})
+		}
+	}
+	if len(im.VS().Created()) < e.MaxViews {
+		next := im.MaxCreatedID()
+		for _, members := range e.Views {
+			v := types.View{ID: next.Next(members.Sorted()[0]), Members: members.Clone()}
+			if im.VSCreateViewCandidateOK(v) {
+				acts = append(acts, ioa.Action{Name: vsspec.ActCreateView, Kind: ioa.KindInternal,
+					Param: vsspec.CreateViewParam{View: v}})
+			}
+		}
+	}
+	return acts
+}
+
+// countClientMsgs counts the client messages present anywhere in the
+// system: VS queues and pendings plus the nodes' outgoing buffers. Client
+// messages never leave these stores (per-view queues persist), so the count
+// is monotone along every execution path.
+func countClientMsgs(im *Impl) int {
+	total := 0
+	for _, v := range im.VS().Created() {
+		g := v.ID
+		for _, e := range im.VS().Queue(g) {
+			if types.IsClient(e.M) {
+				total++
+			}
+		}
+		for _, p := range im.Procs() {
+			total += len(Purge(im.VS().Pending(p, g)))
+			total += len(Purge(im.Node(p).MsgsToVS(g)))
+		}
+	}
+	return total
+}

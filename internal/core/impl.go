@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/spec/dvs"
+	vsspec "repro/internal/spec/vs"
+	"repro/internal/types"
+)
+
+// GCParam parameterizes the internal action dvs-garbage-collect(v)_p.
+type GCParam struct {
+	View types.View
+	P    types.ProcID
+}
+
+// String renders the parameter canonically.
+func (p GCParam) String() string { return p.View.String() + "_" + p.P.String() }
+
+// Impl is DVS-IMPL: the composition of the VS specification automaton with
+// one VS-TO-DVS_p automaton per process, with all external actions of VS
+// hidden. Its external signature is exactly that of the DVS specification,
+// and the external actions reuse the dvs package's names and parameter
+// types so implementation and specification traces compare directly.
+type Impl struct {
+	universe types.ProcSet
+	initial  types.View
+	procs    []types.ProcID // sorted universe, for deterministic enumeration
+	vs       *vsspec.VS
+	nodes    map[types.ProcID]*Node
+}
+
+var _ ioa.Automaton = (*Impl)(nil)
+
+// NewImpl constructs DVS-IMPL in its initial state.
+func NewImpl(universe types.ProcSet, initial types.View) *Impl {
+	im := &Impl{
+		universe: universe.Clone(),
+		initial:  initial.Clone(),
+		procs:    universe.Sorted(),
+		vs:       vsspec.New(universe, initial),
+		nodes:    make(map[types.ProcID]*Node, universe.Len()),
+	}
+	for _, p := range im.procs {
+		im.nodes[p] = NewNode(p, initial, initial.Contains(p))
+	}
+	return im
+}
+
+// Name implements ioa.Automaton.
+func (im *Impl) Name() string { return "DVS-IMPL" }
+
+// Universe returns the processor universe.
+func (im *Impl) Universe() types.ProcSet { return im.universe.Clone() }
+
+// InitialView returns v0.
+func (im *Impl) InitialView() types.View { return im.initial.Clone() }
+
+// VS exposes the inner VS automaton (read-only use by checks and tests).
+func (im *Impl) VS() *vsspec.VS { return im.vs }
+
+// Node returns the VS-TO-DVS automaton of process p.
+func (im *Impl) Node(p types.ProcID) *Node { return im.nodes[p] }
+
+// Procs returns the sorted process ids.
+func (im *Impl) Procs() []types.ProcID { return types.CloneSeq(im.procs) }
+
+// MaxCreatedID returns the largest view id created in the underlying VS.
+func (im *Impl) MaxCreatedID() types.ViewID {
+	var best types.ViewID
+	for _, v := range im.vs.Created() {
+		if best.Less(v.ID) {
+			best = v.ID
+		}
+	}
+	return best
+}
+
+// VSCreateViewCandidateOK exposes the inner VS's createview precondition for
+// environments proposing views.
+func (im *Impl) VSCreateViewCandidateOK(v types.View) bool {
+	return im.vs.CreateViewCandidateOK(v)
+}
+
+// --- Derived variables of DVS-IMPL (Section 5.1) ---
+
+// Att returns {v ∈ created | ∃p ∈ v.set: v ∈ attempted_p}, sorted by id.
+func (im *Impl) Att() []types.View {
+	var out []types.View
+	for _, v := range im.vs.Created() {
+		for p := range v.Members {
+			if im.nodes[p].HasAttempted(v.ID) {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	types.SortViews(out)
+	return out
+}
+
+// TotAtt returns {v ∈ created | ∀p ∈ v.set: v ∈ attempted_p}, sorted by id.
+func (im *Impl) TotAtt() []types.View {
+	var out []types.View
+	for _, v := range im.vs.Created() {
+		all := true
+		for p := range v.Members {
+			if !im.nodes[p].HasAttempted(v.ID) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, v)
+		}
+	}
+	types.SortViews(out)
+	return out
+}
+
+// TotReg returns {v ∈ created | ∀p ∈ v.set: reg[v.id]_p}, sorted by id.
+func (im *Impl) TotReg() []types.View {
+	var out []types.View
+	for _, v := range im.vs.Created() {
+		all := true
+		for p := range v.Members {
+			if !im.nodes[p].Reg(v.ID) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, v)
+		}
+	}
+	types.SortViews(out)
+	return out
+}
+
+// InTotReg reports whether some view in TotReg has id strictly between lo
+// and hi.
+func (im *Impl) hasTotRegBetween(lo, hi types.ViewID) bool {
+	for _, x := range im.TotReg() {
+		if lo.Less(x.ID) && x.ID.Less(hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// Enabled implements ioa.Automaton. The enumeration covers:
+//
+//   - the inner VS automaton's locally controlled actions (hidden in the
+//     composition, so re-kinded internal) — vs-newview, vs-order, vs-gprcv,
+//     vs-safe;
+//   - each node's locally controlled actions — vs-gpsnd (synchronizing with
+//     VS's input), dvs-newview, dvs-gprcv, dvs-safe (outputs of the
+//     composition), and dvs-garbage-collect (internal).
+//
+// vs-createview remains environment-proposed, as in the VS automaton.
+func (im *Impl) Enabled() []ioa.Action {
+	var acts []ioa.Action
+	for _, a := range im.vs.Enabled() {
+		a.Kind = ioa.KindInternal // VS external actions are hidden
+		acts = append(acts, a)
+	}
+	for _, p := range im.procs {
+		n := im.nodes[p]
+		if m, ok := n.VSGpSndHead(); ok {
+			acts = append(acts, ioa.Action{Name: vsspec.ActGpSnd, Kind: ioa.KindInternal, Param: vsspec.SndParam{M: m, P: p}})
+		}
+		if v, ok := n.DVSNewViewEnabled(); ok {
+			acts = append(acts, ioa.Action{Name: dvs.ActNewView, Kind: ioa.KindOutput, Param: dvs.NewViewParam{View: v, P: p}})
+		}
+		if e, ok := n.DVSGpRcvHead(); ok {
+			acts = append(acts, ioa.Action{Name: dvs.ActGpRcv, Kind: ioa.KindOutput, Param: dvs.RcvParam{M: e.M, From: e.Q, To: p}})
+		}
+		if e, ok := n.DVSSafeHead(); ok {
+			acts = append(acts, ioa.Action{Name: dvs.ActSafe, Kind: ioa.KindOutput, Param: dvs.RcvParam{M: e.M, From: e.Q, To: p}})
+		}
+		for _, v := range n.GCCandidates() {
+			acts = append(acts, ioa.Action{Name: "dvs-garbage-collect", Kind: ioa.KindInternal, Param: GCParam{View: v, P: p}})
+		}
+	}
+	ioa.SortActions(acts)
+	return acts
+}
+
+// Perform implements ioa.Automaton.
+func (im *Impl) Perform(act ioa.Action) error {
+	switch act.Name {
+	case vsspec.ActCreateView, vsspec.ActOrder:
+		return im.vs.Perform(act)
+
+	case vsspec.ActNewView:
+		p, ok := act.Param.(vsspec.NewViewParam)
+		if !ok {
+			return badActParam(act)
+		}
+		if err := im.vs.Perform(act); err != nil {
+			return err
+		}
+		im.nodes[p.P].OnVSNewView(p.View)
+		return nil
+
+	case vsspec.ActGpRcv:
+		p, ok := act.Param.(vsspec.RcvParam)
+		if !ok {
+			return badActParam(act)
+		}
+		if err := im.vs.Perform(act); err != nil {
+			return err
+		}
+		im.nodes[p.To].OnVSGpRcv(p.M, p.From)
+		return nil
+
+	case vsspec.ActSafe:
+		p, ok := act.Param.(vsspec.RcvParam)
+		if !ok {
+			return badActParam(act)
+		}
+		if err := im.vs.Perform(act); err != nil {
+			return err
+		}
+		im.nodes[p.To].OnVSSafe(p.M, p.From)
+		return nil
+
+	case vsspec.ActGpSnd:
+		p, ok := act.Param.(vsspec.SndParam)
+		if !ok {
+			return badActParam(act)
+		}
+		n, exists := im.nodes[p.P]
+		if !exists {
+			return fmt.Errorf("vs-gpsnd: unknown process %s", p.P)
+		}
+		if err := n.TakeVSGpSndHead(p.M); err != nil {
+			return err
+		}
+		return im.vs.Perform(act)
+
+	case dvs.ActGpSnd:
+		p, ok := act.Param.(dvs.SndParam)
+		if !ok {
+			return badActParam(act)
+		}
+		if !types.IsClient(p.M) {
+			return fmt.Errorf("dvs-gpsnd: %s is not a client message", p.M.MsgKey())
+		}
+		n, exists := im.nodes[p.P]
+		if !exists {
+			return fmt.Errorf("dvs-gpsnd: unknown process %s", p.P)
+		}
+		n.OnDVSGpSnd(p.M)
+		return nil
+
+	case dvs.ActRegister:
+		p, ok := act.Param.(dvs.RegisterParam)
+		if !ok {
+			return badActParam(act)
+		}
+		n, exists := im.nodes[p.P]
+		if !exists {
+			return fmt.Errorf("dvs-register: unknown process %s", p.P)
+		}
+		n.OnDVSRegister()
+		return nil
+
+	case dvs.ActNewView:
+		p, ok := act.Param.(dvs.NewViewParam)
+		if !ok {
+			return badActParam(act)
+		}
+		n, exists := im.nodes[p.P]
+		if !exists {
+			return fmt.Errorf("dvs-newview: unknown process %s", p.P)
+		}
+		return n.PerformDVSNewView(p.View)
+
+	case dvs.ActGpRcv:
+		p, ok := act.Param.(dvs.RcvParam)
+		if !ok {
+			return badActParam(act)
+		}
+		n, exists := im.nodes[p.To]
+		if !exists {
+			return fmt.Errorf("dvs-gprcv: unknown process %s", p.To)
+		}
+		return n.TakeDVSGpRcvHead(MsgFrom{M: p.M, Q: p.From})
+
+	case dvs.ActSafe:
+		p, ok := act.Param.(dvs.RcvParam)
+		if !ok {
+			return badActParam(act)
+		}
+		n, exists := im.nodes[p.To]
+		if !exists {
+			return fmt.Errorf("dvs-safe: unknown process %s", p.To)
+		}
+		return n.TakeDVSSafeHead(MsgFrom{M: p.M, Q: p.From})
+
+	case "dvs-garbage-collect":
+		p, ok := act.Param.(GCParam)
+		if !ok {
+			return badActParam(act)
+		}
+		n, exists := im.nodes[p.P]
+		if !exists {
+			return fmt.Errorf("dvs-garbage-collect: unknown process %s", p.P)
+		}
+		return n.PerformGC(p.View)
+
+	default:
+		return fmt.Errorf("dvs-impl: unknown action %q", act.Name)
+	}
+}
+
+func badActParam(act ioa.Action) error {
+	return fmt.Errorf("%s: bad parameter type %T", act.Name, act.Param)
+}
+
+// Clone implements ioa.Automaton.
+func (im *Impl) Clone() ioa.Automaton {
+	c := &Impl{
+		universe: im.universe.Clone(),
+		initial:  im.initial.Clone(),
+		procs:    types.CloneSeq(im.procs),
+		vs:       im.vs.Clone().(*vsspec.VS),
+		nodes:    make(map[types.ProcID]*Node, len(im.nodes)),
+	}
+	for p, n := range im.nodes {
+		c.nodes[p] = n.Clone()
+	}
+	return c
+}
+
+// Fingerprint implements ioa.Automaton.
+func (im *Impl) Fingerprint() string {
+	var f ioa.Fingerprinter
+	f.Add("vs", im.vs.Fingerprint())
+	for _, p := range im.procs {
+		im.nodes[p].AddFingerprint(&f)
+	}
+	return f.String()
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+// This file mechanizes Invariants 5.1–5.6 of the paper as executable checks
+// over reachable DVS-IMPL states.
+//
+// A note on Invariants 5.2.3 and 5.3.1: the paper's printed statements are
+// slightly stronger than what the algorithm maintains.
+//
+//   - 5.2.3 as printed says every view in use_p = {act_p} ∪ amb_p has id
+//     ≤ client-cur.id_p. But p updates act/amb upon *receiving* info
+//     messages in its VS-current view cur_p, which may run ahead of
+//     client-cur_p; p can therefore learn of views attempted by others with
+//     ids strictly between client-cur.id_p and cur.id_p. The property the
+//     proofs actually use at dvs-newview(v)_p steps is w.id < v.id = cur.id,
+//     which follows from the amended bound w.id ≤ cur.id_p together with
+//     Invariant 5.2.6 (info contents have ids < the view they were sent in).
+//     CheckInvariant52Literal checks the printed bound; CheckInvariant52
+//     checks the amended bound. Tests demonstrate the printed bound is
+//     violated on reachable states while the amended one holds.
+//
+//   - 5.3.1 as printed omits the premise w.id < g: after p attempts the view
+//     v with v.id = g itself, v ∈ attempted_p but v is (correctly) not in
+//     the info p sent for g. We check 5.3.1 with the w.id < g premise, which
+//     is exactly the instance the proof of Invariant 5.4 uses.
+
+// CheckInvariant51 checks Invariant 5.1: if v ∈ attempted_p and q ∈ v.set
+// then cur.id_q ≥ v.id.
+func CheckInvariant51(im *Impl) error {
+	for _, p := range im.procs {
+		for _, v := range im.nodes[p].Attempted() {
+			for q := range v.Members {
+				nq := im.nodes[q]
+				cur, ok := nq.Cur()
+				if !ok || cur.ID.Less(v.ID) {
+					return fmt.Errorf("p=%s attempted %s but cur_%s < v.id", p, v, q)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariant52 checks parts 1, 2, 4, 5, 6 of Invariant 5.2 as printed,
+// and part 3 in the amended form w ∈ use_p ⇒ w.id ≤ cur.id_p.
+func CheckInvariant52(im *Impl) error {
+	totReg := viewIDSet(im.TotReg())
+	for _, p := range im.procs {
+		n := im.nodes[p]
+		// (1) act_p ∈ TotReg.
+		if _, ok := totReg[n.Act().ID]; !ok {
+			return fmt.Errorf("5.2(1): act_%s = %s not totally registered", p, n.Act())
+		}
+		// (2) w ∈ amb_p ⇒ act.id_p < w.id.
+		for _, w := range n.Amb() {
+			if !n.Act().ID.Less(w.ID) {
+				return fmt.Errorf("5.2(2): amb_%s contains %s with id ≤ act.id %s", p, w, n.Act().ID)
+			}
+		}
+		// (3 amended) w ∈ use_p ⇒ w.id ≤ cur.id_p (when cur ≠ ⊥; when
+		// cur = ⊥, use_p = {v0}).
+		if cur, ok := n.Cur(); ok {
+			for _, w := range n.Use() {
+				if cur.ID.Less(w.ID) {
+					return fmt.Errorf("5.2(3 amended): use_%s contains %s with id > cur.id %s", p, w, cur.ID)
+				}
+			}
+		} else {
+			for _, w := range n.Use() {
+				if !w.ID.IsZero() {
+					return fmt.Errorf("5.2(3 amended): use_%s contains %s with cur = ⊥", p, w)
+				}
+			}
+		}
+		// (4,5,6) info-sent constraints.
+		for _, v := range im.vs.Created() {
+			info, ok := n.InfoSent(v.ID)
+			if !ok {
+				continue
+			}
+			if _, reg := totReg[info.Act.ID]; !reg {
+				return fmt.Errorf("5.2(4): info-sent[%s]_%s has act %s not totally registered", v.ID, p, info.Act)
+			}
+			for _, w := range info.Amb {
+				if !info.Act.ID.Less(w.ID) {
+					return fmt.Errorf("5.2(5): info-sent[%s]_%s has amb view %s with id ≤ act.id", v.ID, p, w)
+				}
+			}
+			for _, w := range append([]types.View{info.Act}, info.Amb...) {
+				if !w.ID.Less(v.ID) {
+					return fmt.Errorf("5.2(6): info-sent[%s]_%s contains %s with id ≥ g", v.ID, p, w)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariant52Part3Literal checks part 3 of Invariant 5.2 exactly as
+// printed in the paper: if client-cur_p ≠ ⊥ and w ∈ {act_p} ∪ amb_p then
+// w.id ≤ client-cur.id_p. See the file comment: this printed bound is
+// falsifiable on reachable states; it is provided so tests can demonstrate
+// the discrepancy.
+func CheckInvariant52Part3Literal(im *Impl) error {
+	for _, p := range im.procs {
+		n := im.nodes[p]
+		cc, ok := n.ClientCur()
+		if !ok {
+			continue
+		}
+		for _, w := range n.Use() {
+			if cc.ID.Less(w.ID) {
+				return fmt.Errorf("5.2(3 literal): use_%s contains %s with id > client-cur.id %s", p, w, cc.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariant53 checks Invariant 5.3:
+//
+//	(1) if info-sent[g]_p = ⟨x, X⟩ and w ∈ attempted_p with w.id < g, then
+//	    w ∈ {x} ∪ X or w.id < x.id;
+//	(2) if info-rcvd[q, g]_p = ⟨x, X⟩ and w ∈ {x} ∪ X, then w ∈ use_p or
+//	    w.id < act.id_p.
+func CheckInvariant53(im *Impl) error {
+	created := im.vs.Created()
+	for _, p := range im.procs {
+		n := im.nodes[p]
+		for _, v := range created {
+			g := v.ID
+			if info, ok := n.InfoSent(g); ok {
+				for _, w := range n.Attempted() {
+					if !w.ID.Less(g) {
+						continue
+					}
+					if viewIn(w, info.Act, info.Amb) || w.ID.Less(info.Act.ID) {
+						continue
+					}
+					return fmt.Errorf("5.3(1): p=%s info-sent[%s] omits attempted %s", p, g, w)
+				}
+			}
+			for _, q := range im.procs {
+				info, ok := n.InfoRcvd(q, g)
+				if !ok {
+					continue
+				}
+				for _, w := range append([]types.View{info.Act}, info.Amb...) {
+					if viewIn(w, n.Act(), n.Amb()) || w.ID.Less(n.Act().ID) {
+						continue
+					}
+					return fmt.Errorf("5.3(2): p=%s info-rcvd[%s,%s] view %s neither in use nor below act", p, q, g, w)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariant54 checks Invariant 5.4: if v ∈ attempted_p, q ∈ v.set,
+// w ∈ attempted_q, w.id < v.id, and no x ∈ TotReg has w.id < x.id < v.id,
+// then |v.set ∩ w.set| > |w.set|/2.
+func CheckInvariant54(im *Impl) error {
+	for _, p := range im.procs {
+		for _, v := range im.nodes[p].Attempted() {
+			for q := range v.Members {
+				for _, w := range im.nodes[q].Attempted() {
+					if !w.ID.Less(v.ID) {
+						continue
+					}
+					if im.hasTotRegBetween(w.ID, v.ID) {
+						continue
+					}
+					if !v.Members.MajorityOf(w.Members) {
+						return fmt.Errorf("5.4: v=%s (att by %s), w=%s (att by %s ∈ v.set): no majority intersection", v, p, w, q)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariant55 checks Invariant 5.5: if v ∈ Att, w ∈ TotReg, w.id <
+// v.id, and no x ∈ TotReg has w.id < x.id < v.id, then |v.set ∩ w.set| >
+// |w.set|/2.
+func CheckInvariant55(im *Impl) error {
+	att := im.Att()
+	totReg := im.TotReg()
+	for _, v := range att {
+		for _, w := range totReg {
+			if !w.ID.Less(v.ID) {
+				continue
+			}
+			if im.hasTotRegBetween(w.ID, v.ID) {
+				continue
+			}
+			if !v.Members.MajorityOf(w.Members) {
+				return fmt.Errorf("5.5: v=%s, w=%s ∈ TotReg: no majority intersection", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariant56 checks Invariant 5.6 (the corollary used in the
+// refinement proof): if v, w ∈ Att, w.id < v.id, and no x ∈ TotReg has
+// w.id < x.id < v.id, then v.set ∩ w.set ≠ {}.
+func CheckInvariant56(im *Impl) error {
+	att := im.Att()
+	for i, w := range att {
+		for _, v := range att[i+1:] {
+			if im.hasTotRegBetween(w.ID, v.ID) {
+				continue
+			}
+			if !v.Members.Intersects(w.Members) {
+				return fmt.Errorf("5.6: attempted views %s and %s disjoint with no intervening totally registered view", w, v)
+			}
+		}
+	}
+	return nil
+}
+
+func viewIDSet(vs []types.View) map[types.ViewID]struct{} {
+	out := make(map[types.ViewID]struct{}, len(vs))
+	for _, v := range vs {
+		out[v.ID] = struct{}{}
+	}
+	return out
+}
+
+func viewIn(w, act types.View, amb []types.View) bool {
+	if w.ID == act.ID {
+		return true
+	}
+	for _, x := range amb {
+		if w.ID == x.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// Invariants returns Invariants 5.1–5.6 (with 5.2.3 in amended form) as ioa
+// invariants over *Impl states.
+func Invariants() []ioa.Invariant {
+	wrap := func(name string, check func(*Impl) error) ioa.Invariant {
+		return ioa.Invariant{
+			Name: name,
+			Check: func(a ioa.Automaton) error {
+				im, ok := a.(*Impl)
+				if !ok {
+					return fmt.Errorf("DVS-IMPL invariant on %T", a)
+				}
+				return check(im)
+			},
+		}
+	}
+	return []ioa.Invariant{
+		wrap("DVSIMPL-5.1", CheckInvariant51),
+		wrap("DVSIMPL-5.2", CheckInvariant52),
+		wrap("DVSIMPL-5.3", CheckInvariant53),
+		wrap("DVSIMPL-5.4", CheckInvariant54),
+		wrap("DVSIMPL-5.5", CheckInvariant55),
+		wrap("DVSIMPL-5.6", CheckInvariant56),
+	}
+}

@@ -1,0 +1,533 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+// Info is a ⟨act, amb⟩ pair as recorded in info-sent and info-rcvd.
+type Info struct {
+	Act types.View
+	Amb []types.View // sorted by id
+}
+
+func (i Info) clone() Info {
+	cp := make([]types.View, 0, len(i.Amb))
+	for _, v := range i.Amb {
+		cp = append(cp, v.Clone())
+	}
+	return Info{Act: i.Act.Clone(), Amb: cp}
+}
+
+func (i Info) key() string {
+	return NewInfoMsg(i.Act, i.Amb).MsgKey()
+}
+
+type procViewKey struct {
+	Q types.ProcID
+	G types.ViewID
+}
+
+// MsgFrom is a ⟨m, q⟩ pair buffered in msgs-from-vs / safe-from-vs.
+type MsgFrom struct {
+	M types.Msg
+	Q types.ProcID
+}
+
+func (e MsgFrom) key() string { return e.M.MsgKey() + "@" + e.Q.String() }
+
+// Node is the state of the VS-TO-DVS_p automaton of Figure 3 for one
+// process p. It is not a standalone ioa.Automaton: its vs-* actions
+// synchronize with the VS automaton inside the Impl composition.
+type Node struct {
+	p types.ProcID
+
+	cur         types.View // meaningful iff curOK
+	curOK       bool
+	clientCur   types.View // meaningful iff clientCurOK
+	clientCurOK bool
+	act         types.View
+	amb         map[types.ViewID]types.View
+	attempted   map[types.ViewID]types.View // history variable (for proofs)
+	infoRcvd    map[procViewKey]Info
+	rcvdRgst    map[types.ViewID]types.ProcSet
+	msgsToVS    map[types.ViewID][]types.Msg
+	msgsFromVS  map[types.ViewID][]MsgFrom
+	safeFromVS  map[types.ViewID][]MsgFrom
+	reg         map[types.ViewID]bool
+	infoSent    map[types.ViewID]Info
+}
+
+// NewNode returns VS-TO-DVS_p in its initial state. initial is v0; inP0
+// states whether p ∈ P0.
+func NewNode(p types.ProcID, initial types.View, inP0 bool) *Node {
+	n := &Node{
+		p:          p,
+		act:        initial.Clone(),
+		amb:        make(map[types.ViewID]types.View),
+		attempted:  make(map[types.ViewID]types.View),
+		infoRcvd:   make(map[procViewKey]Info),
+		rcvdRgst:   make(map[types.ViewID]types.ProcSet),
+		msgsToVS:   make(map[types.ViewID][]types.Msg),
+		msgsFromVS: make(map[types.ViewID][]MsgFrom),
+		safeFromVS: make(map[types.ViewID][]MsgFrom),
+		reg:        make(map[types.ViewID]bool),
+		infoSent:   make(map[types.ViewID]Info),
+	}
+	if inP0 {
+		n.cur, n.curOK = initial.Clone(), true
+		n.clientCur, n.clientCurOK = initial.Clone(), true
+		n.attempted[initial.ID] = initial.Clone()
+		n.reg[initial.ID] = true
+	}
+	return n
+}
+
+// P returns the process id.
+func (n *Node) P() types.ProcID { return n.p }
+
+// Cur returns cur; ok is false for ⊥.
+func (n *Node) Cur() (types.View, bool) { return n.cur, n.curOK }
+
+// ClientCur returns client-cur; ok is false for ⊥.
+func (n *Node) ClientCur() (types.View, bool) { return n.clientCur, n.clientCurOK }
+
+// Act returns the active view act.
+func (n *Node) Act() types.View { return n.act.Clone() }
+
+// Amb returns the ambiguous views, sorted by id.
+func (n *Node) Amb() []types.View { return sortedViews(n.amb) }
+
+// Use returns the derived variable use = {act} ∪ amb, sorted by id.
+func (n *Node) Use() []types.View {
+	out := append([]types.View{n.act.Clone()}, sortedViews(n.amb)...)
+	types.SortViews(out)
+	return out
+}
+
+// Attempted returns the history variable attempted_p, sorted by id.
+func (n *Node) Attempted() []types.View { return sortedViews(n.attempted) }
+
+// HasAttempted reports whether a view with the given id is in attempted_p.
+func (n *Node) HasAttempted(g types.ViewID) bool {
+	_, ok := n.attempted[g]
+	return ok
+}
+
+// Reg reports reg[g]_p.
+func (n *Node) Reg(g types.ViewID) bool { return n.reg[g] }
+
+// InfoSent returns info-sent[g]_p; ok is false for ⊥.
+func (n *Node) InfoSent(g types.ViewID) (Info, bool) {
+	i, ok := n.infoSent[g]
+	return i, ok
+}
+
+// InfoRcvd returns info-rcvd[q, g]_p; ok is false for ⊥.
+func (n *Node) InfoRcvd(q types.ProcID, g types.ViewID) (Info, bool) {
+	i, ok := n.infoRcvd[procViewKey{q, g}]
+	return i, ok
+}
+
+// MsgsToVS returns a copy of msgs-to-vs[g].
+func (n *Node) MsgsToVS(g types.ViewID) []types.Msg {
+	return types.CloneSeq(n.msgsToVS[g])
+}
+
+// MsgsFromVS returns a copy of msgs-from-vs[g].
+func (n *Node) MsgsFromVS(g types.ViewID) []MsgFrom {
+	return types.CloneSeq(n.msgsFromVS[g])
+}
+
+// SafeFromVS returns a copy of safe-from-vs[g].
+func (n *Node) SafeFromVS(g types.ViewID) []MsgFrom {
+	return types.CloneSeq(n.safeFromVS[g])
+}
+
+func sortedViews(m map[types.ViewID]types.View) []types.View {
+	out := make([]types.View, 0, len(m))
+	for _, v := range m {
+		out = append(out, v.Clone())
+	}
+	types.SortViews(out)
+	return out
+}
+
+// --- Input handlers (effects of Figure 3 input actions) ---
+
+// OnVSNewView handles input vs-newview(v)_p: install cur := v and enqueue an
+// ⟨"info", act, amb⟩ message for the new view.
+func (n *Node) OnVSNewView(v types.View) {
+	n.cur, n.curOK = v.Clone(), true
+	info := Info{Act: n.act.Clone(), Amb: sortedViews(n.amb)}
+	n.msgsToVS[v.ID] = append(n.msgsToVS[v.ID], NewInfoMsg(info.Act, info.Amb))
+	n.infoSent[v.ID] = info
+}
+
+// OnVSGpRcv handles input vs-gprcv(m)_{q,p} by case analysis on m.
+func (n *Node) OnVSGpRcv(m types.Msg, q types.ProcID) {
+	switch msg := m.(type) {
+	case InfoMsg:
+		if !n.curOK {
+			return // unreachable: VS only delivers within a current view
+		}
+		n.infoRcvd[procViewKey{q, n.cur.ID}] = Info{Act: msg.Act.Clone(), Amb: types.CloneSeq(msg.Amb)}
+		if n.act.ID.Less(msg.Act.ID) {
+			n.act = msg.Act.Clone()
+		}
+		// amb := {w ∈ amb ∪ V | w.id > act.id}
+		for _, w := range msg.Amb {
+			if n.act.ID.Less(w.ID) {
+				n.amb[w.ID] = w.Clone()
+			}
+		}
+		for id := range n.amb {
+			if !n.act.ID.Less(id) {
+				delete(n.amb, id)
+			}
+		}
+	case RegisteredMsg:
+		if !n.curOK {
+			return
+		}
+		set, ok := n.rcvdRgst[n.cur.ID]
+		if !ok {
+			set = types.NewProcSet()
+			n.rcvdRgst[n.cur.ID] = set
+		}
+		set.Add(q)
+	default:
+		if !n.curOK {
+			return
+		}
+		n.msgsFromVS[n.cur.ID] = append(n.msgsFromVS[n.cur.ID], MsgFrom{M: m, Q: q})
+	}
+}
+
+// OnVSSafe handles input vs-safe(m)_{q,p}: client messages are buffered for
+// dvs-safe delivery; "info" and "registered" safety indications have no
+// effect (Figure 3).
+func (n *Node) OnVSSafe(m types.Msg, q types.ProcID) {
+	if !types.IsClient(m) {
+		return
+	}
+	if !n.curOK {
+		return
+	}
+	n.safeFromVS[n.cur.ID] = append(n.safeFromVS[n.cur.ID], MsgFrom{M: m, Q: q})
+}
+
+// OnDVSGpSnd handles input dvs-gpsnd(m)_p.
+func (n *Node) OnDVSGpSnd(m types.Msg) {
+	if !n.clientCurOK {
+		return
+	}
+	g := n.clientCur.ID
+	n.msgsToVS[g] = append(n.msgsToVS[g], m)
+}
+
+// OnDVSRegister handles input dvs-register_p.
+func (n *Node) OnDVSRegister() {
+	if !n.clientCurOK {
+		return
+	}
+	g := n.clientCur.ID
+	n.reg[g] = true
+	n.msgsToVS[g] = append(n.msgsToVS[g], RegisteredMsg{})
+}
+
+// --- Locally controlled actions ---
+
+// VSGpSndHead returns the head of msgs-to-vs[cur.id], if any: the message a
+// vs-gpsnd(m)_p output would submit to VS.
+func (n *Node) VSGpSndHead() (types.Msg, bool) {
+	if !n.curOK {
+		return nil, false
+	}
+	q := n.msgsToVS[n.cur.ID]
+	if len(q) == 0 {
+		return nil, false
+	}
+	return q[0], true
+}
+
+// TakeVSGpSndHead removes and returns the head of msgs-to-vs[cur.id].
+func (n *Node) TakeVSGpSndHead(m types.Msg) error {
+	head, ok := n.VSGpSndHead()
+	if !ok || head.MsgKey() != m.MsgKey() {
+		return fmt.Errorf("vs-gpsnd(%s)_%s: not head of msgs-to-vs", m.MsgKey(), n.p)
+	}
+	g := n.cur.ID
+	n.msgsToVS[g] = n.msgsToVS[g][1:]
+	if len(n.msgsToVS[g]) == 0 {
+		delete(n.msgsToVS, g)
+	}
+	return nil
+}
+
+// DVSNewViewEnabled reports whether output dvs-newview(v)_p is enabled for
+// v = cur (Figure 3): v.id > client-cur.id, info received from every other
+// member of v, and v majority-intersects every view in use.
+func (n *Node) DVSNewViewEnabled() (types.View, bool) {
+	if !n.curOK {
+		return types.View{}, false
+	}
+	v := n.cur
+	if n.clientCurOK && !n.clientCur.ID.Less(v.ID) {
+		return types.View{}, false
+	}
+	for q := range v.Members {
+		if q == n.p {
+			continue
+		}
+		if _, ok := n.infoRcvd[procViewKey{q, v.ID}]; !ok {
+			return types.View{}, false
+		}
+	}
+	if !v.Members.MajorityOf(n.act.Members) {
+		return types.View{}, false
+	}
+	for _, w := range n.amb {
+		if !v.Members.MajorityOf(w.Members) {
+			return types.View{}, false
+		}
+	}
+	return v.Clone(), true
+}
+
+// PerformDVSNewView applies the effect of dvs-newview(v)_p.
+func (n *Node) PerformDVSNewView(v types.View) error {
+	cand, ok := n.DVSNewViewEnabled()
+	if !ok || !cand.Equal(v) {
+		return fmt.Errorf("dvs-newview(%s)_%s: not enabled", v, n.p)
+	}
+	n.amb[v.ID] = v.Clone()
+	n.attempted[v.ID] = v.Clone()
+	n.clientCur, n.clientCurOK = v.Clone(), true
+	return nil
+}
+
+// DVSGpRcvHead returns the head of msgs-from-vs[client-cur.id], if any.
+func (n *Node) DVSGpRcvHead() (MsgFrom, bool) {
+	if !n.clientCurOK {
+		return MsgFrom{}, false
+	}
+	q := n.msgsFromVS[n.clientCur.ID]
+	if len(q) == 0 {
+		return MsgFrom{}, false
+	}
+	return q[0], true
+}
+
+// TakeDVSGpRcvHead removes the head of msgs-from-vs[client-cur.id].
+func (n *Node) TakeDVSGpRcvHead(e MsgFrom) error {
+	head, ok := n.DVSGpRcvHead()
+	if !ok || head.key() != e.key() {
+		return fmt.Errorf("dvs-gprcv(%s)_%s,%s: not head of msgs-from-vs", e.M.MsgKey(), e.Q, n.p)
+	}
+	g := n.clientCur.ID
+	n.msgsFromVS[g] = n.msgsFromVS[g][1:]
+	if len(n.msgsFromVS[g]) == 0 {
+		delete(n.msgsFromVS, g)
+	}
+	return nil
+}
+
+// DVSSafeHead returns the head of safe-from-vs[client-cur.id], if any.
+func (n *Node) DVSSafeHead() (MsgFrom, bool) {
+	if !n.clientCurOK {
+		return MsgFrom{}, false
+	}
+	q := n.safeFromVS[n.clientCur.ID]
+	if len(q) == 0 {
+		return MsgFrom{}, false
+	}
+	return q[0], true
+}
+
+// TakeDVSSafeHead removes the head of safe-from-vs[client-cur.id].
+func (n *Node) TakeDVSSafeHead(e MsgFrom) error {
+	head, ok := n.DVSSafeHead()
+	if !ok || head.key() != e.key() {
+		return fmt.Errorf("dvs-safe(%s)_%s,%s: not head of safe-from-vs", e.M.MsgKey(), e.Q, n.p)
+	}
+	g := n.clientCur.ID
+	n.safeFromVS[g] = n.safeFromVS[g][1:]
+	if len(n.safeFromVS[g]) == 0 {
+		delete(n.safeFromVS, g)
+	}
+	return nil
+}
+
+// GCCandidates returns the views v for which dvs-garbage-collect(v)_p is
+// enabled: p has received "registered" messages from every member of v in
+// view v.id, and v.id > act.id. Candidates are drawn from the views p
+// knows (amb and cur), sorted by id.
+func (n *Node) GCCandidates() []types.View {
+	var cands []types.View
+	consider := func(v types.View) {
+		if !n.act.ID.Less(v.ID) {
+			return
+		}
+		set, ok := n.rcvdRgst[v.ID]
+		if !ok || !v.Members.Subset(set) {
+			return
+		}
+		cands = append(cands, v.Clone())
+	}
+	for _, v := range sortedViews(n.amb) {
+		consider(v)
+	}
+	if n.curOK {
+		if _, inAmb := n.amb[n.cur.ID]; !inAmb {
+			consider(n.cur)
+		}
+	}
+	types.SortViews(cands)
+	return cands
+}
+
+// PerformGC applies dvs-garbage-collect(v)_p: act := v and ambiguous views
+// with ids ≤ v.id are discarded.
+func (n *Node) PerformGC(v types.View) error {
+	enabled := false
+	for _, c := range n.GCCandidates() {
+		if c.Equal(v) {
+			enabled = true
+			break
+		}
+	}
+	if !enabled {
+		return fmt.Errorf("dvs-garbage-collect(%s)_%s: not enabled", v, n.p)
+	}
+	n.act = v.Clone()
+	for id := range n.amb {
+		if !n.act.ID.Less(id) {
+			delete(n.amb, id)
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent deep copy of the node.
+func (n *Node) Clone() *Node {
+	c := &Node{
+		p:           n.p,
+		cur:         n.cur.Clone(),
+		curOK:       n.curOK,
+		clientCur:   n.clientCur.Clone(),
+		clientCurOK: n.clientCurOK,
+		act:         n.act.Clone(),
+		amb:         make(map[types.ViewID]types.View, len(n.amb)),
+		attempted:   make(map[types.ViewID]types.View, len(n.attempted)),
+		infoRcvd:    make(map[procViewKey]Info, len(n.infoRcvd)),
+		rcvdRgst:    make(map[types.ViewID]types.ProcSet, len(n.rcvdRgst)),
+		msgsToVS:    make(map[types.ViewID][]types.Msg, len(n.msgsToVS)),
+		msgsFromVS:  make(map[types.ViewID][]MsgFrom, len(n.msgsFromVS)),
+		safeFromVS:  make(map[types.ViewID][]MsgFrom, len(n.safeFromVS)),
+		reg:         make(map[types.ViewID]bool, len(n.reg)),
+		infoSent:    make(map[types.ViewID]Info, len(n.infoSent)),
+	}
+	for id, v := range n.amb {
+		c.amb[id] = v.Clone()
+	}
+	for id, v := range n.attempted {
+		c.attempted[id] = v.Clone()
+	}
+	for k, i := range n.infoRcvd {
+		c.infoRcvd[k] = i.clone()
+	}
+	for g, s := range n.rcvdRgst {
+		c.rcvdRgst[g] = s.Clone()
+	}
+	for g, q := range n.msgsToVS {
+		c.msgsToVS[g] = types.CloneSeq(q)
+	}
+	for g, q := range n.msgsFromVS {
+		c.msgsFromVS[g] = types.CloneSeq(q)
+	}
+	for g, q := range n.safeFromVS {
+		c.safeFromVS[g] = types.CloneSeq(q)
+	}
+	for g, b := range n.reg {
+		c.reg[g] = b
+	}
+	for g, i := range n.infoSent {
+		c.infoSent[g] = i.clone()
+	}
+	return c
+}
+
+// AddFingerprint appends the node's state to a composite fingerprint.
+func (n *Node) AddFingerprint(f *ioa.Fingerprinter) {
+	pre := "n" + n.p.String() + "."
+	if n.curOK {
+		f.Add(pre+"cur", n.cur.String())
+	}
+	if n.clientCurOK {
+		f.Add(pre+"ccur", n.clientCur.String())
+	}
+	f.Add(pre+"act", n.act.String())
+	for id, v := range n.amb {
+		f.Add(pre+"amb."+id.String(), v.Members.String())
+	}
+	for id, v := range n.attempted {
+		f.Add(pre+"attempted."+id.String(), v.Members.String())
+	}
+	for k, i := range n.infoRcvd {
+		f.Add(pre+"ircv."+k.Q.String()+"."+k.G.String(), i.key())
+	}
+	for g, s := range n.rcvdRgst {
+		if s.Len() > 0 {
+			f.Add(pre+"rgst."+g.String(), s.String())
+		}
+	}
+	for g, q := range n.msgsToVS {
+		if len(q) > 0 {
+			f.Add(pre+"tovs."+g.String(), msgSeqKey(q))
+		}
+	}
+	for g, q := range n.msgsFromVS {
+		if len(q) > 0 {
+			f.Add(pre+"fromvs."+g.String(), msgFromSeqKey(q))
+		}
+	}
+	for g, q := range n.safeFromVS {
+		if len(q) > 0 {
+			f.Add(pre+"safevs."+g.String(), msgFromSeqKey(q))
+		}
+	}
+	for g, b := range n.reg {
+		if b {
+			f.Add(pre+"reg."+g.String(), "1")
+		}
+	}
+	for g, i := range n.infoSent {
+		f.Add(pre+"isent."+g.String(), i.key())
+	}
+}
+
+func msgSeqKey(q []types.Msg) string {
+	var b strings.Builder
+	for i, m := range q {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(m.MsgKey())
+	}
+	return b.String()
+}
+
+func msgFromSeqKey(q []MsgFrom) string {
+	var b strings.Builder
+	for i, e := range q {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(e.key())
+	}
+	return b.String()
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func v(seq uint64, members ...types.ProcID) types.View {
+	return types.NewView(types.ViewID{Seq: seq}, members...)
+}
+
+func newTestNode(t *testing.T) (*Node, types.View) {
+	t.Helper()
+	v0 := types.InitialView(types.NewProcSet(0, 1, 2))
+	return NewNode(0, v0, true), v0
+}
+
+func TestNodeInitialState(t *testing.T) {
+	n, v0 := newTestNode(t)
+	if cur, ok := n.Cur(); !ok || !cur.Equal(v0) {
+		t.Error("cur must start at v0 for members of P0")
+	}
+	if cc, ok := n.ClientCur(); !ok || !cc.Equal(v0) {
+		t.Error("client-cur must start at v0")
+	}
+	if !n.Act().Equal(v0) {
+		t.Error("act must start at v0")
+	}
+	if !n.Reg(v0.ID) {
+		t.Error("reg[g0] must start true for members")
+	}
+	outsider := NewNode(4, v0, false)
+	if _, ok := outsider.Cur(); ok {
+		t.Error("non-member must start at ⊥")
+	}
+	if !outsider.Act().Equal(v0) {
+		t.Error("act starts at v0 even for non-members")
+	}
+	if outsider.Reg(v0.ID) {
+		t.Error("non-member must not start registered")
+	}
+}
+
+func TestOnVSNewViewSendsInfo(t *testing.T) {
+	n, _ := newTestNode(t)
+	v1 := v(1, 0, 1)
+	n.OnVSNewView(v1)
+	if cur, _ := n.Cur(); !cur.Equal(v1) {
+		t.Error("cur not updated")
+	}
+	m, ok := n.VSGpSndHead()
+	if !ok {
+		t.Fatal("info message not enqueued")
+	}
+	info, isInfo := m.(InfoMsg)
+	if !isInfo {
+		t.Fatalf("head is %T", m)
+	}
+	if !info.Act.ID.IsZero() || len(info.Amb) != 0 {
+		t.Errorf("info = %v", info)
+	}
+	if _, ok := n.InfoSent(v1.ID); !ok {
+		t.Error("info-sent not recorded")
+	}
+}
+
+func TestDVSNewViewRequiresAllInfos(t *testing.T) {
+	n, _ := newTestNode(t)
+	v1 := v(1, 0, 1)
+	n.OnVSNewView(v1)
+	if _, ok := n.DVSNewViewEnabled(); ok {
+		t.Fatal("enabled before info from 1")
+	}
+	n.OnVSGpRcv(NewInfoMsg(types.InitialView(types.NewProcSet(0, 1, 2)), nil), 1)
+	cand, ok := n.DVSNewViewEnabled()
+	if !ok || !cand.Equal(v1) {
+		t.Fatal("should be enabled after all infos (majority of v0 holds: {0,1} ∩ {0,1,2} = 2 > 1.5)")
+	}
+	if err := n.PerformDVSNewView(cand); err != nil {
+		t.Fatal(err)
+	}
+	if cc, _ := n.ClientCur(); !cc.Equal(v1) {
+		t.Error("client-cur not advanced")
+	}
+	if !n.HasAttempted(v1.ID) {
+		t.Error("attempted not recorded")
+	}
+}
+
+func TestDVSNewViewMajorityCheckRejects(t *testing.T) {
+	n, _ := newTestNode(t)
+	v1 := v(1, 0) // singleton: |{0} ∩ {0,1,2}| = 1, not > 1.5
+	n.OnVSNewView(v1)
+	// No other members, so the info condition is vacuous; the majority
+	// check must reject.
+	if _, ok := n.DVSNewViewEnabled(); ok {
+		t.Error("minority view accepted as primary")
+	}
+}
+
+func TestInfoUpdatesActAndAmb(t *testing.T) {
+	n, _ := newTestNode(t)
+	v1 := v(1, 0, 1)
+	v2 := v(2, 0, 1, 2)
+	n.OnVSNewView(v2)
+	// Peer reports act = v1 (higher than our v0) and an ambiguous view.
+	amb := v(3, 1, 2) // note: id 3 > act id 1
+	n.OnVSGpRcv(NewInfoMsg(v1, []types.View{amb}), 1)
+	if !n.Act().Equal(v1) {
+		t.Errorf("act = %s, want %s", n.Act(), v1)
+	}
+	got := n.Amb()
+	if len(got) != 1 || !got[0].Equal(amb) {
+		t.Errorf("amb = %v", got)
+	}
+	// A later info with act above the ambiguous view must filter it out.
+	v4 := v(4, 1, 2)
+	n.OnVSGpRcv(NewInfoMsg(v4, nil), 2)
+	if !n.Act().Equal(v4) || len(n.Amb()) != 0 {
+		t.Errorf("act=%s amb=%v after higher act", n.Act(), n.Amb())
+	}
+}
+
+func TestRegisterSendsRegisteredMsg(t *testing.T) {
+	n, v0 := newTestNode(t)
+	n.OnDVSRegister()
+	if !n.Reg(v0.ID) {
+		t.Error("reg not set")
+	}
+	m, ok := n.VSGpSndHead()
+	if !ok {
+		t.Fatal("registered message not enqueued")
+	}
+	if _, isReg := m.(RegisteredMsg); !isReg {
+		t.Fatalf("head is %T", m)
+	}
+}
+
+func TestGarbageCollection(t *testing.T) {
+	n, _ := newTestNode(t)
+	v1 := v(1, 0, 1)
+	n.OnVSNewView(v1)
+	n.OnVSGpRcv(NewInfoMsg(types.InitialView(types.NewProcSet(0, 1, 2)), nil), 1)
+	if err := n.PerformDVSNewView(v1); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.GCCandidates()) != 0 {
+		t.Fatal("GC enabled without registered messages")
+	}
+	// Registered messages from both members of v1, received in view v1.
+	n.OnVSGpRcv(RegisteredMsg{}, 0)
+	n.OnVSGpRcv(RegisteredMsg{}, 1)
+	cands := n.GCCandidates()
+	if len(cands) != 1 || !cands[0].Equal(v1) {
+		t.Fatalf("GC candidates = %v", cands)
+	}
+	if err := n.PerformGC(v1); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Act().Equal(v1) {
+		t.Error("act not advanced by GC")
+	}
+	if len(n.Amb()) != 0 {
+		t.Error("amb not filtered by GC")
+	}
+	// GC of the same view again: no longer enabled (act.id not < v.id).
+	if err := n.PerformGC(v1); err == nil {
+		t.Error("repeated GC accepted")
+	}
+}
+
+func TestClientMessageBuffering(t *testing.T) {
+	n, _ := newTestNode(t)
+	m := types.ClientMsg("x")
+	n.OnDVSGpSnd(m)
+	head, ok := n.VSGpSndHead()
+	if !ok || head.MsgKey() != m.MsgKey() {
+		t.Fatal("client message not queued for vs")
+	}
+	if err := n.TakeVSGpSndHead(m); err != nil {
+		t.Fatal(err)
+	}
+	// Receive a client message and a safe indication from VS.
+	n.OnVSGpRcv(m, 1)
+	n.OnVSSafe(m, 1)
+	if e, ok := n.DVSGpRcvHead(); !ok || e.Q != 1 {
+		t.Fatal("delivery not buffered")
+	}
+	if e, ok := n.DVSSafeHead(); !ok || e.Q != 1 {
+		t.Fatal("safe not buffered")
+	}
+	if err := n.TakeDVSGpRcvHead(MsgFrom{M: m, Q: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.TakeDVSSafeHead(MsgFrom{M: m, Q: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.DVSGpRcvHead(); ok {
+		t.Error("buffer should be empty")
+	}
+}
+
+func TestBufferedDeliveriesFollowClientView(t *testing.T) {
+	n, _ := newTestNode(t)
+	m := types.ClientMsg("old")
+	// VS delivers m in v0, then the node's VS view moves to v1 before the
+	// client attempts it: the old buffered delivery stays available while
+	// client-cur is still v0.
+	n.OnVSGpRcv(m, 1)
+	v1 := v(1, 0, 1)
+	n.OnVSNewView(v1)
+	if _, ok := n.DVSGpRcvHead(); !ok {
+		t.Fatal("old-view delivery must remain available while client-cur = v0")
+	}
+	// Attempt v1: deliveries for v0 become unreachable (client moved on).
+	n.OnVSGpRcv(NewInfoMsg(types.InitialView(types.NewProcSet(0, 1, 2)), nil), 1)
+	if err := n.PerformDVSNewView(v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.DVSGpRcvHead(); ok {
+		t.Error("deliveries of an abandoned view must not surface in the new view")
+	}
+}
+
+func TestNodeCloneDeep(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.OnDVSGpSnd(types.ClientMsg("x"))
+	c := n.Clone()
+	if err := c.TakeVSGpSndHead(types.ClientMsg("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.VSGpSndHead(); !ok {
+		t.Error("clone mutation leaked")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	msgs := []types.Msg{
+		types.ClientMsg("a"),
+		NewInfoMsg(v(1, 0), nil),
+		RegisteredMsg{},
+		types.ClientMsg("b"),
+	}
+	out := Purge(msgs)
+	if len(out) != 2 || out[0].MsgKey() != "c:a" || out[1].MsgKey() != "c:b" {
+		t.Errorf("Purge = %v", out)
+	}
+	if PurgeSize(msgs) != 2 {
+		t.Errorf("PurgeSize = %d", PurgeSize(msgs))
+	}
+}
+
+func TestInfoMsgKeyCanonical(t *testing.T) {
+	a := NewInfoMsg(v(1, 0, 1), []types.View{v(3, 1), v(2, 0)})
+	b := NewInfoMsg(v(1, 0, 1), []types.View{v(2, 0), v(3, 1)})
+	if a.MsgKey() != b.MsgKey() {
+		t.Error("info key must not depend on amb order")
+	}
+}

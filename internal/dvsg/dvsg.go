@@ -1,0 +1,199 @@
+// Package dvsg is the runtime realization of the DVS service: it drives a
+// primary-view filter — by default the *verified* VS-TO-DVS automaton from
+// internal/core, exactly the code checked against the DVS specification —
+// on top of the view-synchronous layer (internal/vsg).
+//
+// The layer is a pure state machine invoked from the vsg event loop. After
+// every upcall it drains the filter's enabled locally-controlled actions in
+// a fixed order that realizes the view-synchronous drain contract: all
+// client deliveries and safe indications of the current client view are
+// handed up before a new primary view is announced.
+package dvsg
+
+import (
+	"repro/internal/core"
+	"repro/internal/types"
+	"repro/internal/vsg"
+)
+
+// Filter is the primary-view decision state machine: the exact method set of
+// the VS-TO-DVS automaton (core.Node) that the layer drives. The static
+// baseline (internal/staticp) implements the same interface.
+type Filter interface {
+	OnVSNewView(v types.View)
+	OnVSGpRcv(m types.Msg, q types.ProcID)
+	OnVSSafe(m types.Msg, q types.ProcID)
+	OnDVSGpSnd(m types.Msg)
+	OnDVSRegister()
+	VSGpSndHead() (types.Msg, bool)
+	TakeVSGpSndHead(m types.Msg) error
+	DVSNewViewEnabled() (types.View, bool)
+	PerformDVSNewView(v types.View) error
+	DVSGpRcvHead() (core.MsgFrom, bool)
+	TakeDVSGpRcvHead(e core.MsgFrom) error
+	DVSSafeHead() (core.MsgFrom, bool)
+	TakeDVSSafeHead(e core.MsgFrom) error
+	GCCandidates() []types.View
+	PerformGC(v types.View) error
+	ClientCur() (types.View, bool)
+	Amb() []types.View
+}
+
+var _ Filter = (*core.Node)(nil)
+
+// Handler receives the DVS upcalls (primary views, client messages, safe
+// indications). Handlers are invoked from the vsg event loop.
+type Handler interface {
+	OnDVSNewView(v types.View)
+	OnDVSRecv(m types.Msg, from types.ProcID)
+	OnDVSSafe(m types.Msg, from types.ProcID)
+}
+
+// Stats are cumulative per-node dvsg counters.
+type Stats struct {
+	VSViews      uint64 // views delivered by the view-synchronous layer
+	Primaries    uint64 // views accepted as primary (dvs-newview)
+	GCs          uint64 // garbage collections performed
+	MaxAmb       int    // high-water mark of |amb|
+	RegistersOut uint64 // register requests forwarded
+}
+
+// Layer drives a Filter over a vsg.Node.
+type Layer struct {
+	filter  Filter
+	node    *vsg.Node
+	handler Handler
+	gc      bool
+	stats   Stats
+}
+
+// New builds the layer around the given filter. Garbage collection of
+// ambiguous views (driven by registration) is performed eagerly when
+// enableGC is true; disabling it isolates the effect of the paper's
+// REGISTER mechanism (experiment E6).
+func New(filter Filter, handler Handler, enableGC bool) *Layer {
+	return &Layer{filter: filter, handler: handler, gc: enableGC}
+}
+
+var _ vsg.Handler = (*Layer)(nil)
+
+// Bind attaches the vsg node used for sending. It must be called before the
+// node starts.
+func (l *Layer) Bind(node *vsg.Node) { l.node = node }
+
+// Stats returns a snapshot of the counters. It must be read from the event
+// loop (via Node.Do) or after the node has stopped.
+func (l *Layer) Stats() Stats { return l.stats }
+
+// ClientCur exposes the filter's client-current primary view.
+func (l *Layer) ClientCur() (types.View, bool) { return l.filter.ClientCur() }
+
+// AmbCount returns the current number of ambiguous views in the filter.
+func (l *Layer) AmbCount() int { return len(l.filter.Amb()) }
+
+// OnNewView implements vsg.Handler.
+func (l *Layer) OnNewView(v types.View) {
+	l.stats.VSViews++
+	l.filter.OnVSNewView(v)
+	l.drain()
+}
+
+// OnRecv implements vsg.Handler.
+func (l *Layer) OnRecv(payload any, from types.ProcID) {
+	m, ok := payload.(types.Msg)
+	if !ok {
+		return
+	}
+	l.filter.OnVSGpRcv(m, from)
+	l.drain()
+}
+
+// OnSafe implements vsg.Handler.
+func (l *Layer) OnSafe(payload any, from types.ProcID) {
+	m, ok := payload.(types.Msg)
+	if !ok {
+		return
+	}
+	l.filter.OnVSSafe(m, from)
+	l.drain()
+}
+
+// Send submits a client message for delivery in the current primary view.
+// It must be called from the event loop.
+func (l *Layer) Send(m types.Msg) {
+	l.filter.OnDVSGpSnd(m)
+	l.drain()
+}
+
+// Register tells the service the application has gathered the information
+// it needs to operate in the current primary view. It must be called from
+// the event loop.
+func (l *Layer) Register() {
+	l.stats.RegistersOut++
+	l.filter.OnDVSRegister()
+	l.drain()
+}
+
+// drain fires the filter's enabled locally-controlled actions until
+// quiescent: outgoing messages first, then client deliveries and safe
+// indications of the current client view, then (only once those are
+// drained) a new primary announcement, then garbage collection.
+func (l *Layer) drain() {
+	for {
+		progress := false
+		for {
+			m, ok := l.filter.VSGpSndHead()
+			if !ok {
+				break
+			}
+			if err := l.filter.TakeVSGpSndHead(m); err != nil {
+				break
+			}
+			l.node.SendInLoop(m)
+			progress = true
+		}
+		for {
+			e, ok := l.filter.DVSGpRcvHead()
+			if !ok {
+				break
+			}
+			if err := l.filter.TakeDVSGpRcvHead(e); err != nil {
+				break
+			}
+			l.handler.OnDVSRecv(e.M, e.Q)
+			progress = true
+		}
+		for {
+			e, ok := l.filter.DVSSafeHead()
+			if !ok {
+				break
+			}
+			if err := l.filter.TakeDVSSafeHead(e); err != nil {
+				break
+			}
+			l.handler.OnDVSSafe(e.M, e.Q)
+			progress = true
+		}
+		if v, ok := l.filter.DVSNewViewEnabled(); ok {
+			if err := l.filter.PerformDVSNewView(v); err == nil {
+				l.stats.Primaries++
+				l.handler.OnDVSNewView(v)
+				progress = true
+			}
+		}
+		if l.gc {
+			for _, v := range l.filter.GCCandidates() {
+				if err := l.filter.PerformGC(v); err == nil {
+					l.stats.GCs++
+					progress = true
+				}
+			}
+		}
+		if n := len(l.filter.Amb()); n > l.stats.MaxAmb {
+			l.stats.MaxAmb = n
+		}
+		if !progress {
+			return
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package ioa
+
+import (
+	"fmt"
+)
+
+// Explore performs exhaustive breadth-first exploration of an automaton's
+// reachable state space under a finitely-branching environment, checking
+// every invariant at every distinct state and, optionally, the refinement
+// step-correspondence on every edge. Unlike the random executor, this is a
+// complete check up to the given bounds: if it passes, no reachable state
+// within the bounds violates the properties.
+//
+// States are deduplicated by fingerprint, so automata must produce
+// canonical fingerprints (equal states ⇔ equal fingerprints).
+
+// ExploreConfig bounds an exploration.
+type ExploreConfig struct {
+	// MaxStates caps the number of distinct states visited (0 = 1 << 20).
+	MaxStates int
+	// MaxDepth caps the BFS depth (0 = unlimited).
+	MaxDepth int
+	// Invariants are checked at every distinct state.
+	Invariants []Invariant
+	// Refinement, if non-nil, is checked on every explored edge.
+	Refinement Refinement
+	// SpecInvariants are checked on intermediate spec states when
+	// Refinement is set.
+	SpecInvariants []Invariant
+}
+
+// ExploreResult reports exploration statistics.
+type ExploreResult struct {
+	States    int  // distinct states visited
+	Edges     int  // transitions explored
+	Truncated bool // hit MaxStates or MaxDepth before exhausting the space
+	MaxDepth  int  // deepest level reached
+}
+
+// Explore runs the exhaustive check. The environment supplies the
+// (finitely many) input actions available in each state; locally controlled
+// actions come from Enabled. The initial automaton is not mutated.
+func Explore(initial Automaton, env Environment, cfg ExploreConfig) (ExploreResult, error) {
+	if env == nil {
+		env = NoEnvironment
+	}
+	maxStates := cfg.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+
+	var res ExploreResult
+	type node struct {
+		a     Automaton
+		depth int
+	}
+
+	start := initial.Clone()
+	if err := checkInvariants(start, cfg.Invariants); err != nil {
+		return res, fmt.Errorf("initial state: %w", err)
+	}
+	if cfg.Refinement != nil {
+		abs, err := cfg.Refinement.Abstract(start)
+		if err != nil {
+			return res, fmt.Errorf("abstract initial state: %w", err)
+		}
+		if abs.Fingerprint() != cfg.Refinement.SpecInitial().Fingerprint() {
+			return res, fmt.Errorf("F(init) is not the spec initial state")
+		}
+	}
+
+	seen := map[string]struct{}{start.Fingerprint(): {}}
+	queue := []node{{a: start, depth: 0}}
+	res.States = 1
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth > res.MaxDepth {
+			res.MaxDepth = cur.depth
+		}
+		if cfg.MaxDepth > 0 && cur.depth >= cfg.MaxDepth {
+			res.Truncated = true
+			continue
+		}
+		acts := cur.a.Enabled()
+		acts = append(acts, env.Inputs(cur.a)...)
+		for _, act := range acts {
+			succ := cur.a.Clone()
+			if err := succ.Perform(act); err != nil {
+				return res, fmt.Errorf("depth %d, action %s: %w", cur.depth, act, err)
+			}
+			res.Edges++
+			if cfg.Refinement != nil {
+				if err := checkStepCorrespondence(cur.a, act, succ, cfg.Refinement, cfg.SpecInvariants); err != nil {
+					return res, fmt.Errorf("depth %d, action %s: %w", cur.depth, act, err)
+				}
+			}
+			fp := succ.Fingerprint()
+			if _, ok := seen[fp]; ok {
+				continue
+			}
+			if err := checkInvariants(succ, cfg.Invariants); err != nil {
+				return res, fmt.Errorf("depth %d, after %s: %w", cur.depth+1, act, err)
+			}
+			if res.States >= maxStates {
+				res.Truncated = true
+				continue
+			}
+			seen[fp] = struct{}{}
+			res.States++
+			queue = append(queue, node{a: succ, depth: cur.depth + 1})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,26 @@
+package ioa
+
+import (
+	"sort"
+	"strings"
+)
+
+// Fingerprinter builds canonical state fingerprints. Components are added as
+// key/value lines; String sorts the lines so that iteration order over maps
+// never influences the result. Components with default values should simply
+// be omitted by the caller, so that logically equal states fingerprint
+// identically regardless of which map keys happen to be materialized.
+type Fingerprinter struct {
+	lines []string
+}
+
+// Add records one state component.
+func (f *Fingerprinter) Add(key, value string) {
+	f.lines = append(f.lines, key+"="+value)
+}
+
+// String returns the canonical fingerprint.
+func (f *Fingerprinter) String() string {
+	sort.Strings(f.lines)
+	return strings.Join(f.lines, "\n")
+}

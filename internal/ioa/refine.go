@@ -1,0 +1,214 @@
+package ioa
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Refinement is a single-valued simulation relation from an implementation
+// automaton to a specification automaton, in the paper's sense ("we use the
+// term refinement to denote a single-valued simulation relation").
+//
+// Abstract is the function F of Figure 4. Plan supplies, for one
+// implementation step (s, act, s'), the execution fragment α of the
+// specification required by Lemma 5.8: a (possibly empty) sequence of
+// specification actions whose trace equals trace(act).
+type Refinement interface {
+	// Abstract maps an implementation state to the corresponding
+	// specification state F(s).
+	Abstract(impl Automaton) (Automaton, error)
+	// Plan returns the specification actions simulating the given
+	// implementation step. The implementation automaton arguments are the
+	// pre- and post-states of the step and must not be mutated.
+	Plan(pre Automaton, act Action, post Automaton) ([]Action, error)
+	// SpecInitial returns a fresh specification automaton in its initial
+	// state, used to check the Lemma 5.7 obligation F(init) = init.
+	SpecInitial() Automaton
+}
+
+// CheckerConfig configures a refinement check.
+type CheckerConfig struct {
+	// Steps per execution.
+	Steps int
+	// Seed for the pseudo-random schedule.
+	Seed int64
+	// InputWeight as in Executor.
+	InputWeight int
+	// ImplInvariants are checked on every reachable implementation state.
+	ImplInvariants []Invariant
+	// SpecInvariants are checked on every intermediate specification state.
+	SpecInvariants []Invariant
+}
+
+// CheckRefinement drives the implementation automaton through a
+// pseudo-random execution and verifies, for every step, the two obligations
+// of a refinement:
+//
+//  1. F(initial implementation state) is the initial specification state
+//     (Lemma 5.7), and
+//  2. for each step (s, act, s'), the planned specification fragment is
+//     enabled from F(s), has the same external trace as the step, and ends
+//     exactly in F(s') (Lemma 5.8).
+//
+// The implementation automaton is mutated; pass a fresh instance per call.
+func CheckRefinement(impl Automaton, ref Refinement, env Environment, cfg CheckerConfig) error {
+	if env == nil {
+		env = NoEnvironment
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	weight := cfg.InputWeight
+	if weight <= 0 {
+		weight = 1
+	}
+
+	// Lemma 5.7: F maps the initial state to an initial spec state.
+	absInit, err := ref.Abstract(impl)
+	if err != nil {
+		return fmt.Errorf("abstract initial state: %w", err)
+	}
+	if got, want := absInit.Fingerprint(), ref.SpecInitial().Fingerprint(); got != want {
+		return fmt.Errorf("F(init) is not the spec initial state:\n  F(init) = %s\n  init    = %s", got, want)
+	}
+	if err := checkInvariants(impl, cfg.ImplInvariants); err != nil {
+		return &StepError{Step: 0, Action: Action{Name: "<init>"}, Fingerprint: impl.Fingerprint(), Err: err}
+	}
+
+	for step := 1; step <= cfg.Steps; step++ {
+		act, ok := pickAction(impl, env, rng, weight)
+		if !ok {
+			return nil
+		}
+		pre := impl.Clone()
+		if err := impl.Perform(act); err != nil {
+			return &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: fmt.Errorf("perform: %w", err)}
+		}
+		if err := checkInvariants(impl, cfg.ImplInvariants); err != nil {
+			return &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: err}
+		}
+		if err := checkStepCorrespondence(pre, act, impl, ref, cfg.SpecInvariants); err != nil {
+			return &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: err}
+		}
+	}
+	return nil
+}
+
+// CheckRefinementSeeds repeats CheckRefinement across n seeds with fresh
+// implementation automata from mk, returning the first failure.
+func CheckRefinementSeeds(n int, mk func() Automaton, ref Refinement, mkEnv func() Environment, cfg CheckerConfig) error {
+	base := cfg.Seed
+	for i := 0; i < n; i++ {
+		run := cfg
+		run.Seed = base + int64(i)
+		var env Environment
+		if mkEnv != nil {
+			env = mkEnv()
+		}
+		if err := CheckRefinement(mk(), ref, env, run); err != nil {
+			return fmt.Errorf("seed %d: %w", run.Seed, err)
+		}
+	}
+	return nil
+}
+
+func checkStepCorrespondence(pre Automaton, act Action, post Automaton, ref Refinement, specInvs []Invariant) error {
+	absPre, err := ref.Abstract(pre)
+	if err != nil {
+		return fmt.Errorf("abstract pre-state: %w", err)
+	}
+	absPost, err := ref.Abstract(post)
+	if err != nil {
+		return fmt.Errorf("abstract post-state: %w", err)
+	}
+	plan, err := ref.Plan(pre, act, post)
+	if err != nil {
+		return fmt.Errorf("plan: %w", err)
+	}
+
+	// The plan's external trace must equal the step's external trace.
+	var wantTrace []string
+	if act.External() {
+		wantTrace = []string{act.Key()}
+	}
+	var gotTrace []string
+	for _, pa := range plan {
+		if pa.External() {
+			gotTrace = append(gotTrace, pa.Key())
+		}
+	}
+	if !equalStrings(gotTrace, wantTrace) {
+		return fmt.Errorf("plan trace %v does not match step trace %v", gotTrace, wantTrace)
+	}
+
+	// Execute the fragment from F(pre); every action must be enabled.
+	state := absPre
+	for i, pa := range plan {
+		if err := state.Perform(pa); err != nil {
+			return fmt.Errorf("spec action %d/%d (%s) not enabled: %w", i+1, len(plan), pa, err)
+		}
+		if err := checkInvariants(state, specInvs); err != nil {
+			return fmt.Errorf("after spec action %s: %w", pa, err)
+		}
+	}
+	if got, want := state.Fingerprint(), absPost.Fingerprint(); got != want {
+		return errors.New("simulated spec state differs from F(post):\n  simulated = " + got + "\n  F(post)   = " + want)
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Monitor accepts the external actions of an implementation one at a time,
+// failing if the observed trace is not a trace of the monitored
+// specification. It supports forward-simulation style trace-inclusion checks
+// where the specification's nondeterminism can be resolved greedily.
+type Monitor interface {
+	// Observe consumes one external action; it returns an error if no
+	// specification execution can extend the previously observed trace with
+	// this action.
+	Observe(act Action) error
+}
+
+// CheckTraceInclusion drives the implementation through a pseudo-random
+// execution, feeding every external action to the monitor.
+func CheckTraceInclusion(impl Automaton, mon Monitor, env Environment, cfg CheckerConfig) error {
+	if env == nil {
+		env = NoEnvironment
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	weight := cfg.InputWeight
+	if weight <= 0 {
+		weight = 1
+	}
+	if err := checkInvariants(impl, cfg.ImplInvariants); err != nil {
+		return &StepError{Step: 0, Action: Action{Name: "<init>"}, Fingerprint: impl.Fingerprint(), Err: err}
+	}
+	for step := 1; step <= cfg.Steps; step++ {
+		act, ok := pickAction(impl, env, rng, weight)
+		if !ok {
+			return nil
+		}
+		if err := impl.Perform(act); err != nil {
+			return &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: fmt.Errorf("perform: %w", err)}
+		}
+		if err := checkInvariants(impl, cfg.ImplInvariants); err != nil {
+			return &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: err}
+		}
+		if act.External() {
+			if err := mon.Observe(act); err != nil {
+				return &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: fmt.Errorf("trace rejected: %w", err)}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package net
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func newTestFabric(n int, cfg Config) (*Fabric, types.ProcSet) {
+	u := types.RangeProcSet(n)
+	return NewFabric(u, cfg), u
+}
+
+func recvOne(t *testing.T, f *Fabric, p types.ProcID) Envelope {
+	t.Helper()
+	inbox, err := f.Inbox(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-inbox:
+		return env
+	default:
+		t.Fatalf("inbox %s empty", p)
+		return Envelope{}
+	}
+}
+
+func TestSendDeliver(t *testing.T) {
+	f, _ := newTestFabric(3, Config{})
+	if !f.Send(0, 1, "hello") {
+		t.Fatal("send failed")
+	}
+	env := recvOne(t, f, 1)
+	if env.From != 0 || env.Payload != "hello" {
+		t.Errorf("env = %+v", env)
+	}
+	st := f.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	f, _ := newTestFabric(2, Config{})
+	if !f.Send(1, 1, 42) {
+		t.Fatal("self-send failed")
+	}
+	if env := recvOne(t, f, 1); env.Payload != 42 {
+		t.Error("self-send payload wrong")
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	f, _ := newTestFabric(2, Config{})
+	for i := 0; i < 10; i++ {
+		f.Send(0, 1, i)
+	}
+	for i := 0; i < 10; i++ {
+		if env := recvOne(t, f, 1); env.Payload != i {
+			t.Fatalf("out of order: got %v want %d", env.Payload, i)
+		}
+	}
+}
+
+func TestPartitionBlocksAndHealRestores(t *testing.T) {
+	f, _ := newTestFabric(4, Config{})
+	f.Partition([]types.ProcID{0, 1}, []types.ProcID{2, 3})
+	if f.Send(0, 2, "x") {
+		t.Error("cross-partition send succeeded")
+	}
+	if !f.Send(0, 1, "y") {
+		t.Error("intra-partition send failed")
+	}
+	if f.Connected(0, 2) || !f.Connected(0, 1) {
+		t.Error("Connected wrong")
+	}
+	f.Heal()
+	if !f.Send(0, 2, "z") {
+		t.Error("send after heal failed")
+	}
+}
+
+func TestPartitionUnmentionedFormOneComponent(t *testing.T) {
+	f, _ := newTestFabric(5, Config{})
+	f.Partition([]types.ProcID{0, 1})
+	// 2, 3, 4 form one extra component together.
+	if !f.Connected(2, 3) || !f.Connected(3, 4) {
+		t.Error("unmentioned endpoints should be mutually connected")
+	}
+	if f.Connected(0, 2) {
+		t.Error("mentioned and unmentioned components must be separate")
+	}
+}
+
+func TestCrashStopsTraffic(t *testing.T) {
+	f, _ := newTestFabric(3, Config{})
+	f.Crash(1)
+	if f.Send(0, 1, "x") || f.Send(1, 0, "y") {
+		t.Error("crashed endpoint exchanged messages")
+	}
+	if !f.Crashed(1) || f.Crashed(0) {
+		t.Error("Crashed wrong")
+	}
+	if f.Connected(0, 1) {
+		t.Error("crashed endpoint reported connected")
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	f, _ := newTestFabric(2, Config{LossRate: 0.5, Seed: 9})
+	sent, ok := 1000, 0
+	for i := 0; i < sent; i++ {
+		if f.Send(0, 1, i) {
+			ok++
+		}
+	}
+	if ok == 0 || ok == sent {
+		t.Errorf("loss rate 0.5 delivered %d/%d", ok, sent)
+	}
+	if ok < 350 || ok > 650 {
+		t.Errorf("delivered %d of %d, far from 50%%", ok, sent)
+	}
+}
+
+func TestLossNeverAppliesToSelf(t *testing.T) {
+	f, _ := newTestFabric(1, Config{LossRate: 0.99, Seed: 1})
+	for i := 0; i < 50; i++ {
+		if !f.Send(0, 0, i) {
+			t.Fatal("self-send lost")
+		}
+	}
+}
+
+func TestInboxOverflowDrops(t *testing.T) {
+	f, _ := newTestFabric(2, Config{InboxSize: 2})
+	if !f.Send(0, 1, 1) || !f.Send(0, 1, 2) {
+		t.Fatal("fills failed")
+	}
+	if f.Send(0, 1, 3) {
+		t.Error("overflow send should drop")
+	}
+	if st := f.Stats(); st.Dropped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMulticast(t *testing.T) {
+	f, u := newTestFabric(4, Config{})
+	n := f.Multicast(0, u, "all")
+	if n != 4 {
+		t.Errorf("multicast delivered %d", n)
+	}
+	f.Partition([]types.ProcID{0, 1})
+	if n := f.Multicast(0, u, "some"); n != 2 {
+		t.Errorf("partitioned multicast delivered %d", n)
+	}
+}
+
+func TestUnknownInbox(t *testing.T) {
+	f, _ := newTestFabric(2, Config{})
+	if _, err := f.Inbox(9); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+	if f.Send(0, 9, "x") {
+		t.Error("send to unknown endpoint succeeded")
+	}
+}
+
+func TestCloseDropsEverything(t *testing.T) {
+	f, _ := newTestFabric(2, Config{})
+	f.Close()
+	if f.Send(0, 1, "x") {
+		t.Error("send after close succeeded")
+	}
+}

@@ -1,0 +1,272 @@
+package net
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// frame is the wire format of the TCP transport: one gob-encoded frame per
+// message. Payload types must be registered with RegisterWireType before
+// use.
+type frame struct {
+	From    types.ProcID
+	Payload Payload
+}
+
+// RegisterWireType registers a concrete payload type for gob encoding over
+// the TCP transport. The runtime stack registers its own wire types;
+// applications embedding custom payloads must register them too.
+func RegisterWireType(v any) { gob.Register(v) }
+
+// TCPConfig configures a TCPTransport.
+type TCPConfig struct {
+	// Self is the local process id.
+	Self types.ProcID
+	// Listen is the local listen address, e.g. "127.0.0.1:7000".
+	Listen string
+	// Peers maps every remote process id to its address.
+	Peers map[types.ProcID]string
+	// DialTimeout bounds connection attempts (default 500ms).
+	DialTimeout time.Duration
+	// RedialBackoff is the pause after a failed dial (default 250ms).
+	RedialBackoff time.Duration
+	// OutboxSize is the per-peer outgoing queue (default 1024); a full
+	// queue drops, like a lossy link.
+	OutboxSize int
+	// InboxSize is the local receive buffer (default 8192).
+	InboxSize int
+}
+
+func (c *TCPConfig) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 500 * time.Millisecond
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 250 * time.Millisecond
+	}
+	if c.OutboxSize <= 0 {
+		c.OutboxSize = 1024
+	}
+	if c.InboxSize <= 0 {
+		c.InboxSize = 8192
+	}
+}
+
+// TCPTransport implements Transport over real TCP connections, one outgoing
+// connection per peer with automatic redial. Frames are gob-encoded. Losses
+// (dial failures, full queues, broken connections) surface as message drops
+// — exactly the fault model the stack's retransmission machinery tolerates.
+type TCPTransport struct {
+	cfg   TCPConfig
+	ln    net.Listener
+	inbox chan Envelope
+
+	mu    sync.Mutex
+	peers map[types.ProcID]*tcpPeer
+	stats Stats
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+type tcpPeer struct {
+	addr string
+	out  chan Payload
+}
+
+// NewTCPTransport starts listening and returns the transport. Outgoing
+// connections are established lazily.
+func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
+	cfg.fill()
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcp transport listen: %w", err)
+	}
+	t := &TCPTransport{
+		cfg:   cfg,
+		ln:    ln,
+		inbox: make(chan Envelope, cfg.InboxSize),
+		peers: make(map[types.ProcID]*tcpPeer, len(cfg.Peers)),
+		stop:  make(chan struct{}),
+	}
+	for id, addr := range cfg.Peers {
+		if id == cfg.Self {
+			continue
+		}
+		p := &tcpPeer{addr: addr, out: make(chan Payload, cfg.OutboxSize)}
+		t.peers[id] = p
+		t.wg.Add(1)
+		go t.writer(p)
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Inbox implements Transport. Only the local endpoint has an inbox.
+func (t *TCPTransport) Inbox(p types.ProcID) (<-chan Envelope, error) {
+	if p != t.cfg.Self {
+		return nil, fmt.Errorf("tcp transport: inbox of remote endpoint %s", p)
+	}
+	return t.inbox, nil
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(from, to types.ProcID, payload Payload) bool {
+	t.mu.Lock()
+	t.stats.Sent++
+	t.mu.Unlock()
+	if from != t.cfg.Self {
+		return false
+	}
+	if to == t.cfg.Self {
+		select {
+		case t.inbox <- Envelope{From: from, Payload: payload}:
+			t.count(true)
+			return true
+		default:
+			t.count(false)
+			return false
+		}
+	}
+	t.mu.Lock()
+	peer := t.peers[to]
+	t.mu.Unlock()
+	if peer == nil {
+		t.count(false)
+		return false
+	}
+	select {
+	case peer.out <- payload:
+		t.count(true)
+		return true
+	default:
+		t.count(false)
+		return false
+	}
+}
+
+func (t *TCPTransport) count(ok bool) {
+	t.mu.Lock()
+	if ok {
+		t.stats.Delivered++
+	} else {
+		t.stats.Dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters (Delivered counts local enqueue
+// to the outgoing queue; the network may still lose the message, which the
+// stack's retransmissions cover).
+func (t *TCPTransport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Close stops the transport and waits for its goroutines.
+func (t *TCPTransport) Close() {
+	select {
+	case <-t.stop:
+	default:
+		close(t.stop)
+	}
+	t.ln.Close()
+	t.wg.Wait()
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.stop:
+				return
+			default:
+				continue
+			}
+		}
+		t.wg.Add(1)
+		go t.reader(conn)
+	}
+}
+
+func (t *TCPTransport) reader(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	go func() { // unblock the decoder on shutdown
+		<-t.stop
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		select {
+		case t.inbox <- Envelope{From: f.From, Payload: f.Payload}:
+		case <-t.stop:
+			return
+		default:
+			// inbox overflow: drop, like the in-memory fabric
+		}
+	}
+}
+
+func (t *TCPTransport) writer(p *tcpPeer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	var enc *gob.Encoder
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		var payload Payload
+		select {
+		case <-t.stop:
+			return
+		case payload = <-p.out:
+		}
+		for attempt := 0; ; attempt++ {
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", p.addr, t.cfg.DialTimeout)
+				if err != nil {
+					if attempt > 0 {
+						// Give up on this payload after one redial; the
+						// stack's retransmissions recover.
+						break
+					}
+					select {
+					case <-t.stop:
+						return
+					case <-time.After(t.cfg.RedialBackoff):
+					}
+					continue
+				}
+				conn = c
+				enc = gob.NewEncoder(conn)
+			}
+			if err := enc.Encode(frame{From: t.cfg.Self, Payload: payload}); err != nil {
+				conn.Close()
+				conn, enc = nil, nil
+				continue // redial once for this payload
+			}
+			break
+		}
+	}
+}

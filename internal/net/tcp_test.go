@@ -1,0 +1,172 @@
+package net
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+type wirePayload struct {
+	N int
+	S string
+}
+
+func init() { RegisterWireType(wirePayload{}) }
+
+func startPair(t *testing.T) (*TCPTransport, *TCPTransport) {
+	t.Helper()
+	a, err := NewTCPTransport(TCPConfig{Self: 0, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPTransport(TCPConfig{
+		Self: 1, Listen: "127.0.0.1:0",
+		Peers: map[types.ProcID]string{0: a.Addr()},
+	})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	// a learns b's address only now; rebuild a with the peer map.
+	a.Close()
+	a, err = NewTCPTransport(TCPConfig{
+		Self: 0, Listen: a.Addr(),
+		Peers: map[types.ProcID]string{1: b.Addr()},
+	})
+	if err != nil {
+		b.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func recvTCP(t *testing.T, tr *TCPTransport, self types.ProcID, timeout time.Duration) Envelope {
+	t.Helper()
+	inbox, err := tr.Inbox(self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-inbox:
+		return env
+	case <-time.After(timeout):
+		t.Fatal("timeout waiting for tcp delivery")
+		return Envelope{}
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, b := startPair(t)
+	if !a.Send(0, 1, wirePayload{N: 7, S: "hi"}) {
+		t.Fatal("send enqueue failed")
+	}
+	env := recvTCP(t, b, 1, 5*time.Second)
+	if env.From != 0 {
+		t.Errorf("from = %v", env.From)
+	}
+	got, ok := env.Payload.(wirePayload)
+	if !ok || got.N != 7 || got.S != "hi" {
+		t.Errorf("payload = %#v", env.Payload)
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	a, _ := startPair(t)
+	if !a.Send(0, 0, wirePayload{N: 1}) {
+		t.Fatal("self-send failed")
+	}
+	env := recvTCP(t, a, 0, time.Second)
+	if env.Payload.(wirePayload).N != 1 {
+		t.Error("self payload wrong")
+	}
+}
+
+func TestTCPFIFOPerLink(t *testing.T) {
+	a, b := startPair(t)
+	for i := 0; i < 50; i++ {
+		if !a.Send(0, 1, wirePayload{N: i}) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	for i := 0; i < 50; i++ {
+		env := recvTCP(t, b, 1, 5*time.Second)
+		if env.Payload.(wirePayload).N != i {
+			t.Fatalf("out of order at %d: %#v", i, env.Payload)
+		}
+	}
+}
+
+func TestTCPUnknownPeerDrops(t *testing.T) {
+	a, _ := startPair(t)
+	if a.Send(0, 9, wirePayload{}) {
+		t.Error("send to unknown peer accepted")
+	}
+	if a.Send(3, 1, wirePayload{}) {
+		t.Error("send from foreign id accepted")
+	}
+}
+
+func TestTCPComplexPayloads(t *testing.T) {
+	// Views with ProcSet members survive the wire (custom gob encoding).
+	RegisterWireType(types.View{})
+	a, b := startPair(t)
+	v := types.NewView(types.ViewID{Seq: 3, Origin: 1}, 0, 1, 5)
+	if !a.Send(0, 1, v) {
+		t.Fatal("enqueue failed")
+	}
+	env := recvTCP(t, b, 1, 5*time.Second)
+	got, ok := env.Payload.(types.View)
+	if !ok || !got.Equal(v) {
+		t.Fatalf("payload = %#v", env.Payload)
+	}
+}
+
+func TestTCPPeerDownThenUp(t *testing.T) {
+	a, err := NewTCPTransport(TCPConfig{Self: 0, Listen: "127.0.0.1:0",
+		Peers:         map[types.ProcID]string{1: "127.0.0.1:1"}, // nothing there
+		DialTimeout:   50 * time.Millisecond,
+		RedialBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Sends to a dead peer are dropped without blocking.
+	for i := 0; i < 5; i++ {
+		a.Send(0, 1, wirePayload{N: i})
+	}
+	time.Sleep(200 * time.Millisecond) // writer burns through the queue
+	st := a.Stats()
+	if st.Sent != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTCPManyMessagesStress(t *testing.T) {
+	a, b := startPair(t)
+	const total = 2000
+	go func() {
+		for i := 0; i < total; i++ {
+			for !a.Send(0, 1, wirePayload{N: i, S: fmt.Sprint(i)}) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	next := 0
+	deadline := time.After(20 * time.Second)
+	inbox, _ := b.Inbox(1)
+	for next < total {
+		select {
+		case env := <-inbox:
+			if env.Payload.(wirePayload).N != next {
+				t.Fatalf("out of order at %d", next)
+			}
+			next++
+		case <-deadline:
+			t.Fatalf("stalled at %d of %d", next, total)
+		}
+	}
+}

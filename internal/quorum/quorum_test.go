@@ -1,0 +1,108 @@
+package quorum
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestMajority(t *testing.T) {
+	u := types.RangeProcSet(5)
+	m := Majority(u)
+	if m.IsQuorum(types.NewProcSet(0, 1)) {
+		t.Error("2 of 5 accepted")
+	}
+	if !m.IsQuorum(types.NewProcSet(0, 1, 2)) {
+		t.Error("3 of 5 rejected")
+	}
+	// Members outside the universe do not count.
+	if m.IsQuorum(types.NewProcSet(7, 8, 9)) {
+		t.Error("foreign members counted")
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+	if !m.Universe().Equal(u) {
+		t.Error("universe accessor wrong")
+	}
+}
+
+func TestMajorityEvenUniverse(t *testing.T) {
+	m := Majority(types.RangeProcSet(4))
+	if m.IsQuorum(types.NewProcSet(0, 1)) {
+		t.Error("half is not a strict majority")
+	}
+	if !m.IsQuorum(types.NewProcSet(0, 1, 2)) {
+		t.Error("3 of 4 rejected")
+	}
+}
+
+func TestMajorityIntersectionProperty(t *testing.T) {
+	// Any two quorums of a majority system intersect.
+	u := types.RangeProcSet(7)
+	m := Majority(u)
+	rng := rand.New(rand.NewSource(1))
+	procs := u.Sorted()
+	quorums := make([]types.ProcSet, 0, 50)
+	for len(quorums) < 50 {
+		s := types.RandomSubset(rng, procs)
+		if m.IsQuorum(s) {
+			quorums = append(quorums, s)
+		}
+	}
+	for i := range quorums {
+		for j := i + 1; j < len(quorums); j++ {
+			if !quorums[i].Intersects(quorums[j]) {
+				t.Fatalf("quorums %s and %s disjoint", quorums[i], quorums[j])
+			}
+		}
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	w := Weighted(map[types.ProcID]int{0: 3, 1: 1, 2: 1, 3: 1})
+	if !w.IsQuorum(types.NewProcSet(0, 1)) {
+		t.Error("weight 4 of 6 rejected")
+	}
+	if w.IsQuorum(types.NewProcSet(1, 2, 3)) {
+		t.Error("weight 3 of 6 accepted (not strict)")
+	}
+	if w.IsQuorum(types.NewProcSet(9)) {
+		t.Error("zero-weight member accepted")
+	}
+	// Non-positive weights are dropped.
+	w2 := Weighted(map[types.ProcID]int{0: 1, 1: -5})
+	if !w2.IsQuorum(types.NewProcSet(0)) {
+		t.Error("negative weight perturbed the total")
+	}
+}
+
+func TestExplicit(t *testing.T) {
+	qs, err := Explicit("grid", []types.ProcSet{
+		types.NewProcSet(0, 1),
+		types.NewProcSet(1, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qs.IsQuorum(types.NewProcSet(0, 1, 5)) {
+		t.Error("superset of a quorum rejected")
+	}
+	if qs.IsQuorum(types.NewProcSet(0, 2)) {
+		t.Error("non-quorum accepted")
+	}
+	if qs.Name() != "grid" {
+		t.Error("name wrong")
+	}
+}
+
+func TestExplicitRejectsNonIntersecting(t *testing.T) {
+	_, err := Explicit("bad", []types.ProcSet{
+		types.NewProcSet(0, 1),
+		types.NewProcSet(2, 3),
+	})
+	if err == nil {
+		t.Fatal("ill-formed quorum system accepted")
+	}
+}

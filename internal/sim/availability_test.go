@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	dvs "repro"
+)
+
+func TestAvailabilityDynamicVsStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based scenario")
+	}
+	dyn, err := Availability(AvailabilityConfig{
+		Active: 5, Spares: 5, Mode: dvs.ModeDynamic,
+		Replacements: 5, ChurnPeriod: 150 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Availability(AvailabilityConfig{
+		Active: 5, Spares: 5, Mode: dvs.ModeStatic,
+		Replacements: 5, ChurnPeriod: 150 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("dynamic: %s", dyn)
+	t.Logf("static : %s", st)
+	if !dyn.FinalAvailable {
+		t.Errorf("dynamic primaries should survive full membership replacement")
+	}
+	if st.FinalAvailable {
+		t.Errorf("static primaries should die after majority of P0 retired")
+	}
+	if dyn.Fraction() <= st.Fraction() {
+		t.Errorf("dynamic availability %.2f should exceed static %.2f", dyn.Fraction(), st.Fraction())
+	}
+}

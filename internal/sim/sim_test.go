@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+
+	dvs "repro"
+	"repro/internal/types"
+)
+
+func TestCheckDeliverySequences(t *testing.T) {
+	d := func(p string, o int) dvs.Delivery {
+		return dvs.Delivery{Payload: p, Origin: dvs.ProcID(o)}
+	}
+	ok := [][]dvs.Delivery{
+		{d("a", 0), d("b", 1)},
+		{d("a", 0)},
+		{},
+		{d("a", 0), d("b", 1)},
+	}
+	if err := CheckDeliverySequences(ok); err != nil {
+		t.Errorf("prefix-consistent sequences rejected: %v", err)
+	}
+	bad := [][]dvs.Delivery{
+		{d("a", 0), d("b", 1)},
+		{d("a", 0), d("c", 2)},
+	}
+	if err := CheckDeliverySequences(bad); err == nil {
+		t.Error("diverging sequences accepted")
+	}
+	// Same payload, different origin: also a divergence.
+	bad2 := [][]dvs.Delivery{
+		{d("a", 0)},
+		{d("a", 1)},
+	}
+	if err := CheckDeliverySequences(bad2); err == nil {
+		t.Error("origin mismatch accepted")
+	}
+}
+
+func TestCheckPrimaryChain(t *testing.T) {
+	v := func(seq uint64, members ...types.ProcID) dvs.View {
+		return types.NewView(types.ViewID{Seq: seq}, members...)
+	}
+	if err := CheckPrimaryChain([]dvs.View{
+		v(0, 0, 1, 2), v(1, 1, 2), v(2, 2, 3),
+	}); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+	if err := CheckPrimaryChain([]dvs.View{
+		v(0, 0, 1), v(1, 2, 3),
+	}); err == nil {
+		t.Error("disjoint consecutive primaries accepted")
+	}
+	// Duplicate observations of the same view are fine…
+	if err := CheckPrimaryChain([]dvs.View{
+		v(0, 0, 1), v(0, 0, 1), v(1, 1, 2),
+	}); err != nil {
+		t.Errorf("duplicate observations rejected: %v", err)
+	}
+	// …but two different memberships under one id are not.
+	if err := CheckPrimaryChain([]dvs.View{
+		v(0, 0, 1), v(0, 2, 3),
+	}); err == nil {
+		t.Error("conflicting memberships for one id accepted")
+	}
+	if err := CheckPrimaryChain(nil); err != nil {
+		t.Error("empty chain rejected")
+	}
+}
+
+func TestAvailabilityResultHelpers(t *testing.T) {
+	r := AvailabilityResult{Samples: 10, Available: 7, Mode: dvs.ModeDynamic}
+	if r.Fraction() != 0.7 {
+		t.Errorf("Fraction = %v", r.Fraction())
+	}
+	if (AvailabilityResult{}).Fraction() != 0 {
+		t.Error("zero samples should give zero fraction")
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestThroughputResultHelpers(t *testing.T) {
+	r := ThroughputResult{Delivered: 100}
+	if r.PerSecond() != 0 {
+		t.Error("zero elapsed should give zero rate")
+	}
+}

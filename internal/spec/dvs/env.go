@@ -1,0 +1,64 @@
+package dvs
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+// Env is a random environment for driving the DVS specification automaton
+// directly: it supplies client broadcasts, registrations, and
+// dvs-createview proposals that satisfy the creation precondition.
+type Env struct {
+	rng      *rand.Rand
+	procs    []types.ProcID
+	msgSeq   int
+	proposed int
+	MaxViews int // cap on proposed views (0 = unlimited)
+}
+
+var _ ioa.Environment = (*Env)(nil)
+
+// NewEnv returns an environment over the given universe.
+func NewEnv(seed int64, universe types.ProcSet) *Env {
+	return &Env{
+		rng:      rand.New(rand.NewSource(seed)),
+		procs:    universe.Sorted(),
+		MaxViews: 64,
+	}
+}
+
+// Inputs implements ioa.Environment.
+func (e *Env) Inputs(a ioa.Automaton) []ioa.Action {
+	d, ok := a.(*DVS)
+	if !ok {
+		return nil
+	}
+	var acts []ioa.Action
+
+	p := types.RandomMember(e.rng, e.procs)
+	e.msgSeq++
+	m := types.ClientMsg("m" + strconv.Itoa(e.msgSeq))
+	acts = append(acts, ioa.Action{Name: ActGpSnd, Kind: ioa.KindInput, Param: SndParam{M: m, P: p}})
+
+	q := types.RandomMember(e.rng, e.procs)
+	acts = append(acts, ioa.Action{Name: ActRegister, Kind: ioa.KindInput, Param: RegisterParam{P: q}})
+
+	if e.MaxViews == 0 || e.proposed < e.MaxViews {
+		members := types.RandomSubset(e.rng, e.procs)
+		var maxID types.ViewID
+		for _, v := range d.Created() {
+			if maxID.Less(v.ID) {
+				maxID = v.ID
+			}
+		}
+		v := types.View{ID: maxID.Next(members.Sorted()[0]), Members: members}
+		if d.CreateViewCandidateOK(v) {
+			e.proposed++
+			acts = append(acts, ioa.Action{Name: ActCreateView, Kind: ioa.KindInternal, Param: CreateViewParam{View: v}})
+		}
+	}
+	return acts
+}

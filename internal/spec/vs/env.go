@@ -1,0 +1,61 @@
+package vs
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+// Env is a random environment for driving the VS specification automaton:
+// client broadcasts and vs-createview proposals with arbitrary (random)
+// membership and increasing ids.
+type Env struct {
+	rng      *rand.Rand
+	procs    []types.ProcID
+	msgSeq   int
+	proposed int
+	MaxViews int // cap on proposed views (0 = unlimited)
+}
+
+var _ ioa.Environment = (*Env)(nil)
+
+// NewEnv returns an environment over the given universe.
+func NewEnv(seed int64, universe types.ProcSet) *Env {
+	return &Env{
+		rng:      rand.New(rand.NewSource(seed)),
+		procs:    universe.Sorted(),
+		MaxViews: 64,
+	}
+}
+
+// Inputs implements ioa.Environment.
+func (e *Env) Inputs(a ioa.Automaton) []ioa.Action {
+	v, ok := a.(*VS)
+	if !ok {
+		return nil
+	}
+	var acts []ioa.Action
+
+	p := types.RandomMember(e.rng, e.procs)
+	e.msgSeq++
+	m := types.ClientMsg("m" + strconv.Itoa(e.msgSeq))
+	acts = append(acts, ioa.Action{Name: ActGpSnd, Kind: ioa.KindInput, Param: SndParam{M: m, P: p}})
+
+	if e.MaxViews == 0 || e.proposed < e.MaxViews {
+		members := types.RandomSubset(e.rng, e.procs)
+		var maxID types.ViewID
+		for _, w := range v.Created() {
+			if maxID.Less(w.ID) {
+				maxID = w.ID
+			}
+		}
+		cand := types.View{ID: maxID.Next(members.Sorted()[0]), Members: members}
+		if v.CreateViewCandidateOK(cand) {
+			e.proposed++
+			acts = append(acts, ioa.Action{Name: ActCreateView, Kind: ioa.KindInternal, Param: CreateViewParam{View: cand}})
+		}
+	}
+	return acts
+}

@@ -1,0 +1,186 @@
+// Package tob is the runtime realization of the totally-ordered broadcast
+// application of Section 6: it drives the *verified* DVS-TO-TO automaton
+// from internal/toimpl — the same code checked against the TO specification
+// — on top of the dynamic-view layer (internal/dvsg).
+//
+// The layer is a pure state machine invoked from the vsg event loop. After
+// every upcall it drains the automaton's enabled locally-controlled actions:
+// labeling buffered client messages, sending labeled messages and recovery
+// summaries through DVS, confirming safe labels, reporting deliveries to the
+// application, and registering established views with the DVS service.
+package tob
+
+import (
+	"repro/internal/dvsg"
+	"repro/internal/toimpl"
+	"repro/internal/types"
+)
+
+// Delivery is one totally-ordered message handed to the application.
+type Delivery struct {
+	Payload string
+	Origin  types.ProcID
+}
+
+// ViewEvent reports a primary view becoming current (and later established)
+// at this node; used by experiments and applications that track membership.
+type ViewEvent struct {
+	View        types.View
+	Established bool
+}
+
+// Stats are cumulative per-node tob counters.
+type Stats struct {
+	Broadcasts  uint64
+	Labeled     uint64
+	Confirmed   uint64
+	Delivered   uint64
+	Established uint64
+	DroppedUp   uint64 // deliveries dropped because the application lagged
+}
+
+// Layer drives a toimpl.Node over a dvsg.Layer.
+type Layer struct {
+	node  *toimpl.Node
+	dvs   *dvsg.Layer
+	stop  <-chan struct{}
+	stats Stats
+
+	deliveries chan Delivery
+	views      chan ViewEvent
+
+	register bool
+}
+
+// New builds the layer. register controls whether established views are
+// registered with DVS (the paper's REGISTER mechanism; disable for the E6
+// ablation). stop aborts blocking hand-offs to the application when the
+// node shuts down.
+func New(self types.ProcID, initial types.View, register bool, stop <-chan struct{}) *Layer {
+	return &Layer{
+		node:       toimpl.NewNode(self, initial, initial.Contains(self), false),
+		stop:       stop,
+		register:   register,
+		deliveries: make(chan Delivery, 1<<14),
+		views:      make(chan ViewEvent, 1024),
+	}
+}
+
+var _ dvsg.Handler = (*Layer)(nil)
+
+// Bind attaches the dvsg layer used for sending. It must be called before
+// the node starts.
+func (l *Layer) Bind(dvs *dvsg.Layer) { l.dvs = dvs }
+
+// Deliveries is the application-facing totally ordered stream. Consumers
+// must drain it; if it fills, further deliveries are dropped and counted.
+func (l *Layer) Deliveries() <-chan Delivery { return l.deliveries }
+
+// Views is the application-facing primary-view stream (best effort: events
+// are dropped if the consumer lags).
+func (l *Layer) Views() <-chan ViewEvent { return l.views }
+
+// Stats returns a snapshot of the counters. Read from the event loop (via
+// Node.Do) or after shutdown.
+func (l *Layer) Stats() Stats { return l.stats }
+
+// Node exposes the underlying automaton for inspection by tests and
+// experiments (event-loop context only).
+func (l *Layer) Node() *toimpl.Node { return l.node }
+
+// Broadcast submits a client payload. It must be called from the event
+// loop (via vsg.Node.Do).
+func (l *Layer) Broadcast(a string) {
+	l.stats.Broadcasts++
+	l.node.OnBCast(a)
+	l.drain()
+}
+
+// OnDVSNewView implements dvsg.Handler.
+func (l *Layer) OnDVSNewView(v types.View) {
+	l.node.OnDVSNewView(v)
+	l.pushView(ViewEvent{View: v.Clone()})
+	l.drain()
+}
+
+// OnDVSRecv implements dvsg.Handler.
+func (l *Layer) OnDVSRecv(m types.Msg, from types.ProcID) {
+	if err := l.node.OnDVSGpRcv(m, from); err != nil {
+		return
+	}
+	l.drain()
+}
+
+// OnDVSSafe implements dvsg.Handler.
+func (l *Layer) OnDVSSafe(m types.Msg, from types.ProcID) {
+	if err := l.node.OnDVSSafe(m, from); err != nil {
+		return
+	}
+	l.drain()
+}
+
+func (l *Layer) drain() {
+	for {
+		progress := false
+		if a, ok := l.node.LabelHead(); ok {
+			if err := l.node.PerformLabel(a); err == nil {
+				l.stats.Labeled++
+				progress = true
+			}
+		}
+		if m, ok := l.node.GpSndSummary(); ok {
+			if err := l.node.TakeGpSndSummary(m); err == nil {
+				l.dvs.Send(m)
+				progress = true
+			}
+		}
+		if m, ok := l.node.GpSndLabel(); ok {
+			if err := l.node.TakeGpSndLabel(m); err == nil {
+				l.dvs.Send(m)
+				progress = true
+			}
+		}
+		if l.node.ConfirmEnabled() {
+			if err := l.node.PerformConfirm(); err == nil {
+				l.stats.Confirmed++
+				progress = true
+			}
+		}
+		if a, origin, ok := l.node.BRcvNext(); ok {
+			if err := l.node.PerformBRcv(a, origin); err == nil {
+				l.stats.Delivered++
+				l.pushDelivery(Delivery{Payload: a, Origin: origin})
+				progress = true
+			}
+		}
+		if l.register && l.node.RegisterEnabled() {
+			if err := l.node.PerformRegister(); err == nil {
+				l.stats.Established++
+				if cur, ok := l.node.Current(); ok {
+					l.pushView(ViewEvent{View: cur.Clone(), Established: true})
+				}
+				l.dvs.Register()
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func (l *Layer) pushDelivery(d Delivery) {
+	select {
+	case l.deliveries <- d:
+	case <-l.stop:
+	default:
+		l.stats.DroppedUp++
+	}
+}
+
+func (l *Layer) pushView(e ViewEvent) {
+	select {
+	case l.views <- e:
+	default:
+	}
+}

@@ -1,0 +1,69 @@
+package toimpl
+
+import (
+	"repro/internal/ioa"
+	"repro/internal/spec/dvs"
+	"repro/internal/spec/to"
+	"repro/internal/types"
+)
+
+// BoundedEnv is a finitely-branching, stateless environment for exhaustive
+// exploration of TO-IMPL (ioa.Explore). Broadcasts are bounded by a
+// monotone state measure (a client message is either still in a delay
+// buffer or has been labeled, and labels never leave the originator's
+// content relation), and view proposals come from a fixed candidate list.
+type BoundedEnv struct {
+	MaxMsgs  int
+	MaxViews int
+	Views    []types.ProcSet
+}
+
+var _ ioa.Environment = (*BoundedEnv)(nil)
+
+// Inputs implements ioa.Environment.
+func (e *BoundedEnv) Inputs(a ioa.Automaton) []ioa.Action {
+	im, ok := a.(*Impl)
+	if !ok {
+		return nil
+	}
+	var acts []ioa.Action
+	if countClientCommands(im) < e.MaxMsgs {
+		for _, p := range im.Procs() {
+			acts = append(acts, ioa.Action{Name: to.ActBCast, Kind: ioa.KindInput,
+				Param: to.BCastParam{A: "a", P: p}})
+		}
+	}
+	if len(im.DVS().Created()) < e.MaxViews {
+		var maxID types.ViewID
+		for _, v := range im.DVS().Created() {
+			if maxID.Less(v.ID) {
+				maxID = v.ID
+			}
+		}
+		for _, members := range e.Views {
+			v := types.View{ID: maxID.Next(members.Sorted()[0]), Members: members.Clone()}
+			if im.DVS().CreateViewCandidateOK(v) {
+				acts = append(acts, ioa.Action{Name: dvs.ActCreateView, Kind: ioa.KindInternal,
+					Param: dvs.CreateViewParam{View: v}})
+			}
+		}
+	}
+	return acts
+}
+
+// countClientCommands is a monotone measure of broadcasts in the state:
+// commands still in delay buffers plus labels each node created itself
+// (labels with the node's own origin never leave its content relation).
+func countClientCommands(im *Impl) int {
+	total := 0
+	for _, p := range im.Procs() {
+		n := im.Node(p)
+		total += n.DelayLen()
+		for l := range n.Content() {
+			if l.Origin == p {
+				total++
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,57 @@
+package toimpl
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// TestExecutionDeterminism mirrors the core package's determinism check for
+// TO-IMPL across all three DVS variants.
+func TestExecutionDeterminism(t *testing.T) {
+	universe, v0 := toSetup(4)
+	for _, cfg := range []Config{
+		{DVS: DVSLiteral},
+		{DVS: DVSAmended},
+		{DVS: DVSAmendedDrained},
+	} {
+		run := func() string {
+			ex := &ioa.Executor{Steps: 400, Seed: 23}
+			res, err := ex.Run(NewImpl(universe, v0, cfg), NewEnv(37, universe), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Final.Fingerprint()
+		}
+		if run() != run() {
+			t.Fatalf("variant %+v: nondeterministic execution", cfg)
+		}
+	}
+}
+
+// TestCloneMidExecutionEquivalence drives an original and its mid-run clone
+// in lock-step.
+func TestCloneMidExecutionEquivalence(t *testing.T) {
+	universe, v0 := toSetup(3)
+	im := NewImpl(universe, v0, Config{})
+	ex := &ioa.Executor{Steps: 200, Seed: 5}
+	if _, err := ex.Run(im, NewEnv(11, universe), nil); err != nil {
+		t.Fatal(err)
+	}
+	clone := im.Clone().(*Impl)
+	for step := 0; step < 100; step++ {
+		acts := im.Enabled()
+		if len(acts) == 0 {
+			break
+		}
+		if err := im.Perform(acts[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := clone.Perform(acts[0]); err != nil {
+			t.Fatalf("step %d: clone rejected %s: %v", step, acts[0], err)
+		}
+		if im.Fingerprint() != clone.Fingerprint() {
+			t.Fatalf("step %d: states diverged", step)
+		}
+	}
+}

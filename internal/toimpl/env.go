@@ -1,0 +1,66 @@
+package toimpl
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/ioa"
+	"repro/internal/spec/dvs"
+	"repro/internal/spec/to"
+	"repro/internal/types"
+)
+
+// Env drives TO-IMPL executions: it supplies bcast inputs and proposes
+// dvs-createview candidates that satisfy the DVS creation precondition
+// (random membership, increasing ids).
+type Env struct {
+	rng      *rand.Rand
+	procs    []types.ProcID
+	msgSeq   int
+	proposed int
+	MaxViews int // cap on proposed views (0 = unlimited)
+}
+
+var _ ioa.Environment = (*Env)(nil)
+
+// NewEnv returns an environment over the given universe.
+func NewEnv(seed int64, universe types.ProcSet) *Env {
+	return &Env{
+		rng:      rand.New(rand.NewSource(seed)),
+		procs:    universe.Sorted(),
+		MaxViews: 32,
+	}
+}
+
+// Inputs implements ioa.Environment.
+func (e *Env) Inputs(a ioa.Automaton) []ioa.Action {
+	im, ok := a.(*Impl)
+	if !ok {
+		return nil
+	}
+	var acts []ioa.Action
+
+	p := types.RandomMember(e.rng, e.procs)
+	e.msgSeq++
+	acts = append(acts, ioa.Action{
+		Name:  to.ActBCast,
+		Kind:  ioa.KindInput,
+		Param: to.BCastParam{A: "a" + strconv.Itoa(e.msgSeq), P: p},
+	})
+
+	if e.MaxViews == 0 || e.proposed < e.MaxViews {
+		members := types.RandomSubset(e.rng, e.procs)
+		var maxID types.ViewID
+		for _, v := range im.DVS().Created() {
+			if maxID.Less(v.ID) {
+				maxID = v.ID
+			}
+		}
+		v := types.View{ID: maxID.Next(members.Sorted()[0]), Members: members}
+		if im.DVS().CreateViewCandidateOK(v) {
+			e.proposed++
+			acts = append(acts, ioa.Action{Name: dvs.ActCreateView, Kind: ioa.KindInternal, Param: dvs.CreateViewParam{View: v}})
+		}
+	}
+	return acts
+}

@@ -1,0 +1,275 @@
+package toimpl
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/spec/dvs"
+	"repro/internal/spec/to"
+	"repro/internal/types"
+)
+
+// LabelParam parameterizes the internal label(a)_p action.
+type LabelParam struct {
+	A string
+	P types.ProcID
+}
+
+// String renders the parameter canonically.
+func (p LabelParam) String() string { return p.A + "_" + p.P.String() }
+
+// ConfirmParam parameterizes the internal confirm_p action.
+type ConfirmParam struct{ P types.ProcID }
+
+// String renders the parameter canonically.
+func (p ConfirmParam) String() string { return p.P.String() }
+
+// DVSVariant selects which DVS specification TO-IMPL composes with.
+type DVSVariant int
+
+// DVS variants. The zero value is DVSLiteral: the paper's own setting for
+// Section 6 (Figure 5 over Figure 2 exactly as printed), under which
+// Theorem 6.4 holds. DVSAmended is the endpoint-level-safe specification
+// that the Figure 3 implementation actually refines; Figure 5 is UNSAFE over
+// it (total order can diverge — see the tests), because endpoint-level safe
+// no longer guarantees that a member moving to a new view carries every
+// confirmed message in its summary. DVSAmendedDrained adds the
+// view-synchronous drain rule, restoring safety; it is the contract the
+// runtime stack in this repository provides.
+const (
+	DVSLiteral DVSVariant = iota
+	DVSAmended
+	DVSAmendedDrained
+)
+
+// Config selects the variant of TO-IMPL to build.
+type Config struct {
+	// DVS selects the DVS specification variant to compose with.
+	DVS DVSVariant
+	// LiteralFigure5 uses Figure 5's LABEL precondition and
+	// DVS-SAFE(summary) handler exactly as printed; the default requires
+	// status = normal to label (preventing duplicate ordering of labels
+	// created during recovery) and defers marking the state exchange safe
+	// until the view is established locally.
+	LiteralFigure5 bool
+}
+
+// Impl is TO-IMPL: the composition of the DVS specification automaton with
+// one DVS-TO-TO_p automaton per process, with all DVS actions hidden. Its
+// external signature is that of the TO service: bcast(a)_p inputs and
+// brcv(a)_{q,p} outputs.
+type Impl struct {
+	universe types.ProcSet
+	initial  types.View
+	procs    []types.ProcID
+	cfg      Config
+	dvs      *dvs.DVS
+	nodes    map[types.ProcID]*Node
+}
+
+var _ ioa.Automaton = (*Impl)(nil)
+
+// NewImpl constructs TO-IMPL in its initial state.
+func NewImpl(universe types.ProcSet, initial types.View, cfg Config) *Impl {
+	im := &Impl{
+		universe: universe.Clone(),
+		initial:  initial.Clone(),
+		procs:    universe.Sorted(),
+		cfg:      cfg,
+		nodes:    make(map[types.ProcID]*Node, universe.Len()),
+	}
+	switch cfg.DVS {
+	case DVSAmended:
+		im.dvs = dvs.New(universe, initial)
+	case DVSAmendedDrained:
+		im.dvs = dvs.NewDrained(universe, initial)
+	default:
+		im.dvs = dvs.NewLiteral(universe, initial)
+	}
+	for _, p := range im.procs {
+		im.nodes[p] = NewNode(p, initial, initial.Contains(p), cfg.LiteralFigure5)
+	}
+	return im
+}
+
+// Name implements ioa.Automaton.
+func (im *Impl) Name() string { return "TO-IMPL" }
+
+// DVS exposes the inner DVS automaton.
+func (im *Impl) DVS() *dvs.DVS { return im.dvs }
+
+// Node returns the DVS-TO-TO automaton of process p.
+func (im *Impl) Node(p types.ProcID) *Node { return im.nodes[p] }
+
+// Procs returns the sorted process ids.
+func (im *Impl) Procs() []types.ProcID { return types.CloneSeq(im.procs) }
+
+// Universe returns the processor universe.
+func (im *Impl) Universe() types.ProcSet { return im.universe.Clone() }
+
+// Enabled implements ioa.Automaton.
+func (im *Impl) Enabled() []ioa.Action {
+	var acts []ioa.Action
+	for _, a := range im.dvs.Enabled() {
+		a.Kind = ioa.KindInternal // DVS actions are hidden in TO-IMPL
+		acts = append(acts, a)
+	}
+	for _, p := range im.procs {
+		n := im.nodes[p]
+		if a, ok := n.LabelHead(); ok {
+			acts = append(acts, ioa.Action{Name: "label", Kind: ioa.KindInternal, Param: LabelParam{A: a, P: p}})
+		}
+		if m, ok := n.GpSndLabel(); ok {
+			acts = append(acts, ioa.Action{Name: dvs.ActGpSnd, Kind: ioa.KindInternal, Param: dvs.SndParam{M: m, P: p}})
+		}
+		if m, ok := n.GpSndSummary(); ok {
+			acts = append(acts, ioa.Action{Name: dvs.ActGpSnd, Kind: ioa.KindInternal, Param: dvs.SndParam{M: m, P: p}})
+		}
+		if n.ConfirmEnabled() {
+			acts = append(acts, ioa.Action{Name: "confirm", Kind: ioa.KindInternal, Param: ConfirmParam{P: p}})
+		}
+		if a, origin, ok := n.BRcvNext(); ok {
+			acts = append(acts, ioa.Action{Name: to.ActBRcv, Kind: ioa.KindOutput, Param: to.BRcvParam{A: a, Origin: origin, To: p}})
+		}
+		if n.RegisterEnabled() {
+			acts = append(acts, ioa.Action{Name: dvs.ActRegister, Kind: ioa.KindInternal, Param: dvs.RegisterParam{P: p}})
+		}
+	}
+	ioa.SortActions(acts)
+	return acts
+}
+
+// Perform implements ioa.Automaton.
+func (im *Impl) Perform(act ioa.Action) error {
+	switch act.Name {
+	case to.ActBCast:
+		p, ok := act.Param.(to.BCastParam)
+		if !ok {
+			return badActParam(act)
+		}
+		n, exists := im.nodes[p.P]
+		if !exists {
+			return fmt.Errorf("bcast: unknown process %s", p.P)
+		}
+		n.OnBCast(p.A)
+		return nil
+
+	case "label":
+		p, ok := act.Param.(LabelParam)
+		if !ok {
+			return badActParam(act)
+		}
+		return im.nodes[p.P].PerformLabel(p.A)
+
+	case "confirm":
+		p, ok := act.Param.(ConfirmParam)
+		if !ok {
+			return badActParam(act)
+		}
+		return im.nodes[p.P].PerformConfirm()
+
+	case to.ActBRcv:
+		p, ok := act.Param.(to.BRcvParam)
+		if !ok {
+			return badActParam(act)
+		}
+		return im.nodes[p.To].PerformBRcv(p.A, p.Origin)
+
+	case dvs.ActGpSnd:
+		p, ok := act.Param.(dvs.SndParam)
+		if !ok {
+			return badActParam(act)
+		}
+		n := im.nodes[p.P]
+		switch m := p.M.(type) {
+		case LabelMsg:
+			if err := n.TakeGpSndLabel(m); err != nil {
+				return err
+			}
+		case SummaryMsg:
+			if err := n.TakeGpSndSummary(m); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dvs-gpsnd: unexpected message %s", p.M.MsgKey())
+		}
+		return im.dvs.Perform(act)
+
+	case dvs.ActRegister:
+		p, ok := act.Param.(dvs.RegisterParam)
+		if !ok {
+			return badActParam(act)
+		}
+		if err := im.nodes[p.P].PerformRegister(); err != nil {
+			return err
+		}
+		return im.dvs.Perform(act)
+
+	case dvs.ActNewView:
+		p, ok := act.Param.(dvs.NewViewParam)
+		if !ok {
+			return badActParam(act)
+		}
+		if err := im.dvs.Perform(act); err != nil {
+			return err
+		}
+		im.nodes[p.P].OnDVSNewView(p.View)
+		return nil
+
+	case dvs.ActGpRcv:
+		p, ok := act.Param.(dvs.RcvParam)
+		if !ok {
+			return badActParam(act)
+		}
+		if err := im.dvs.Perform(act); err != nil {
+			return err
+		}
+		return im.nodes[p.To].OnDVSGpRcv(p.M, p.From)
+
+	case dvs.ActSafe:
+		p, ok := act.Param.(dvs.RcvParam)
+		if !ok {
+			return badActParam(act)
+		}
+		if err := im.dvs.Perform(act); err != nil {
+			return err
+		}
+		return im.nodes[p.To].OnDVSSafe(p.M, p.From)
+
+	case dvs.ActCreateView, dvs.ActOrder, dvs.ActRcv:
+		return im.dvs.Perform(act)
+
+	default:
+		return fmt.Errorf("to-impl: unknown action %q", act.Name)
+	}
+}
+
+func badActParam(act ioa.Action) error {
+	return fmt.Errorf("%s: bad parameter type %T", act.Name, act.Param)
+}
+
+// Clone implements ioa.Automaton.
+func (im *Impl) Clone() ioa.Automaton {
+	c := &Impl{
+		universe: im.universe.Clone(),
+		initial:  im.initial.Clone(),
+		procs:    types.CloneSeq(im.procs),
+		cfg:      im.cfg,
+		dvs:      im.dvs.Clone().(*dvs.DVS),
+		nodes:    make(map[types.ProcID]*Node, len(im.nodes)),
+	}
+	for p, n := range im.nodes {
+		c.nodes[p] = n.Clone()
+	}
+	return c
+}
+
+// Fingerprint implements ioa.Automaton.
+func (im *Impl) Fingerprint() string {
+	var f ioa.Fingerprinter
+	f.Add("dvs", im.dvs.Fingerprint())
+	for _, p := range im.procs {
+		im.nodes[p].AddFingerprint(&f)
+	}
+	return f.String()
+}

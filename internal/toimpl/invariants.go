@@ -1,0 +1,177 @@
+package toimpl
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+// AllState returns the derived variable allstate of Section 6.2: every
+// summary present anywhere in the system state — recorded in some node's
+// gotstate, pending in the DVS service, or ordered in a DVS per-view queue.
+func (im *Impl) AllState() []types.Summary {
+	var out []types.Summary
+	for _, p := range im.procs {
+		for _, x := range im.nodes[p].GotState() {
+			out = append(out, x)
+		}
+	}
+	for _, v := range im.dvs.Created() {
+		g := v.ID
+		for _, e := range im.dvs.Queue(g) {
+			if sm, ok := e.M.(SummaryMsg); ok {
+				out = append(out, sm.X.Clone())
+			}
+		}
+		for _, p := range im.procs {
+			for _, m := range im.dvs.Pending(p, g) {
+				if sm, ok := m.(SummaryMsg); ok {
+					out = append(out, sm.X.Clone())
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckInvariant61 checks Invariant 6.1: for every x ∈ allstate there is a
+// created view w with x.high = w.id that was attempted by all its members.
+func CheckInvariant61(im *Impl) error {
+	created := make(map[types.ViewID]types.View)
+	for _, v := range im.dvs.Created() {
+		created[v.ID] = v
+	}
+	for _, x := range im.AllState() {
+		w, ok := created[x.High]
+		if !ok {
+			return fmt.Errorf("6.1: summary high %s names no created view", x.High)
+		}
+		att := im.dvs.Attempted(w.ID)
+		if !w.Members.Subset(att) {
+			return fmt.Errorf("6.1: view %s (high of a summary) attempted only by %s", w, att)
+		}
+	}
+	return nil
+}
+
+// CheckInvariant62 checks Invariant 6.2: if v ∈ created and some summary has
+// high > v.id, then some member of v has moved past v.
+func CheckInvariant62(im *Impl) error {
+	var maxHigh types.ViewID
+	hasSummary := false
+	for _, x := range im.AllState() {
+		hasSummary = true
+		if maxHigh.Less(x.High) {
+			maxHigh = x.High
+		}
+	}
+	if !hasSummary {
+		return nil
+	}
+	for _, v := range im.dvs.Created() {
+		if !v.ID.Less(maxHigh) {
+			continue
+		}
+		ok := false
+		for p := range v.Members {
+			if cur, has := im.nodes[p].Current(); has && v.ID.Less(cur.ID) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("6.2: view %s precedes an established summary (high %s) but no member moved past it", v, maxHigh)
+		}
+	}
+	return nil
+}
+
+// CheckInvariant63 checks Invariant 6.3, instantiated at its strongest σ:
+// for every created view v, let S = {p ∈ v.set : current.id_p > v.id}. If
+// every p ∈ S has established v and their buildorders are consistent, take
+// σ* = the longest common prefix of {buildorder[p, v.id] : p ∈ S}; then
+// every summary x with x.high > v.id must have σ* ≤ x.ord. If some p ∈ S has
+// not established v, the hypothesis only holds for σ = λ and the instance is
+// vacuous. If S is empty the hypothesis holds for every σ, so no summary may
+// have high > v.id at all.
+func CheckInvariant63(im *Impl) error {
+	allstate := im.AllState()
+	for _, v := range im.dvs.Created() {
+		var sigma []types.Label
+		vacuous := false
+		sMembers := 0
+		first := true
+		for p := range v.Members {
+			cur, has := im.nodes[p].Current()
+			if !has || !v.ID.Less(cur.ID) {
+				continue
+			}
+			sMembers++
+			if !im.nodes[p].Established(v.ID) {
+				vacuous = true
+				break
+			}
+			bo := im.nodes[p].BuildOrder(v.ID)
+			if first {
+				sigma = bo
+				first = false
+			} else {
+				sigma = types.CommonPrefix(sigma, bo)
+			}
+		}
+		if vacuous {
+			continue
+		}
+		for _, x := range allstate {
+			if !v.ID.Less(x.High) {
+				continue
+			}
+			if sMembers == 0 {
+				return fmt.Errorf("6.3: summary with high %s exists but no member of %s moved past it", x.High, v)
+			}
+			if !types.IsPrefix(sigma, x.Ord) {
+				return fmt.Errorf("6.3: common established prefix of view %s is not a prefix of a summary with high %s", v, x.High)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckConfirmedConsistent is the end-to-end agreement property the
+// invariants exist to support: the confirmed label prefixes of all nodes are
+// pairwise consistent (one is a prefix of the other), and so are the
+// reported prefixes.
+func CheckConfirmedConsistent(im *Impl) error {
+	confirmed := make([][]types.Label, 0, len(im.procs))
+	for _, p := range im.procs {
+		confirmed = append(confirmed, im.nodes[p].ConfirmedOrder())
+	}
+	if !types.Consistent(confirmed...) {
+		return fmt.Errorf("confirmed orders inconsistent across nodes")
+	}
+	return nil
+}
+
+// Invariants returns Invariants 6.1–6.3 plus the confirmed-prefix agreement
+// check as ioa invariants over *Impl states.
+func Invariants() []ioa.Invariant {
+	wrap := func(name string, check func(*Impl) error) ioa.Invariant {
+		return ioa.Invariant{
+			Name: name,
+			Check: func(a ioa.Automaton) error {
+				im, ok := a.(*Impl)
+				if !ok {
+					return fmt.Errorf("TO-IMPL invariant on %T", a)
+				}
+				return check(im)
+			},
+		}
+	}
+	return []ioa.Invariant{
+		wrap("TOIMPL-6.1", CheckInvariant61),
+		wrap("TOIMPL-6.2", CheckInvariant62),
+		wrap("TOIMPL-6.3", CheckInvariant63),
+		wrap("TOIMPL-confirmed-consistent", CheckConfirmedConsistent),
+	}
+}

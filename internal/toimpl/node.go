@@ -1,0 +1,513 @@
+// Package toimpl implements the application algorithm of Section 6: the
+// DVS-TO-TO_p automaton of Figure 5 (a variant of the totally-ordered
+// broadcast algorithm of Amir/Dolev/Keidar/Melliar-Smith/Moser adapted to
+// the dynamic view service), the composed system TO-IMPL (all DVS-TO-TO_p
+// automata plus the DVS specification, with DVS actions hidden), and
+// executable checkers for Invariants 6.1–6.3.
+//
+// Figure 5's DVS-SAFE(summary) handler marks the exchanged labels safe as
+// soon as safe indications for all members' summaries have arrived. Over the
+// literal DVS specification this can only happen after the view has been
+// established locally (the literal dvs-safe precondition implies the member
+// itself has client-delivered the summaries first). Over the amended DVS
+// specification — which reflects what the Figure 3 implementation actually
+// guarantees — safe indications may overtake client delivery, so the printed
+// handler can fire with a partial gotstate. Nodes therefore support two
+// modes: Literal (exactly Figure 5) and the default repaired mode, which
+// defers marking the exchange safe until the view has been established.
+package toimpl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+// Status values of a DVS-TO-TO node.
+type Status int
+
+// Status constants (Figure 5: normal, send, collect).
+const (
+	StatusNormal Status = iota + 1
+	StatusSend
+	StatusCollect
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusNormal:
+		return "normal"
+	case StatusSend:
+		return "send"
+	case StatusCollect:
+		return "collect"
+	default:
+		return "status(" + strconv.Itoa(int(s)) + ")"
+	}
+}
+
+// LabelMsg is a ⟨l, a⟩ message in C = L × A.
+type LabelMsg struct {
+	L types.Label
+	A string
+}
+
+// MsgKey implements types.Msg.
+func (m LabelMsg) MsgKey() string { return "lbl:" + m.L.String() + "=" + m.A }
+
+// SummaryMsg carries a state summary x ∈ S.
+type SummaryMsg struct {
+	X types.Summary
+}
+
+// MsgKey implements types.Msg.
+func (m SummaryMsg) MsgKey() string { return "sum:" + m.X.String() }
+
+var (
+	_ types.Msg = LabelMsg{}
+	_ types.Msg = SummaryMsg{}
+)
+
+// Node is the state of the DVS-TO-TO_p automaton of Figure 5.
+type Node struct {
+	p       types.ProcID
+	literal bool // exactly Figure 5's safe-exchange handling
+
+	current     types.View
+	currentOK   bool
+	status      Status
+	content     types.Content
+	nextSeqno   int
+	buffer      []types.Label
+	safeLabels  map[types.Label]struct{}
+	order       []types.Label
+	nextConfirm int
+	nextReport  int
+	highPrimary types.ViewID
+	gotstate    types.GotState
+	safeExch    types.ProcSet
+	registered  map[types.ViewID]bool
+	delay       []string
+	established map[types.ViewID]bool
+
+	// buildOrder is a history variable: the order computed when the view
+	// with the given id was established at this node (used by Invariant 6.3).
+	buildOrder map[types.ViewID][]types.Label
+}
+
+// NewNode returns DVS-TO-TO_p in its initial state; literal selects the
+// exact Figure 5 safe-exchange handling.
+func NewNode(p types.ProcID, initial types.View, inP0, literal bool) *Node {
+	n := &Node{
+		p:           p,
+		literal:     literal,
+		status:      StatusNormal,
+		content:     make(types.Content),
+		nextSeqno:   1,
+		safeLabels:  make(map[types.Label]struct{}),
+		nextConfirm: 1,
+		nextReport:  1,
+		gotstate:    make(types.GotState),
+		safeExch:    types.NewProcSet(),
+		registered:  make(map[types.ViewID]bool),
+		established: make(map[types.ViewID]bool),
+		buildOrder:  make(map[types.ViewID][]types.Label),
+	}
+	if inP0 {
+		n.current, n.currentOK = initial.Clone(), true
+		n.registered[types.ViewIDZero] = true
+	}
+	return n
+}
+
+// P returns the process id.
+func (n *Node) P() types.ProcID { return n.p }
+
+// Current returns the current view; ok is false for ⊥.
+func (n *Node) Current() (types.View, bool) { return n.current, n.currentOK }
+
+// Status returns the node status.
+func (n *Node) Status() Status { return n.status }
+
+// HighPrimary returns the id of the highest established primary.
+func (n *Node) HighPrimary() types.ViewID { return n.highPrimary }
+
+// Established reports whether the view with id g has been established here.
+func (n *Node) Established(g types.ViewID) bool { return n.established[g] }
+
+// BuildOrder returns the order computed when view g was established (history
+// variable); nil if never established.
+func (n *Node) BuildOrder(g types.ViewID) []types.Label {
+	return types.CloneSeq(n.buildOrder[g])
+}
+
+// Order returns the current tentative order.
+func (n *Node) Order() []types.Label { return types.CloneSeq(n.order) }
+
+// ConfirmedOrder returns the confirmed prefix order(1..nextconfirm-1).
+func (n *Node) ConfirmedOrder() []types.Label {
+	return types.CloneSeq(n.order[:n.nextConfirm-1])
+}
+
+// Content returns a copy of the content relation.
+func (n *Node) Content() types.Content { return n.content.Clone() }
+
+// GotState returns a copy of the recovery state summaries received.
+func (n *Node) GotState() types.GotState { return n.gotstate.Clone() }
+
+// NextReport returns nextreport.
+func (n *Node) NextReport() int { return n.nextReport }
+
+// NextConfirm returns nextconfirm.
+func (n *Node) NextConfirm() int { return n.nextConfirm }
+
+// Summary returns ⟨content, order, nextconfirm, highprimary⟩, the summary
+// sent during recovery.
+func (n *Node) Summary() types.Summary {
+	return types.Summary{
+		Con:  n.content.Clone(),
+		Ord:  types.CloneSeq(n.order),
+		Next: n.nextConfirm,
+		High: n.highPrimary,
+	}
+}
+
+// --- Input handlers ---
+
+// OnBCast handles input bcast(a)_p: buffer into delay.
+func (n *Node) OnBCast(a string) { n.delay = append(n.delay, a) }
+
+// OnDVSNewView handles input dvs-newview(v)_p.
+func (n *Node) OnDVSNewView(v types.View) {
+	n.current, n.currentOK = v.Clone(), true
+	n.nextSeqno = 1
+	n.buffer = nil
+	n.gotstate = make(types.GotState)
+	n.safeExch = types.NewProcSet()
+	n.safeLabels = make(map[types.Label]struct{})
+	n.status = StatusSend
+}
+
+// OnDVSGpRcv handles input dvs-gprcv(m)_{q,p} by case analysis on m.
+func (n *Node) OnDVSGpRcv(m types.Msg, q types.ProcID) error {
+	switch msg := m.(type) {
+	case LabelMsg:
+		n.content[msg.L] = msg.A
+		n.order = append(n.order, msg.L)
+		return nil
+	case SummaryMsg:
+		n.content.Merge(msg.X.Con)
+		n.gotstate[q] = msg.X.Clone()
+		if n.currentOK && n.status == StatusCollect && gotAll(n.gotstate, n.current.Members) {
+			n.establish()
+		}
+		return nil
+	default:
+		return fmt.Errorf("to node %s: unexpected message %s", n.p, m.MsgKey())
+	}
+}
+
+func gotAll(gs types.GotState, members types.ProcSet) bool {
+	if len(gs) != members.Len() {
+		return false
+	}
+	for q := range members {
+		if _, ok := gs[q]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// establish processes the complete state exchange in one atomic step.
+func (n *Node) establish() {
+	n.nextConfirm = n.gotstate.MaxNextConfirm()
+	n.order = n.gotstate.FullOrder()
+	n.highPrimary = n.current.ID
+	n.status = StatusNormal
+	n.established[n.current.ID] = true
+	n.buildOrder[n.current.ID] = types.CloneSeq(n.order)
+	if !n.literal {
+		n.maybeMarkExchangeSafe()
+	}
+}
+
+// OnDVSSafe handles input dvs-safe(m)_{q,p} by case analysis on m.
+func (n *Node) OnDVSSafe(m types.Msg, q types.ProcID) error {
+	switch m.(type) {
+	case LabelMsg:
+		n.safeLabels[m.(LabelMsg).L] = struct{}{}
+		return nil
+	case SummaryMsg:
+		n.safeExch.Add(q)
+		if n.literal {
+			// Figure 5 exactly: mark as soon as safe-exch covers the view,
+			// regardless of whether the exchange has completed locally.
+			if n.currentOK && n.safeExch.Equal(n.current.Members) {
+				for _, l := range n.gotstate.FullOrder() {
+					n.safeLabels[l] = struct{}{}
+				}
+			}
+			return nil
+		}
+		n.maybeMarkExchangeSafe()
+		return nil
+	default:
+		return fmt.Errorf("to node %s: unexpected safe message %s", n.p, m.MsgKey())
+	}
+}
+
+// maybeMarkExchangeSafe marks the exchanged labels safe once (a) the view is
+// established locally and (b) safe indications for all members' summaries
+// have arrived. This is the repaired form of Figure 5's DVS-SAFE(summary)
+// handler; see the package comment.
+func (n *Node) maybeMarkExchangeSafe() {
+	if !n.currentOK || n.status != StatusNormal || !n.established[n.current.ID] {
+		return
+	}
+	if !n.safeExch.Equal(n.current.Members) {
+		return
+	}
+	for _, l := range n.gotstate.FullOrder() {
+		n.safeLabels[l] = struct{}{}
+	}
+}
+
+// --- Locally controlled actions ---
+
+// LabelHead returns the head of delay if the internal label action is
+// enabled. Figure 5 as printed allows labeling whenever current ≠ ⊥; in
+// literal mode we reproduce that. The repaired (default) mode additionally
+// requires status = normal: labeling during recovery puts the fresh label
+// into the summary's content, so establishment orders it via fullorder's
+// label-order tail, and the buffered copy sent after establishment is then
+// ordered a second time — a duplicate delivery (demonstrated mechanically in
+// the tests).
+func (n *Node) LabelHead() (string, bool) {
+	if len(n.delay) == 0 || !n.currentOK {
+		return "", false
+	}
+	if !n.literal && n.status != StatusNormal {
+		return "", false
+	}
+	return n.delay[0], true
+}
+
+// PerformLabel applies the internal label(a)_p action.
+func (n *Node) PerformLabel(a string) error {
+	head, ok := n.LabelHead()
+	if !ok || head != a {
+		return fmt.Errorf("label(%s)_%s: not enabled", a, n.p)
+	}
+	l := types.Label{ID: n.current.ID, Seqno: n.nextSeqno, Origin: n.p}
+	n.content[l] = a
+	n.buffer = append(n.buffer, l)
+	n.nextSeqno++
+	n.delay = n.delay[1:]
+	return nil
+}
+
+// GpSndLabel returns the ⟨l,a⟩ message a dvs-gpsnd output would send, if
+// enabled (status = normal, buffer nonempty).
+func (n *Node) GpSndLabel() (LabelMsg, bool) {
+	if n.status != StatusNormal || len(n.buffer) == 0 {
+		return LabelMsg{}, false
+	}
+	l := n.buffer[0]
+	a, ok := n.content[l]
+	if !ok {
+		return LabelMsg{}, false
+	}
+	return LabelMsg{L: l, A: a}, true
+}
+
+// TakeGpSndLabel applies the effect of sending the buffered label message.
+func (n *Node) TakeGpSndLabel(m LabelMsg) error {
+	head, ok := n.GpSndLabel()
+	if !ok || head != m {
+		return fmt.Errorf("dvs-gpsnd(%s)_%s: not enabled", m.MsgKey(), n.p)
+	}
+	n.buffer = n.buffer[1:]
+	return nil
+}
+
+// GpSndSummary returns the summary message a dvs-gpsnd output would send, if
+// enabled (status = send).
+func (n *Node) GpSndSummary() (SummaryMsg, bool) {
+	if n.status != StatusSend {
+		return SummaryMsg{}, false
+	}
+	return SummaryMsg{X: n.Summary()}, true
+}
+
+// TakeGpSndSummary applies the effect of sending the summary.
+func (n *Node) TakeGpSndSummary(m SummaryMsg) error {
+	head, ok := n.GpSndSummary()
+	if !ok || head.MsgKey() != m.MsgKey() {
+		return fmt.Errorf("dvs-gpsnd(summary)_%s: not enabled", n.p)
+	}
+	n.status = StatusCollect
+	return nil
+}
+
+// ConfirmEnabled reports whether the internal confirm action is enabled.
+func (n *Node) ConfirmEnabled() bool {
+	if n.nextConfirm > len(n.order) {
+		return false
+	}
+	_, ok := n.safeLabels[n.order[n.nextConfirm-1]]
+	return ok
+}
+
+// PerformConfirm applies the internal confirm action.
+func (n *Node) PerformConfirm() error {
+	if !n.ConfirmEnabled() {
+		return fmt.Errorf("confirm_%s: not enabled", n.p)
+	}
+	n.nextConfirm++
+	return nil
+}
+
+// BRcvNext returns the (a, origin) pair the next brcv output would deliver,
+// if enabled (nextreport < nextconfirm).
+func (n *Node) BRcvNext() (a string, origin types.ProcID, ok bool) {
+	if n.nextReport >= n.nextConfirm || n.nextReport > len(n.order) {
+		return "", 0, false
+	}
+	l := n.order[n.nextReport-1]
+	payload, has := n.content[l]
+	if !has {
+		return "", 0, false
+	}
+	return payload, l.Origin, true
+}
+
+// PerformBRcv applies the brcv(a)_{q,p} output.
+func (n *Node) PerformBRcv(a string, origin types.ProcID) error {
+	wa, worigin, ok := n.BRcvNext()
+	if !ok || wa != a || worigin != origin {
+		return fmt.Errorf("brcv(%s)_%s,%s: not enabled", a, origin, n.p)
+	}
+	n.nextReport++
+	return nil
+}
+
+// RegisterEnabled reports whether the dvs-register output is enabled:
+// current ≠ ⊥, established, and not yet registered.
+func (n *Node) RegisterEnabled() bool {
+	return n.currentOK && n.established[n.current.ID] && !n.registered[n.current.ID]
+}
+
+// PerformRegister applies the dvs-register output.
+func (n *Node) PerformRegister() error {
+	if !n.RegisterEnabled() {
+		return fmt.Errorf("dvs-register_%s: not enabled", n.p)
+	}
+	n.registered[n.current.ID] = true
+	return nil
+}
+
+// Clone returns an independent deep copy.
+func (n *Node) Clone() *Node {
+	c := &Node{
+		p:           n.p,
+		literal:     n.literal,
+		current:     n.current.Clone(),
+		currentOK:   n.currentOK,
+		status:      n.status,
+		content:     n.content.Clone(),
+		nextSeqno:   n.nextSeqno,
+		buffer:      types.CloneSeq(n.buffer),
+		safeLabels:  make(map[types.Label]struct{}, len(n.safeLabels)),
+		order:       types.CloneSeq(n.order),
+		nextConfirm: n.nextConfirm,
+		nextReport:  n.nextReport,
+		highPrimary: n.highPrimary,
+		gotstate:    n.gotstate.Clone(),
+		safeExch:    n.safeExch.Clone(),
+		registered:  make(map[types.ViewID]bool, len(n.registered)),
+		delay:       types.CloneSeq(n.delay),
+		established: make(map[types.ViewID]bool, len(n.established)),
+		buildOrder:  make(map[types.ViewID][]types.Label, len(n.buildOrder)),
+	}
+	for l := range n.safeLabels {
+		c.safeLabels[l] = struct{}{}
+	}
+	for g, b := range n.registered {
+		c.registered[g] = b
+	}
+	for g, b := range n.established {
+		c.established[g] = b
+	}
+	for g, ord := range n.buildOrder {
+		c.buildOrder[g] = types.CloneSeq(ord)
+	}
+	return c
+}
+
+// AddFingerprint appends the node's state to a composite fingerprint.
+func (n *Node) AddFingerprint(f *ioa.Fingerprinter) {
+	pre := "t" + n.p.String() + "."
+	if n.currentOK {
+		f.Add(pre+"cur", n.current.String())
+	}
+	f.Add(pre+"status", n.status.String())
+	if len(n.content) > 0 {
+		f.Add(pre+"content", n.content.String())
+	}
+	f.Add(pre+"nseq", strconv.Itoa(n.nextSeqno))
+	if len(n.buffer) > 0 {
+		f.Add(pre+"buffer", labelsKey(n.buffer))
+	}
+	if len(n.safeLabels) > 0 {
+		ls := make([]types.Label, 0, len(n.safeLabels))
+		for l := range n.safeLabels {
+			ls = append(ls, l)
+		}
+		types.SortLabels(ls)
+		f.Add(pre+"safe", labelsKey(ls))
+	}
+	if len(n.order) > 0 {
+		f.Add(pre+"order", labelsKey(n.order))
+	}
+	f.Add(pre+"nconf", strconv.Itoa(n.nextConfirm))
+	f.Add(pre+"nrep", strconv.Itoa(n.nextReport))
+	f.Add(pre+"high", n.highPrimary.String())
+	for q, x := range n.gotstate {
+		f.Add(pre+"got."+q.String(), x.String())
+	}
+	if n.safeExch.Len() > 0 {
+		f.Add(pre+"sexch", n.safeExch.String())
+	}
+	for g, b := range n.registered {
+		if b {
+			f.Add(pre+"rgst."+g.String(), "1")
+		}
+	}
+	if len(n.delay) > 0 {
+		f.Add(pre+"delay", strings.Join(n.delay, "|"))
+	}
+	for g, b := range n.established {
+		if b {
+			f.Add(pre+"est."+g.String(), "1")
+		}
+	}
+}
+
+func labelsKey(ls []types.Label) string {
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(l.String())
+	}
+	return b.String()
+}
+
+// DelayLen returns the number of buffered client commands awaiting labels.
+func (n *Node) DelayLen() int { return len(n.delay) }

@@ -1,0 +1,291 @@
+package toimpl
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func v(seq uint64, members ...types.ProcID) types.View {
+	return types.NewView(types.ViewID{Seq: seq}, members...)
+}
+
+func newTONode(t *testing.T) (*Node, types.View) {
+	t.Helper()
+	v0 := types.InitialView(types.NewProcSet(0, 1, 2))
+	return NewNode(0, v0, true, false), v0
+}
+
+func TestTONodeInitial(t *testing.T) {
+	n, v0 := newTONode(t)
+	if cur, ok := n.Current(); !ok || !cur.Equal(v0) {
+		t.Error("current must start at v0")
+	}
+	if n.Status() != StatusNormal {
+		t.Error("status must start normal")
+	}
+	if !n.HighPrimary().IsZero() {
+		t.Error("highprimary must start at g0")
+	}
+	out := NewNode(4, v0, false, false)
+	if _, ok := out.Current(); ok {
+		t.Error("outsider starts at ⊥")
+	}
+}
+
+func TestLabelAssignsSequentialLabels(t *testing.T) {
+	n, v0 := newTONode(t)
+	n.OnBCast("a")
+	n.OnBCast("b")
+	for _, want := range []string{"a", "b"} {
+		head, ok := n.LabelHead()
+		if !ok || head != want {
+			t.Fatalf("LabelHead = %q, %v (want %q)", head, ok, want)
+		}
+		if err := n.PerformLabel(head); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m1, ok := n.GpSndLabel()
+	if !ok {
+		t.Fatal("no buffered label message")
+	}
+	if m1.L != (types.Label{ID: v0.ID, Seqno: 1, Origin: 0}) || m1.A != "a" {
+		t.Errorf("first label message = %+v", m1)
+	}
+	if err := n.TakeGpSndLabel(m1); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := n.GpSndLabel()
+	if m2.L.Seqno != 2 {
+		t.Errorf("second label seqno = %d", m2.L.Seqno)
+	}
+}
+
+func TestLabelRequiresViewAndNormalStatus(t *testing.T) {
+	v0 := types.InitialView(types.NewProcSet(0, 1, 2))
+	outsider := NewNode(4, v0, false, false)
+	outsider.OnBCast("x")
+	if _, ok := outsider.LabelHead(); ok {
+		t.Error("labeling without a view")
+	}
+	n, _ := newTONode(t)
+	n.OnDVSNewView(v(1, 0, 1))
+	n.OnBCast("x")
+	if _, ok := n.LabelHead(); ok {
+		t.Error("repaired node must not label during recovery")
+	}
+	lit := NewNode(0, v0, true, true)
+	lit.OnDVSNewView(v(1, 0, 1))
+	lit.OnBCast("x")
+	if _, ok := lit.LabelHead(); !ok {
+		t.Error("literal Figure 5 labels during recovery (that is the printed behavior)")
+	}
+}
+
+func TestRecvAppendsOrderAndConfirm(t *testing.T) {
+	n, v0 := newTONode(t)
+	l := types.Label{ID: v0.ID, Seqno: 1, Origin: 1}
+	if err := n.OnDVSGpRcv(LabelMsg{L: l, A: "x"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Order(); len(got) != 1 || got[0] != l {
+		t.Fatalf("order = %v", got)
+	}
+	if n.ConfirmEnabled() {
+		t.Fatal("confirm before safe")
+	}
+	if err := n.OnDVSSafe(LabelMsg{L: l, A: "x"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !n.ConfirmEnabled() {
+		t.Fatal("confirm should be enabled after safe")
+	}
+	if err := n.PerformConfirm(); err != nil {
+		t.Fatal(err)
+	}
+	a, origin, ok := n.BRcvNext()
+	if !ok || a != "x" || origin != 1 {
+		t.Fatalf("BRcvNext = %q, %v, %v", a, origin, ok)
+	}
+	if err := n.PerformBRcv(a, origin); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := n.BRcvNext(); ok {
+		t.Error("nothing further to report")
+	}
+}
+
+func TestRecoveryExchangeAndEstablish(t *testing.T) {
+	n, v0 := newTONode(t)
+	// Confirmed work in v0.
+	l := types.Label{ID: v0.ID, Seqno: 1, Origin: 0}
+	if err := n.OnDVSGpRcv(LabelMsg{L: l, A: "pre"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	v1 := v(1, 0, 1)
+	n.OnDVSNewView(v1)
+	if n.Status() != StatusSend {
+		t.Fatal("status must be send after newview")
+	}
+	sum, ok := n.GpSndSummary()
+	if !ok {
+		t.Fatal("summary not offered")
+	}
+	if len(sum.X.Ord) != 1 || sum.X.Ord[0] != l {
+		t.Errorf("summary order = %v", sum.X.Ord)
+	}
+	if err := n.TakeGpSndSummary(sum); err != nil {
+		t.Fatal(err)
+	}
+	if n.Status() != StatusCollect {
+		t.Fatal("status must be collect after sending summary")
+	}
+	// Receive own summary and peer's summary: establishment.
+	if err := n.OnDVSGpRcv(sum, 0); err != nil {
+		t.Fatal(err)
+	}
+	peer := types.Summary{Con: types.Content{}, Next: 1, High: types.ViewIDZero}
+	if err := n.OnDVSGpRcv(SummaryMsg{X: peer}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n.Status() != StatusNormal || !n.Established(v1.ID) {
+		t.Fatal("establishment did not happen")
+	}
+	if n.HighPrimary() != v1.ID {
+		t.Error("highprimary not advanced")
+	}
+	if got := n.Order(); len(got) != 1 || got[0] != l {
+		t.Errorf("established order = %v", got)
+	}
+	if bo := n.BuildOrder(v1.ID); len(bo) != 1 {
+		t.Errorf("buildorder history = %v", bo)
+	}
+	// Registration now enabled exactly once.
+	if !n.RegisterEnabled() {
+		t.Fatal("register should be enabled after establishment")
+	}
+	if err := n.PerformRegister(); err != nil {
+		t.Fatal(err)
+	}
+	if n.RegisterEnabled() {
+		t.Error("register must be once per view")
+	}
+}
+
+func TestEstablishmentPicksMaxHighRep(t *testing.T) {
+	n, v0 := newTONode(t)
+	v1 := v(1, 0, 1)
+	n.OnDVSNewView(v1)
+	sum, _ := n.GpSndSummary()
+	if err := n.TakeGpSndSummary(sum); err != nil {
+		t.Fatal(err)
+	}
+	lNew := types.Label{ID: types.ViewID{Seq: 9}, Seqno: 1, Origin: 1}
+	peer := types.Summary{
+		Con:  types.Content{lNew: "newer"},
+		Ord:  []types.Label{lNew},
+		Next: 2,
+		High: types.ViewID{Seq: 9}, // peer established a higher primary
+	}
+	if err := n.OnDVSGpRcv(sum, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.OnDVSGpRcv(SummaryMsg{X: peer}, 1); err != nil {
+		t.Fatal(err)
+	}
+	ord := n.Order()
+	if len(ord) == 0 || ord[0] != lNew {
+		t.Errorf("established order must start with the max-high rep's order: %v", ord)
+	}
+	if n.NextConfirm() != 2 {
+		t.Errorf("nextconfirm = %d, want maxnextconfirm 2", n.NextConfirm())
+	}
+	_ = v0
+}
+
+func TestSafeExchangeMarksLabels(t *testing.T) {
+	n, v0 := newTONode(t)
+	l := types.Label{ID: v0.ID, Seqno: 1, Origin: 0}
+	if err := n.OnDVSGpRcv(LabelMsg{L: l, A: "pre"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	v1 := v(1, 0, 1)
+	n.OnDVSNewView(v1)
+	sum, _ := n.GpSndSummary()
+	if err := n.TakeGpSndSummary(sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.OnDVSGpRcv(sum, 0); err != nil {
+		t.Fatal(err)
+	}
+	peer := types.Summary{Con: types.Content{}, Next: 1, High: types.ViewIDZero}
+	if err := n.OnDVSGpRcv(SummaryMsg{X: peer}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Safe for both summaries: exchanged labels become safe; l confirms.
+	if err := n.OnDVSSafe(sum, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n.ConfirmEnabled() {
+		t.Fatal("confirm before the whole exchange is safe")
+	}
+	if err := n.OnDVSSafe(SummaryMsg{X: peer}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !n.ConfirmEnabled() {
+		t.Fatal("confirm should be enabled once the exchange is safe")
+	}
+}
+
+func TestRepairedDefersSafeExchangeUntilEstablished(t *testing.T) {
+	n, v0 := newTONode(t)
+	l := types.Label{ID: v0.ID, Seqno: 1, Origin: 0}
+	if err := n.OnDVSGpRcv(LabelMsg{L: l, A: "pre"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	v1 := v(1, 0, 1)
+	n.OnDVSNewView(v1)
+	sum, _ := n.GpSndSummary()
+	if err := n.TakeGpSndSummary(sum); err != nil {
+		t.Fatal(err)
+	}
+	// Safe indications arrive BEFORE the summaries themselves (possible
+	// over the amended DVS): the repaired node must not mark anything yet.
+	if err := n.OnDVSSafe(sum, 0); err != nil {
+		t.Fatal(err)
+	}
+	peer := types.Summary{Con: types.Content{}, Next: 1, High: types.ViewIDZero}
+	if err := n.OnDVSSafe(SummaryMsg{X: peer}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n.ConfirmEnabled() {
+		t.Fatal("repaired node must not confirm from a partial exchange")
+	}
+	// Now the summaries arrive and the view establishes: the pending safe
+	// exchange is applied.
+	if err := n.OnDVSGpRcv(sum, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.OnDVSGpRcv(SummaryMsg{X: peer}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Established(v1.ID) {
+		t.Fatal("not established")
+	}
+	if !n.ConfirmEnabled() {
+		t.Fatal("deferred safe-exchange marking did not happen")
+	}
+}
+
+func TestTONodeCloneDeep(t *testing.T) {
+	n, _ := newTONode(t)
+	n.OnBCast("x")
+	c := n.Clone()
+	if err := c.PerformLabel("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.LabelHead(); !ok {
+		t.Error("clone mutation leaked")
+	}
+}

@@ -1,0 +1,33 @@
+package types
+
+// Msg is a message in the universe M. Concrete message types provide a
+// canonical key used for equality, traces, and state fingerprints.
+type Msg interface {
+	MsgKey() string
+}
+
+// ClientMsg is a client message in M_c, the set of messages clients may use
+// for communication. In the specification layer client payloads are strings.
+type ClientMsg string
+
+// MsgKey implements Msg.
+func (m ClientMsg) MsgKey() string { return "c:" + string(m) }
+
+// String renders the message.
+func (m ClientMsg) String() string { return string(m) }
+
+// ServiceMsg marks messages that are internal to a group-communication
+// layer (e.g. the "info" and "registered" messages of VS-TO-DVS) and hence
+// not members of M_c.
+type ServiceMsg interface {
+	Msg
+	// ServiceMsg is a marker method.
+	ServiceMsg()
+}
+
+// IsClient reports whether m is a client message (member of M_c): any
+// message that is not marked as service-internal.
+func IsClient(m Msg) bool {
+	_, svc := m.(ServiceMsg)
+	return !svc
+}

@@ -1,0 +1,24 @@
+package types
+
+import "math/rand"
+
+// RandomSubset returns a uniformly random nonempty subset of procs.
+// It panics only if procs is empty, which callers must not allow.
+func RandomSubset(rng *rand.Rand, procs []ProcID) ProcSet {
+	for {
+		s := make(ProcSet)
+		for _, p := range procs {
+			if rng.Intn(2) == 0 {
+				s.Add(p)
+			}
+		}
+		if s.Len() > 0 {
+			return s
+		}
+	}
+}
+
+// RandomMember returns a uniformly random element of procs.
+func RandomMember(rng *rand.Rand, procs []ProcID) ProcID {
+	return procs[rng.Intn(len(procs))]
+}

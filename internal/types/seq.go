@@ -1,0 +1,90 @@
+package types
+
+// Sequence utilities from Section 2 of the paper. Sequences are Go slices;
+// the empty sequence λ is the nil (or empty) slice.
+
+// IsPrefix reports whether a ≤ b, i.e. there exists c with a+c = b.
+func IsPrefix[T comparable](a, b []T) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Consistent reports whether the collection of sequences is consistent:
+// for every pair, one is a prefix of the other.
+func Consistent[T comparable](seqs ...[]T) bool {
+	for i := range seqs {
+		for j := i + 1; j < len(seqs); j++ {
+			if !IsPrefix(seqs[i], seqs[j]) && !IsPrefix(seqs[j], seqs[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LUB returns the least upper bound of a consistent collection of sequences:
+// the minimum sequence b with a ≤ b for every a. The second result is false
+// if the collection is not consistent. LUB of the empty collection is λ.
+func LUB[T comparable](seqs ...[]T) ([]T, bool) {
+	var longest []T
+	for _, s := range seqs {
+		if len(s) > len(longest) {
+			longest = s
+		}
+	}
+	for _, s := range seqs {
+		if !IsPrefix(s, longest) {
+			return nil, false
+		}
+	}
+	out := make([]T, len(longest))
+	copy(out, longest)
+	return out, true
+}
+
+// CommonPrefix returns the longest sequence that is a prefix of both a and b.
+func CommonPrefix[T comparable](a, b []T) []T {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	out := make([]T, i)
+	copy(out, a[:i])
+	return out
+}
+
+// ApplyToAll maps f over a, per the paper's applytoall(f, a).
+func ApplyToAll[S, T any](f func(S) T, a []S) []T {
+	out := make([]T, len(a))
+	for i, x := range a {
+		out[i] = f(x)
+	}
+	return out
+}
+
+// Head returns the first element of a nonempty sequence; ok is false for λ.
+func Head[T any](a []T) (head T, ok bool) {
+	if len(a) == 0 {
+		return head, false
+	}
+	return a[0], true
+}
+
+// CloneSeq returns an independent copy of a. The clone of λ is a non-nil
+// empty slice, so fingerprints of λ and cloned λ agree.
+func CloneSeq[T any](a []T) []T {
+	out := make([]T, len(a))
+	copy(out, a)
+	return out
+}

@@ -1,0 +1,138 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrefix(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []int{1}, true},
+		{[]int{1}, nil, false},
+		{[]int{1, 2}, []int{1, 2, 3}, true},
+		{[]int{1, 3}, []int{1, 2, 3}, false},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, true},
+		{[]int{1, 2, 3, 4}, []int{1, 2, 3}, false},
+	}
+	for _, c := range cases {
+		if got := IsPrefix(c.a, c.b); got != c.want {
+			t.Errorf("IsPrefix(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsPrefixProperties(t *testing.T) {
+	// a ≤ a+b, and a ≤ b ∧ b ≤ a ⇒ a = b.
+	f := func(a, b []byte) bool {
+		ab := append(append([]byte{}, a...), b...)
+		if !IsPrefix(a, ab) {
+			return false
+		}
+		if IsPrefix(a, b) && IsPrefix(b, a) && string(a) != string(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsistent(t *testing.T) {
+	if !Consistent([]int{1}, []int{1, 2}, nil) {
+		t.Error("prefix chain should be consistent")
+	}
+	if Consistent([]int{1}, []int{2}) {
+		t.Error("diverging sequences are not consistent")
+	}
+	if !Consistent[int]() {
+		t.Error("empty collection is consistent")
+	}
+}
+
+func TestLUB(t *testing.T) {
+	lub, ok := LUB([]int{1}, []int{1, 2, 3}, []int{1, 2})
+	if !ok || len(lub) != 3 || lub[2] != 3 {
+		t.Errorf("LUB = %v, %v", lub, ok)
+	}
+	if _, ok := LUB([]int{1}, []int{2}); ok {
+		t.Error("LUB of inconsistent collection should fail")
+	}
+	lub, ok = LUB[int]()
+	if !ok || len(lub) != 0 {
+		t.Error("LUB of empty collection is λ")
+	}
+}
+
+func TestLUBProperty(t *testing.T) {
+	// For any sequence s and cut points, the prefixes' LUB is the longest
+	// prefix.
+	f := func(s []byte, i, j uint8) bool {
+		ci, cj := int(i)%(len(s)+1), int(j)%(len(s)+1)
+		lub, ok := LUB(s[:ci], s[:cj], s)
+		return ok && string(lub) == string(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonPrefix(t *testing.T) {
+	got := CommonPrefix([]int{1, 2, 3}, []int{1, 2, 9, 9})
+	if len(got) != 2 || got[1] != 2 {
+		t.Errorf("CommonPrefix = %v", got)
+	}
+	if len(CommonPrefix([]int{1}, []int{2})) != 0 {
+		t.Error("disjoint sequences share only λ")
+	}
+}
+
+func TestCommonPrefixProperty(t *testing.T) {
+	f := func(a, b []byte) bool {
+		p := CommonPrefix(a, b)
+		if !IsPrefix(p, a) || !IsPrefix(p, b) {
+			return false
+		}
+		// Maximal: the next elements differ or one sequence ends.
+		if len(p) < len(a) && len(p) < len(b) && a[len(p)] == b[len(p)] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyToAll(t *testing.T) {
+	got := ApplyToAll(func(x int) int { return x * 2 }, []int{1, 2, 3})
+	if len(got) != 3 || got[2] != 6 {
+		t.Errorf("ApplyToAll = %v", got)
+	}
+}
+
+func TestHead(t *testing.T) {
+	if _, ok := Head([]int{}); ok {
+		t.Error("Head of λ should fail")
+	}
+	h, ok := Head([]int{7, 8})
+	if !ok || h != 7 {
+		t.Errorf("Head = %v, %v", h, ok)
+	}
+}
+
+func TestCloneSeq(t *testing.T) {
+	a := []int{1, 2}
+	c := CloneSeq(a)
+	c[0] = 9
+	if a[0] != 1 {
+		t.Error("CloneSeq not independent")
+	}
+	if CloneSeq[int](nil) == nil {
+		t.Error("CloneSeq of nil should be non-nil empty")
+	}
+}

@@ -1,0 +1,492 @@
+// Package vsg is the runtime realization of the VS service: a per-node
+// event loop combining the membership substrate (internal/member) with a
+// per-view sequencer providing totally ordered, gap-free delivery within
+// each view and safe indications once every member has delivered a message.
+//
+// Within a view, members forward payloads to the view leader (its
+// minimum-id member); the leader assigns sequence numbers and multicasts the
+// ordered stream; members deliver in sequence order and acknowledge
+// cumulatively; the leader multicasts the all-acked safe point. Messages are
+// tagged with their view identifier and never delivered in another view.
+// Together these provide the VS safety guarantees (Figure 1) that the
+// VS-TO-DVS layer assumes: per-view total order with prefix delivery, and
+// safe indications implying every member's endpoint has delivered.
+//
+// Layers above are driven synchronously from the node's single event loop
+// through the Handler interface, so they need no locking of their own.
+package vsg
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/member"
+	netfab "repro/internal/net"
+	"repro/internal/types"
+)
+
+// Wire messages of the data plane.
+type (
+	// Data carries a payload from a member to the view leader. SenderSeq
+	// numbers the sender's submissions within the view, so the leader can
+	// de-duplicate retransmissions and restore per-sender FIFO order after
+	// losses.
+	Data struct {
+		ViewID    types.ViewID
+		SenderSeq int
+		Payload   any
+	}
+	// Ordered carries a sequenced payload from the leader to the members.
+	// SenderSeq echoes the sender's submission number so senders can stop
+	// retransmitting.
+	Ordered struct {
+		ViewID    types.ViewID
+		Seq       int
+		Sender    types.ProcID
+		SenderSeq int
+		Payload   any
+	}
+	// Ack cumulatively acknowledges delivery through Seq.
+	Ack struct {
+		ViewID types.ViewID
+		Seq    int
+	}
+	// SafePoint announces that every member has delivered through Seq.
+	SafePoint struct {
+		ViewID types.ViewID
+		Seq    int
+	}
+)
+
+// Handler receives the view-synchronous upcalls. Handlers are invoked from
+// the node's event loop; they may call Node.SendInLoop but must not block.
+type Handler interface {
+	OnNewView(v types.View)
+	OnRecv(payload any, from types.ProcID)
+	OnSafe(payload any, from types.ProcID)
+}
+
+// Config configures a Node.
+type Config struct {
+	Self      types.ProcID
+	Universe  types.ProcSet
+	Initial   types.View
+	Transport netfab.Transport
+
+	// TickInterval drives heartbeats and proposal retries (default 2ms).
+	TickInterval time.Duration
+	// SuspectTimeout is the failure-detection window (default 5 ticks).
+	SuspectTimeout time.Duration
+	// ProposeRetry is the view-proposal retry period (default 10 ticks).
+	ProposeRetry time.Duration
+}
+
+func (c *Config) fill() {
+	if c.TickInterval <= 0 {
+		c.TickInterval = 2 * time.Millisecond
+	}
+	if c.SuspectTimeout <= 0 {
+		c.SuspectTimeout = 5 * c.TickInterval
+	}
+	if c.ProposeRetry <= 0 {
+		c.ProposeRetry = 10 * c.TickInterval
+	}
+}
+
+// Node is one process of the view-synchronous layer.
+type Node struct {
+	cfg     Config
+	self    types.ProcID
+	fabric  netfab.Transport
+	handler Handler
+
+	detector  *member.Detector
+	agreement *member.Agreement
+
+	// Sequencer / delivery state for the current view.
+	view        types.View
+	hasView     bool
+	leaderLog   []Ordered // leader only: the ordered stream
+	acked       map[types.ProcID]int
+	safePoint   int // leader: last multicast safe point
+	buffer      map[int]Ordered
+	nextDeliver int
+	delivered   []Ordered
+	nextSafe    int
+	safeUpTo    int
+
+	// Sender-side reliability: submissions not yet seen in the ordered
+	// stream, retransmitted on ticks.
+	sendSeq    int
+	pendingOut []Data
+	// Leader-side per-sender dedup/reorder state.
+	dataNext map[types.ProcID]int
+	dataBuf  map[types.ProcID]map[int]any
+
+	cmds chan func()
+	stop chan struct{}
+	done chan struct{}
+
+	mu        sync.Mutex
+	published types.View // last installed view, for observers
+	publishOK bool
+}
+
+// NewNode builds a node without starting it. Call SetHandler (handlers
+// usually need the node reference to send, so they are attached after
+// construction) and then Start.
+func NewNode(cfg Config) *Node {
+	cfg.fill()
+	n := &Node{
+		cfg:    cfg,
+		self:   cfg.Self,
+		fabric: cfg.Transport,
+		cmds:   make(chan func(), 4096),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	now := time.Now()
+	n.detector = member.NewDetector(cfg.Self, cfg.Universe, cfg.SuspectTimeout, now)
+	n.agreement = member.NewAgreement(cfg.Self, cfg.Initial, cfg.ProposeRetry)
+	return n
+}
+
+// SetHandler attaches the layer above. It must be called before Start.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// Start launches the event loop. The handler's OnNewView for the initial
+// view (if the node is a member) is delivered synchronously, before the
+// loop starts, so no message can overtake it.
+func (n *Node) Start() {
+	if v, ok := n.agreement.Current(); ok {
+		n.installView(v.Clone())
+	}
+	go n.run()
+}
+
+// Do schedules f to run inside the node's event loop. It is the only safe
+// way to touch the stack from outside the loop. It blocks if the command
+// queue is full and returns false once the node has stopped.
+func (n *Node) Do(f func()) bool {
+	select {
+	case <-n.stop:
+		return false
+	default:
+	}
+	select {
+	case n.cmds <- f:
+		return true
+	case <-n.stop:
+		return false
+	}
+}
+
+// View returns the last installed view (thread-safe).
+func (n *Node) View() (types.View, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.published.Clone(), n.publishOK
+}
+
+// Stop terminates the event loop and waits for it to exit.
+func (n *Node) Stop() {
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	<-n.done
+}
+
+func (n *Node) run() {
+	defer close(n.done)
+	inbox, err := n.fabric.Inbox(n.self)
+	if err != nil {
+		return
+	}
+	ticker := time.NewTicker(n.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case f := <-n.cmds:
+			f()
+		case env := <-inbox:
+			n.onMessage(env)
+		case <-ticker.C:
+			n.onTick(time.Now())
+		}
+	}
+}
+
+func (n *Node) onTick(now time.Time) {
+	// Heartbeats to the whole universe; the fabric enforces partitions.
+	for _, q := range n.cfg.Universe.Sorted() {
+		if q != n.self {
+			n.fabric.Send(n.self, q, member.Heartbeat{})
+		}
+	}
+	sends, installed := n.agreement.Tick(now, n.detector.Alive(now))
+	n.flush(sends)
+	if installed != nil {
+		n.installView(*installed)
+	}
+	n.retransmit()
+}
+
+// retransmit drives all tick-based reliability: senders resend unordered
+// submissions; members resend their cumulative ack; every node gossips its
+// current view (healing lost Installs); the leader resends unacked suffixes
+// of the ordered stream and the safe point. Together these make stable-view
+// delivery immune to message loss, startup races and inbox overflow.
+func (n *Node) retransmit() {
+	const window = 64
+	if !n.hasView {
+		return
+	}
+	// View gossip: lost Install messages leave a member stranded in an old
+	// view; re-announcing the current view heals it (installs are
+	// idempotent and monotone).
+	for _, q := range n.view.Members.Sorted() {
+		if q != n.self {
+			n.fabric.Send(n.self, q, member.Install{View: n.view.Clone()})
+		}
+	}
+	if n.leader() != n.self {
+		// Resend unordered submissions and the cumulative ack.
+		for i, d := range n.pendingOut {
+			if i >= window {
+				break
+			}
+			n.fabric.Send(n.self, n.leader(), d)
+		}
+		if n.nextDeliver > 1 {
+			n.fabric.Send(n.self, n.leader(), Ack{ViewID: n.view.ID, Seq: n.nextDeliver - 1})
+		}
+		return
+	}
+	for _, q := range n.view.Members.Sorted() {
+		if q == n.self {
+			continue
+		}
+		from := n.acked[q]
+		for s := from; s < len(n.leaderLog) && s < from+window; s++ {
+			n.fabric.Send(n.self, q, n.leaderLog[s])
+		}
+		if n.safePoint > 0 {
+			n.fabric.Send(n.self, q, SafePoint{ViewID: n.view.ID, Seq: n.safePoint})
+		}
+	}
+}
+
+func (n *Node) flush(sends []member.Send) {
+	for _, s := range sends {
+		n.fabric.Send(n.self, s.To, s.Payload)
+	}
+}
+
+func (n *Node) onMessage(env netfab.Envelope) {
+	n.detector.Observe(env.From, time.Now())
+	switch m := env.Payload.(type) {
+	case member.Heartbeat:
+		// liveness only
+	case member.Propose:
+		n.flush(n.agreement.OnPropose(env.From, m.View))
+	case member.Accept:
+		n.agreement.OnAccept(env.From, m.ViewID)
+	case member.Install:
+		if v := n.agreement.OnInstall(m.View); v != nil {
+			n.installView(*v)
+		}
+	case Data:
+		n.onData(env.From, m)
+	case Ordered:
+		n.onOrdered(m)
+	case Ack:
+		n.onAck(env.From, m)
+	case SafePoint:
+		n.onSafePoint(m)
+	}
+}
+
+// installView resets the sequencer and notifies the layer above.
+func (n *Node) installView(v types.View) {
+	n.view = v.Clone()
+	n.hasView = true
+	n.leaderLog = nil
+	n.acked = make(map[types.ProcID]int, v.Members.Len())
+	n.safePoint = 0
+	n.buffer = make(map[int]Ordered)
+	n.nextDeliver = 1
+	n.delivered = nil
+	n.nextSafe = 1
+	n.safeUpTo = 0
+	n.sendSeq = 0
+	n.pendingOut = nil
+	n.dataNext = make(map[types.ProcID]int)
+	n.dataBuf = make(map[types.ProcID]map[int]any)
+
+	n.mu.Lock()
+	n.published = v.Clone()
+	n.publishOK = true
+	n.mu.Unlock()
+
+	if n.handler != nil {
+		n.handler.OnNewView(v.Clone())
+	}
+}
+
+func (n *Node) leader() types.ProcID { return n.view.Members.Sorted()[0] }
+
+// SendInLoop submits a payload for totally ordered delivery within the
+// current view. It must be called from inside the event loop (i.e. from a
+// Handler upcall or a Do closure). Without a current view the payload is
+// dropped, as the VS specification permits.
+func (n *Node) SendInLoop(payload any) {
+	if !n.hasView {
+		return
+	}
+	n.sendSeq++
+	d := Data{ViewID: n.view.ID, SenderSeq: n.sendSeq, Payload: payload}
+	n.pendingOut = append(n.pendingOut, d)
+	if n.leader() == n.self {
+		n.onData(n.self, d)
+		return
+	}
+	n.fabric.Send(n.self, n.leader(), d)
+}
+
+func (n *Node) onData(from types.ProcID, m Data) {
+	if !n.hasView || m.ViewID != n.view.ID || n.leader() != n.self {
+		return
+	}
+	next := n.dataNext[from] + 1
+	if m.SenderSeq < next {
+		return // duplicate retransmission
+	}
+	buf, ok := n.dataBuf[from]
+	if !ok {
+		buf = make(map[int]any)
+		n.dataBuf[from] = buf
+	}
+	buf[m.SenderSeq] = m.Payload
+	// Order contiguously, preserving per-sender FIFO across losses.
+	for {
+		payload, ok := buf[next]
+		if !ok {
+			break
+		}
+		delete(buf, next)
+		n.dataNext[from] = next
+		n.order(from, payload)
+		next++
+	}
+}
+
+func (n *Node) order(sender types.ProcID, payload any) {
+	o := Ordered{ViewID: n.view.ID, Seq: len(n.leaderLog) + 1, Sender: sender, SenderSeq: n.dataNext[sender], Payload: payload}
+	n.leaderLog = append(n.leaderLog, o)
+	for _, q := range n.view.Members.Sorted() {
+		if q == n.self {
+			n.onOrdered(o)
+		} else {
+			n.fabric.Send(n.self, q, o)
+		}
+	}
+}
+
+func (n *Node) onOrdered(m Ordered) {
+	if !n.hasView || m.ViewID != n.view.ID {
+		return
+	}
+	if m.Seq < n.nextDeliver {
+		return
+	}
+	n.buffer[m.Seq] = m
+	progressed := false
+	for {
+		o, ok := n.buffer[n.nextDeliver]
+		if !ok {
+			break
+		}
+		delete(n.buffer, n.nextDeliver)
+		n.delivered = append(n.delivered, o)
+		n.nextDeliver++
+		progressed = true
+		if o.Sender == n.self {
+			// Our own submission made it into the ordered stream: stop
+			// retransmitting everything up to it.
+			for len(n.pendingOut) > 0 && n.pendingOut[0].SenderSeq <= o.SenderSeq {
+				n.pendingOut = n.pendingOut[1:]
+			}
+		}
+		if n.handler != nil {
+			n.handler.OnRecv(o.Payload, o.Sender)
+		}
+	}
+	if progressed {
+		ack := Ack{ViewID: n.view.ID, Seq: n.nextDeliver - 1}
+		if n.leader() == n.self {
+			n.onAckLocal(n.self, ack)
+		} else {
+			n.fabric.Send(n.self, n.leader(), ack)
+		}
+	}
+	n.emitSafe()
+}
+
+func (n *Node) onAck(from types.ProcID, m Ack) {
+	if !n.hasView || m.ViewID != n.view.ID || n.leader() != n.self {
+		return
+	}
+	n.onAckLocal(from, m)
+}
+
+func (n *Node) onAckLocal(from types.ProcID, m Ack) {
+	if m.Seq > n.acked[from] {
+		n.acked[from] = m.Seq
+	}
+	safe := -1
+	for q := range n.view.Members {
+		a := n.acked[q]
+		if safe == -1 || a < safe {
+			safe = a
+		}
+	}
+	if safe > n.safePoint {
+		n.safePoint = safe
+		sp := SafePoint{ViewID: n.view.ID, Seq: safe}
+		for _, q := range n.view.Members.Sorted() {
+			if q == n.self {
+				n.onSafePoint(sp)
+			} else {
+				n.fabric.Send(n.self, q, sp)
+			}
+		}
+	}
+}
+
+func (n *Node) onSafePoint(m SafePoint) {
+	if !n.hasView || m.ViewID != n.view.ID {
+		return
+	}
+	if m.Seq > n.safeUpTo {
+		n.safeUpTo = m.Seq
+	}
+	n.emitSafe()
+}
+
+func (n *Node) emitSafe() {
+	for n.nextSafe <= n.safeUpTo && n.nextSafe <= len(n.delivered) {
+		o := n.delivered[n.nextSafe-1]
+		n.nextSafe++
+		if n.handler != nil {
+			n.handler.OnSafe(o.Payload, o.Sender)
+		}
+	}
+}
+
+// Stopped returns a channel closed when the node is stopping; layers above
+// use it to abort blocking hand-offs to the application.
+func (n *Node) Stopped() <-chan struct{} { return n.stop }

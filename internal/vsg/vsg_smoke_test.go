@@ -1,0 +1,75 @@
+package vsg
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	netfab "repro/internal/net"
+	"repro/internal/types"
+)
+
+type countHandler struct {
+	mu    sync.Mutex
+	views []types.View
+	recvs []string
+	safes []string
+}
+
+func (h *countHandler) OnNewView(v types.View) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.views = append(h.views, v)
+}
+func (h *countHandler) OnRecv(p any, from types.ProcID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.recvs = append(h.recvs, fmt.Sprint(p))
+}
+func (h *countHandler) OnSafe(p any, from types.ProcID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.safes = append(h.safes, fmt.Sprint(p))
+}
+
+func TestVSGSmoke(t *testing.T) {
+	universe := types.RangeProcSet(3)
+	v0 := types.InitialView(universe)
+	fab := netfab.NewFabric(universe, netfab.Config{})
+	nodes := make([]*Node, 3)
+	handlers := make([]*countHandler, 3)
+	for i := 0; i < 3; i++ {
+		handlers[i] = &countHandler{}
+		nodes[i] = NewNode(Config{Self: types.ProcID(i), Universe: universe, Initial: v0, Transport: fab})
+		nodes[i].SetHandler(handlers[i])
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	for k := 0; k < 5; k++ {
+		msg := fmt.Sprintf("m%d", k)
+		nodes[1].Do(func() { nodes[1].SendInLoop(msg) })
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		handlers[2].mu.Lock()
+		r, s := len(handlers[2].recvs), len(handlers[2].safes)
+		handlers[2].mu.Unlock()
+		if r >= 5 && s >= 5 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i, h := range handlers {
+		h.mu.Lock()
+		t.Logf("node %d: views=%v recvs=%v safes=%v", i, h.views, h.recvs, h.safes)
+		h.mu.Unlock()
+	}
+	t.Fatal("timeout")
+}

@@ -1,0 +1,156 @@
+package dvs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// register is a tiny deterministic state machine: last-writer-wins cells.
+type register struct {
+	mu   sync.Mutex
+	log  []string
+	cell map[string]string
+}
+
+func newRegister() *register { return &register{cell: make(map[string]string)} }
+
+func (r *register) apply(cmd string, origin ProcID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.log = append(r.log, cmd)
+	var k, v string
+	if _, err := fmt.Sscanf(cmd, "%s %s", &k, &v); err == nil {
+		r.cell[k] = v
+	}
+}
+
+func (r *register) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.log...)
+}
+
+func TestStateMachineReplication(t *testing.T) {
+	const n = 4
+	cl, err := NewCluster(Config{Processes: n, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	regs := make([]*register, n)
+	sms := make([]*StateMachine, n)
+	for i := 0; i < n; i++ {
+		regs[i] = newRegister()
+		sms[i] = NewStateMachine(cl.Process(i), regs[i].apply)
+	}
+	defer func() {
+		for _, sm := range sms {
+			sm.Close()
+		}
+	}()
+
+	for k := 0; k < 8; k++ {
+		if !sms[k%n].Submit(fmt.Sprintf("key%d val%d", k%3, k)) {
+			t.Fatal("submit failed")
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		done := true
+		for i := 0; i < n; i++ {
+			if sms[i].Applied() < 8 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: applied = %d %d %d %d", sms[0].Applied(), sms[1].Applied(), sms[2].Applied(), sms[3].Applied())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	want := regs[0].snapshot()
+	for i := 1; i < n; i++ {
+		got := regs[i].snapshot()
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("replica %d diverges at %d: %q vs %q", i, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestStateMachineAcrossPartition(t *testing.T) {
+	const n = 5
+	cl, err := NewCluster(Config{Processes: n, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	regs := make([]*register, n)
+	sms := make([]*StateMachine, n)
+	for i := 0; i < n; i++ {
+		regs[i] = newRegister()
+		sms[i] = NewStateMachine(cl.Process(i), regs[i].apply)
+	}
+	defer func() {
+		for _, sm := range sms {
+			sm.Close()
+		}
+	}()
+
+	sms[0].Submit("a 1")
+	time.Sleep(150 * time.Millisecond)
+	cl.Partition([]int{0, 1, 2}, []int{3, 4})
+	time.Sleep(150 * time.Millisecond)
+	sms[1].Submit("b 2") // commits in the primary component
+	sms[4].Submit("c 3") // buffered in the minority
+	time.Sleep(200 * time.Millisecond)
+	if sms[4].Applied() > 1 {
+		t.Error("minority replica applied a partition-time command")
+	}
+	cl.Heal()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		done := true
+		for i := 0; i < n; i++ {
+			if sms[i].Applied() < 3 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for convergence after heal")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	want := regs[0].snapshot()
+	for i := 1; i < n; i++ {
+		got := regs[i].snapshot()
+		if len(got) != len(want) {
+			t.Fatalf("replica %d length %d vs %d", i, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("replica %d diverges at %d", i, k)
+			}
+		}
+	}
+}
+
+func TestStateMachineCloseIdempotent(t *testing.T) {
+	cl, err := NewCluster(Config{Processes: 2, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sm := NewStateMachine(cl.Process(0), func(string, ProcID) {})
+	sm.Close()
+	sm.Close() // must not panic or deadlock
+}

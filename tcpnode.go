@@ -1,0 +1,192 @@
+package dvs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dvsg"
+	"repro/internal/member"
+	netfab "repro/internal/net"
+	"repro/internal/quorum"
+	"repro/internal/staticp"
+	"repro/internal/tob"
+	"repro/internal/toimpl"
+	"repro/internal/types"
+	"repro/internal/vsg"
+)
+
+// registerWireTypes registers every payload type the stack puts on the
+// wire, so the TCP transport can gob-encode them.
+func registerWireTypes() {
+	for _, v := range []any{
+		member.Heartbeat{}, member.Propose{}, member.Accept{}, member.Install{},
+		vsg.Data{}, vsg.Ordered{}, vsg.Ack{}, vsg.SafePoint{},
+		core.InfoMsg{}, core.RegisteredMsg{},
+		toimpl.LabelMsg{}, toimpl.SummaryMsg{},
+		types.ClientMsg(""),
+	} {
+		netfab.RegisterWireType(v)
+	}
+}
+
+// NodeConfig configures a standalone process communicating over real TCP —
+// the deployable form of the stack. All nodes of a group must agree on
+// Processes, Initial, and the peer address map.
+type NodeConfig struct {
+	// ID is this process's id in [0, Processes).
+	ID int
+	// Processes is the universe size.
+	Processes int
+	// Initial lists v0's members (empty = all).
+	Initial []int
+	// Listen is the local address, e.g. "127.0.0.1:7000" (":0" picks a
+	// port; see Node.Addr).
+	Listen string
+	// Peers maps remote ids to their addresses.
+	Peers map[int]string
+	// Mode selects dynamic (default) or static primaries.
+	Mode Mode
+	// DisableRegistration as in Config.
+	DisableRegistration bool
+	// TickInterval as in Config; over real networks a coarser tick
+	// (e.g. 20ms) is appropriate. SuspectTimeout and ProposeRetry default
+	// to 5 and 10 ticks.
+	TickInterval   time.Duration
+	SuspectTimeout time.Duration
+	ProposeRetry   time.Duration
+}
+
+// Node is one standalone process of a TCP-connected group.
+type Node struct {
+	id        ProcID
+	transport *netfab.TCPTransport
+	vsg       *vsg.Node
+	dvs       *dvsg.Layer
+	tob       *tob.Layer
+}
+
+// StartNode launches a standalone process.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Processes <= 0 {
+		return nil, errors.New("dvs: NodeConfig.Processes must be positive")
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.Processes {
+		return nil, fmt.Errorf("dvs: node id %d out of range", cfg.ID)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeDynamic
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 20 * time.Millisecond
+	}
+	registerWireTypes()
+
+	universe := types.RangeProcSet(cfg.Processes)
+	p0 := types.NewProcSet()
+	if len(cfg.Initial) == 0 {
+		p0 = universe.Clone()
+	} else {
+		for _, i := range cfg.Initial {
+			if i < 0 || i >= cfg.Processes {
+				return nil, fmt.Errorf("dvs: initial member %d out of range", i)
+			}
+			p0.Add(ProcID(i))
+		}
+	}
+	initial := types.InitialView(p0)
+	self := ProcID(cfg.ID)
+
+	peers := make(map[types.ProcID]string, len(cfg.Peers))
+	for id, addr := range cfg.Peers {
+		peers[ProcID(id)] = addr
+	}
+	transport, err := netfab.NewTCPTransport(netfab.TCPConfig{
+		Self:   self,
+		Listen: cfg.Listen,
+		Peers:  peers,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	node := vsg.NewNode(vsg.Config{
+		Self:           self,
+		Universe:       universe,
+		Initial:        initial,
+		Transport:      transport,
+		TickInterval:   cfg.TickInterval,
+		SuspectTimeout: cfg.SuspectTimeout,
+		ProposeRetry:   cfg.ProposeRetry,
+	})
+	var filter dvsg.Filter
+	if cfg.Mode == ModeStatic {
+		filter = staticp.NewNode(self, initial, initial.Contains(self), quorum.Majority(p0))
+	} else {
+		filter = core.NewNode(self, initial, initial.Contains(self))
+	}
+	app := tob.New(self, initial, !cfg.DisableRegistration, node.Stopped())
+	layer := dvsg.New(filter, app, cfg.Mode == ModeDynamic)
+	layer.Bind(node)
+	app.Bind(layer)
+	node.SetHandler(layer)
+	node.Start()
+
+	return &Node{id: self, transport: transport, vsg: node, dvs: layer, tob: app}, nil
+}
+
+// ID returns the node's process id.
+func (n *Node) ID() ProcID { return n.id }
+
+// Addr returns the actual TCP listen address.
+func (n *Node) Addr() string { return n.transport.Addr() }
+
+// Broadcast submits a payload for totally-ordered delivery.
+func (n *Node) Broadcast(payload string) bool {
+	return n.vsg.Do(func() { n.tob.Broadcast(payload) })
+}
+
+// Deliveries is the totally ordered stream of messages.
+func (n *Node) Deliveries() <-chan Delivery { return n.tob.Deliveries() }
+
+// Views is the stream of primary views (best effort).
+func (n *Node) Views() <-chan ViewEvent { return n.tob.Views() }
+
+// CurrentPrimary returns the node's current primary view, if any.
+func (n *Node) CurrentPrimary() (View, bool) {
+	type reply struct {
+		v  View
+		ok bool
+	}
+	ch := make(chan reply, 1)
+	if !n.vsg.Do(func() {
+		v, ok := n.dvs.ClientCur()
+		ch <- reply{v.Clone(), ok}
+	}) {
+		return View{}, false
+	}
+	r := <-ch
+	return r.v, r.ok
+}
+
+// Established reports whether the current primary has completed its state
+// exchange at this node.
+func (n *Node) Established() bool {
+	ch := make(chan bool, 1)
+	if !n.vsg.Do(func() {
+		// v0 needs no state exchange: the paper initializes
+		// registered[g0] = P0, so the initial view counts as established.
+		cur, ok := n.tob.Node().Current()
+		ch <- ok && (cur.ID.IsZero() || n.tob.Node().Established(cur.ID))
+	}) {
+		return false
+	}
+	return <-ch
+}
+
+// Close stops the node and its transport.
+func (n *Node) Close() {
+	n.vsg.Stop()
+	n.transport.Close()
+}
