@@ -1,0 +1,25 @@
+# Verification gate for every PR. `make check` is the tier-1 bar plus the
+# race detector, which gates the concurrent checking engine (worker-pool
+# seed fan-out, parallel BFS) against data races.
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Serial-vs-parallel theorem-check benchmarks (E1–E3).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkE[123]' -benchtime 2x .

@@ -9,6 +9,7 @@ package dvs_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -24,42 +25,83 @@ import (
 )
 
 // --- E1: specification invariants (Figures 1 and 2, Invariants 3.1/4.1/4.2) ---
+//
+// E1–E3 each run a serial and a parallel variant over the same seed set so
+// the speedup of the worker-pool seed fan-out is directly visible (compare
+// parallel=1 with parallel=GOMAXPROCS ns/op). Both variants check the same
+// executions and report identical failures.
+
+// benchModes are the fan-out widths benchmarked for every theorem check:
+// serial, plus one worker per core (on a single-core machine the pool is
+// still exercised with 4 workers so the concurrent path stays covered,
+// though no speedup is possible there).
+func benchModes() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1, 4}
+}
 
 func BenchmarkE1SpecInvariants(b *testing.B) {
-	cfg := dvs.CheckConfig{Procs: 4, Steps: 400, Seeds: 2}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(i)
-		if err := dvs.CheckVSInvariants(cfg); err != nil {
-			b.Fatal(err)
-		}
-		if err := dvs.CheckDVSInvariants(cfg); err != nil {
-			b.Fatal(err)
-		}
+	for _, par := range benchModes() {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			cfg := dvs.CheckConfig{Procs: 4, Steps: 400, Seeds: 8, Parallel: par}
+			b.ReportAllocs()
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i)
+				rep, err := dvs.CheckVSInvariants(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += rep.Steps
+				if rep, err = dvs.CheckDVSInvariants(cfg); err != nil {
+					b.Fatal(err)
+				}
+				steps += rep.Steps
+			}
+			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+		})
 	}
 }
 
 // --- E2: Theorem 5.9 (DVS-IMPL refines DVS, Figure 4 mapping) ---
 
 func BenchmarkE2RefinementDVS(b *testing.B) {
-	cfg := dvs.CheckConfig{Procs: 4, Steps: 300, Seeds: 1}
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(i)
-		if err := dvs.CheckDVSRefinement(cfg); err != nil {
-			b.Fatal(err)
-		}
+	for _, par := range benchModes() {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			cfg := dvs.CheckConfig{Procs: 4, Steps: 300, Seeds: 8, Parallel: par}
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i)
+				rep, err := dvs.CheckDVSRefinement(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += rep.Steps
+			}
+			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+		})
 	}
 }
 
 // --- E3: Theorem 6.4 (TO-IMPL's traces are TO traces) ---
 
 func BenchmarkE3RefinementTO(b *testing.B) {
-	cfg := dvs.CheckConfig{Procs: 4, Steps: 300, Seeds: 1}
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(i)
-		if err := dvs.CheckTOTraceInclusion(cfg); err != nil {
-			b.Fatal(err)
-		}
+	for _, par := range benchModes() {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			cfg := dvs.CheckConfig{Procs: 4, Steps: 300, Seeds: 8, Parallel: par}
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i)
+				rep, err := dvs.CheckTOTraceInclusion(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += rep.Steps
+			}
+			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+		})
 	}
 }
 

@@ -2,6 +2,7 @@ package dvs
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ioa"
@@ -25,6 +26,11 @@ type CheckConfig struct {
 	Seeds int
 	// Seed is the base seed.
 	Seed int64
+	// Parallel is the number of workers seeds are fanned out to
+	// (0 = GOMAXPROCS, 1 = serial). Each seed runs a fresh automaton and a
+	// fresh environment, so the reported lowest failing seed is identical
+	// under every setting.
+	Parallel int
 }
 
 func (c CheckConfig) fill() (CheckConfig, types.ProcSet, types.View) {
@@ -51,24 +57,24 @@ func (c CheckConfig) fill() (CheckConfig, types.ProcSet, types.View) {
 
 // CheckVSInvariants drives the VS specification automaton (Figure 1)
 // through seeded random executions, checking Invariant 3.1 at every state.
-func CheckVSInvariants(cfg CheckConfig) error {
+func CheckVSInvariants(cfg CheckConfig) (ioa.CheckReport, error) {
 	cfg, universe, v0 := cfg.fill()
-	ex := &ioa.Executor{Steps: cfg.Steps, Seed: cfg.Seed}
+	ex := &ioa.Executor{Steps: cfg.Steps, Seed: cfg.Seed, Parallel: cfg.Parallel}
 	return ex.RunSeeds(cfg.Seeds,
 		func() ioa.Automaton { return vsspec.New(universe, v0) },
-		vsspec.NewEnv(cfg.Seed+1, universe),
+		func(seed int64) ioa.Environment { return vsspec.NewEnv(seed+1, universe) },
 		vsspec.Invariants())
 }
 
 // CheckDVSInvariants drives the DVS specification automaton (Figure 2)
 // through seeded random executions, checking Invariants 4.1 and 4.2 at
 // every state.
-func CheckDVSInvariants(cfg CheckConfig) error {
+func CheckDVSInvariants(cfg CheckConfig) (ioa.CheckReport, error) {
 	cfg, universe, v0 := cfg.fill()
-	ex := &ioa.Executor{Steps: cfg.Steps, Seed: cfg.Seed}
+	ex := &ioa.Executor{Steps: cfg.Steps, Seed: cfg.Seed, Parallel: cfg.Parallel}
 	return ex.RunSeeds(cfg.Seeds,
 		func() ioa.Automaton { return dvsspec.New(universe, v0) },
-		dvsspec.NewEnv(cfg.Seed+1, universe),
+		func(seed int64) ioa.Environment { return dvsspec.NewEnv(seed+1, universe) },
 		dvsspec.Invariants())
 }
 
@@ -77,16 +83,17 @@ func CheckDVSInvariants(cfg CheckConfig) error {
 // of Figure 4, a fragment of the (amended) DVS specification with the same
 // trace — while Invariants 5.1–5.6 hold at every reachable implementation
 // state and Invariants 4.1–4.2 at every specification state.
-func CheckDVSRefinement(cfg CheckConfig) error {
+func CheckDVSRefinement(cfg CheckConfig) (ioa.CheckReport, error) {
 	cfg, universe, v0 := cfg.fill()
 	ref := &core.Refinement{Universe: universe, Initial: v0}
 	return ioa.CheckRefinementSeeds(cfg.Seeds,
 		func() ioa.Automaton { return core.NewImpl(universe, v0) },
 		ref,
-		func() ioa.Environment { return core.NewEnv(cfg.Seed+1, universe) },
+		func(seed int64) ioa.Environment { return core.NewEnv(seed+1, universe) },
 		ioa.CheckerConfig{
 			Steps:          cfg.Steps,
 			Seed:           cfg.Seed,
+			Parallel:       cfg.Parallel,
 			ImplInvariants: core.Invariants(),
 			SpecInvariants: dvsspec.Invariants(),
 		})
@@ -96,39 +103,43 @@ func CheckDVSRefinement(cfg CheckConfig) error {
 // TO-IMPL (Figure 5 over the literal Figure 2 DVS specification) is a trace
 // of the TO service, while Invariants 6.1–6.3 hold at every reachable
 // state.
-func CheckTOTraceInclusion(cfg CheckConfig) error {
+func CheckTOTraceInclusion(cfg CheckConfig) (ioa.CheckReport, error) {
 	cfg, universe, v0 := cfg.fill()
-	for i := 0; i < cfg.Seeds; i++ {
-		seed := cfg.Seed + int64(i)
-		impl := toimpl.NewImpl(universe, v0, toimpl.Config{DVS: toimpl.DVSLiteral})
-		mon := tospec.NewMonitor(universe)
-		err := ioa.CheckTraceInclusion(impl, mon, toimpl.NewEnv(seed+1, universe), ioa.CheckerConfig{
+	return ioa.CheckTraceInclusionSeeds(cfg.Seeds,
+		func(seed int64) (ioa.Automaton, ioa.Monitor, ioa.Environment) {
+			impl := toimpl.NewImpl(universe, v0, toimpl.Config{DVS: toimpl.DVSLiteral})
+			return impl, tospec.NewMonitor(universe), toimpl.NewEnv(seed+1, universe)
+		},
+		ioa.CheckerConfig{
 			Steps:          cfg.Steps,
-			Seed:           seed,
+			Seed:           cfg.Seed,
+			Parallel:       cfg.Parallel,
 			ImplInvariants: toimpl.Invariants(),
 		})
-		if err != nil {
-			return fmt.Errorf("seed %d: %w", seed, err)
-		}
-	}
-	return nil
 }
 
-// CheckAll runs every specification-layer check.
-func CheckAll(cfg CheckConfig) error {
+// CheckAll runs every specification-layer check and returns the merged
+// report.
+func CheckAll(cfg CheckConfig) (ioa.CheckReport, error) {
+	start := time.Now()
 	checks := []struct {
 		name string
-		run  func(CheckConfig) error
+		run  func(CheckConfig) (ioa.CheckReport, error)
 	}{
 		{"VS invariants", CheckVSInvariants},
 		{"DVS invariants", CheckDVSInvariants},
 		{"DVS refinement (Theorem 5.9)", CheckDVSRefinement},
 		{"TO trace inclusion (Theorem 6.4)", CheckTOTraceInclusion},
 	}
+	var total ioa.CheckReport
 	for _, c := range checks {
-		if err := c.run(cfg); err != nil {
-			return fmt.Errorf("%s: %w", c.name, err)
+		rep, err := c.run(cfg)
+		total.Merge(rep)
+		if err != nil {
+			total.Wall = time.Since(start)
+			return total, fmt.Errorf("%s: %w", c.name, err)
 		}
 	}
-	return nil
+	total.Wall = time.Since(start)
+	return total, nil
 }

@@ -69,7 +69,7 @@ func ExampleNewStateMachine() {
 
 // ExampleCheckDVSRefinement runs the mechanized Theorem 5.9 check.
 func ExampleCheckDVSRefinement() {
-	err := dvs.CheckDVSRefinement(dvs.CheckConfig{Procs: 3, Steps: 200, Seeds: 2})
+	_, err := dvs.CheckDVSRefinement(dvs.CheckConfig{Procs: 3, Steps: 200, Seeds: 2})
 	fmt.Println("refinement holds:", err == nil)
 	// Output: refinement holds: true
 }

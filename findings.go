@@ -33,7 +33,7 @@ func DemonstrateF1(cfg CheckConfig) (Finding, error) {
 	ref := &core.Refinement{Universe: universe, Initial: v0, Literal: true}
 	for i := 0; i < cfg.Seeds*5; i++ {
 		seed := cfg.Seed + int64(i)
-		err := ioa.CheckRefinement(core.NewImpl(universe, v0), ref,
+		_, err := ioa.CheckRefinement(core.NewImpl(universe, v0), ref,
 			core.NewEnv(seed+1000, universe),
 			ioa.CheckerConfig{Steps: cfg.Steps, Seed: seed})
 		if err == nil {
@@ -59,7 +59,7 @@ func DemonstrateF2(cfg CheckConfig) (Finding, error) {
 		seed := cfg.Seed + int64(i)
 		impl := toimpl.NewImpl(universe, v0, toimpl.Config{DVS: toimpl.DVSAmended})
 		mon := tospec.NewMonitor(universe)
-		err := ioa.CheckTraceInclusion(impl, mon, toimpl.NewEnv(seed+900, universe),
+		_, err := ioa.CheckTraceInclusion(impl, mon, toimpl.NewEnv(seed+900, universe),
 			ioa.CheckerConfig{Steps: cfg.Steps, Seed: seed, ImplInvariants: toimpl.Invariants()})
 		if err != nil {
 			return Finding{
@@ -80,7 +80,7 @@ func DemonstrateF3(cfg CheckConfig) (Finding, error) {
 		seed := cfg.Seed + int64(i)
 		impl := toimpl.NewImpl(universe, v0, toimpl.Config{DVS: toimpl.DVSLiteral, LiteralFigure5: true})
 		mon := tospec.NewMonitor(universe)
-		err := ioa.CheckTraceInclusion(impl, mon, toimpl.NewEnv(seed+500, universe),
+		_, err := ioa.CheckTraceInclusion(impl, mon, toimpl.NewEnv(seed+500, universe),
 			ioa.CheckerConfig{Steps: cfg.Steps, Seed: seed})
 		if err != nil {
 			return Finding{

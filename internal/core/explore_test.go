@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/ioa"
@@ -99,5 +100,38 @@ func TestBoundedEnvRespectsBounds(t *testing.T) {
 		if a.Name == "dvs-gpsnd" {
 			t.Fatal("send offered beyond MaxMsgs")
 		}
+	}
+}
+
+// TestExploreParallelMatchesSerial: the level-synchronous parallel BFS must
+// visit exactly the state space the serial exploration visits — same
+// states, edges, and depth — for bounded model checking of DVS-IMPL.
+func TestExploreParallelMatchesSerial(t *testing.T) {
+	universe := types.RangeProcSet(2)
+	v0 := types.InitialView(types.NewProcSet(0, 1))
+	env := &BoundedEnv{
+		MaxMsgs:  1,
+		MaxViews: 2,
+		Views:    []types.ProcSet{types.NewProcSet(0), types.NewProcSet(0, 1)},
+	}
+	run := func(parallel int) ioa.ExploreResult {
+		res, err := ioa.Explore(NewImpl(universe, v0), env, ioa.ExploreConfig{
+			MaxStates:  100000,
+			MaxDepth:   10,
+			Parallel:   parallel,
+			Invariants: Invariants(),
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: after %d states: %v", parallel, res.States, err)
+		}
+		return res
+	}
+	serial := run(1)
+	par := run(runtime.NumCPU())
+	if serial.States != par.States || serial.Edges != par.Edges || serial.MaxDepth != par.MaxDepth {
+		t.Errorf("parallel exploration diverged:\n  serial:   %+v\n  parallel: %+v", serial, par)
+	}
+	if serial.States < 100 {
+		t.Errorf("suspiciously small state space: %d", serial.States)
 	}
 }

@@ -18,8 +18,8 @@ func implSetup(n int) (types.ProcSet, types.View) {
 func TestImplInvariants(t *testing.T) {
 	universe, v0 := implSetup(4)
 	ex := &ioa.Executor{Steps: 400, Seed: 7}
-	err := ex.RunSeeds(6, func() ioa.Automaton { return NewImpl(universe, v0) },
-		NewEnv(42, universe), Invariants())
+	_, err := ex.RunSeeds(6, func() ioa.Automaton { return NewImpl(universe, v0) },
+		func(int64) ioa.Environment { return NewEnv(42, universe) }, Invariants())
 	if err != nil {
 		t.Fatalf("Invariants 5.1–5.6 violated: %v", err)
 	}
@@ -28,8 +28,8 @@ func TestImplInvariants(t *testing.T) {
 func TestImplInvariantsLargerUniverse(t *testing.T) {
 	universe, v0 := implSetup(6)
 	ex := &ioa.Executor{Steps: 500, Seed: 70}
-	err := ex.RunSeeds(3, func() ioa.Automaton { return NewImpl(universe, v0) },
-		NewEnv(43, universe), Invariants())
+	_, err := ex.RunSeeds(3, func() ioa.Automaton { return NewImpl(universe, v0) },
+		func(int64) ioa.Environment { return NewEnv(43, universe) }, Invariants())
 	if err != nil {
 		t.Fatal(err)
 	}

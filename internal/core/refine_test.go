@@ -23,10 +23,10 @@ func TestTheorem59Refinement(t *testing.T) {
 			ImplInvariants: Invariants(),
 			SpecInvariants: dvs.Invariants(),
 		}
-		err := ioa.CheckRefinementSeeds(5,
+		_, err := ioa.CheckRefinementSeeds(5,
 			func() ioa.Automaton { return NewImpl(universe, v0) },
 			ref,
-			func() ioa.Environment { return NewEnv(int64(n)*99, universe) },
+			func(int64) ioa.Environment { return NewEnv(int64(n)*99, universe) },
 			cfg)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
@@ -44,7 +44,7 @@ func TestLiteralRefinementFailsAtSafe(t *testing.T) {
 	universe, v0 := implSetup(4)
 	ref := &Refinement{Universe: universe, Initial: v0, Literal: true}
 	for seed := int64(0); seed < 30; seed++ {
-		err := ioa.CheckRefinement(NewImpl(universe, v0), ref,
+		_, err := ioa.CheckRefinement(NewImpl(universe, v0), ref,
 			NewEnv(seed+1000, universe),
 			ioa.CheckerConfig{Steps: 500, Seed: seed})
 		if err == nil {

@@ -18,16 +18,33 @@ type Executor struct {
 	// "slots": with weight w and k inputs and m locals, an input is chosen
 	// with probability w·k/(w·k+m). Zero means weight 1.
 	InputWeight int
+	// Parallel is the number of workers RunSeeds fans seeds out to:
+	// 0 means GOMAXPROCS, 1 forces the serial in-order loop. The reported
+	// failure is the lowest failing seed under any setting.
+	Parallel int
 }
 
 // RunResult summarizes one execution.
 type RunResult struct {
 	// StepsTaken is the number of transitions performed.
 	StepsTaken int
+	// InvariantEvals is the number of invariant predicate evaluations.
+	InvariantEvals int64
 	// Trace is the sequence of external actions performed, in order.
 	Trace []Action
 	// Final is the automaton in its last state.
 	Final Automaton
+}
+
+// report converts the per-execution tallies into a CheckReport (one
+// execution; states checked = initial state + one per step).
+func (r *RunResult) report() CheckReport {
+	return CheckReport{
+		Executions:     1,
+		Steps:          int64(r.StepsTaken),
+		States:         int64(r.StepsTaken) + 1,
+		InvariantEvals: r.InvariantEvals,
+	}
 }
 
 // Run executes the automaton. The automaton is mutated in place; pass a
@@ -40,7 +57,9 @@ func (e *Executor) Run(a Automaton, env Environment, invs []Invariant) (*RunResu
 	}
 	rng := rand.New(rand.NewSource(e.Seed))
 	res := &RunResult{Final: a}
+	nInvs := int64(countInvs(invs))
 
+	res.InvariantEvals += nInvs
 	if err := checkInvariants(a, invs); err != nil {
 		return res, &StepError{Step: 0, Action: Action{Name: "<init>"}, Fingerprint: a.Fingerprint(), Err: err}
 	}
@@ -61,6 +80,7 @@ func (e *Executor) Run(a Automaton, env Environment, invs []Invariant) (*RunResu
 		if act.External() {
 			res.Trace = append(res.Trace, act)
 		}
+		res.InvariantEvals += nInvs
 		if err := checkInvariants(a, invs); err != nil {
 			return res, &StepError{Step: step, Action: act, Fingerprint: a.Fingerprint(), Err: err}
 		}
@@ -68,19 +88,30 @@ func (e *Executor) Run(a Automaton, env Environment, invs []Invariant) (*RunResu
 	return res, nil
 }
 
-// RunSeeds runs fresh automata (from mk) across seeds [0, n), returning the
-// first failure. It is the workhorse for "check invariants over many random
-// executions" tests.
-func (e *Executor) RunSeeds(n int, mk func() Automaton, env Environment, invs []Invariant) error {
+// RunSeeds runs fresh automata (from mk) with fresh environments (from
+// mkEnv, which may be nil for no environment) across seeds base..base+n-1,
+// fanning the seeds out to Parallel workers. It is the workhorse for "check
+// invariants over many random executions" tests.
+//
+// Every seed's execution is fully independent — its own automaton, its own
+// environment, its own schedule — so a failure reported for seed S
+// reproduces by running seed S alone. The returned error is a *SeedError
+// for the LOWEST failing seed regardless of worker completion order.
+func (e *Executor) RunSeeds(n int, mk func() Automaton, mkEnv func(seed int64) Environment, invs []Invariant) (CheckReport, error) {
 	base := e.Seed
-	for i := 0; i < n; i++ {
+	return seedFanOut(e.Parallel, n, func(i int) (CheckReport, error) {
 		run := *e
 		run.Seed = base + int64(i)
-		if _, err := run.Run(mk(), env, invs); err != nil {
-			return fmt.Errorf("seed %d: %w", run.Seed, err)
+		var env Environment
+		if mkEnv != nil {
+			env = mkEnv(run.Seed)
 		}
-	}
-	return nil
+		res, err := run.Run(mk(), env, invs)
+		if err != nil {
+			return res.report(), &SeedError{Seed: run.Seed, Err: err}
+		}
+		return res.report(), nil
+	})
 }
 
 func pickAction(a Automaton, env Environment, rng *rand.Rand, inputWeight int) (Action, bool) {

@@ -2,6 +2,10 @@ package ioa
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Explore performs exhaustive breadth-first exploration of an automaton's
@@ -12,7 +16,9 @@ import (
 // within the bounds violates the properties.
 //
 // States are deduplicated by fingerprint, so automata must produce
-// canonical fingerprints (equal states ⇔ equal fingerprints).
+// canonical fingerprints (equal states ⇔ equal fingerprints), and the
+// environment's Inputs must be a pure function of the automaton state
+// (equal state ⇒ equal successors) — see StateSeed.
 
 // ExploreConfig bounds an exploration.
 type ExploreConfig struct {
@@ -20,6 +26,11 @@ type ExploreConfig struct {
 	MaxStates int
 	// MaxDepth caps the BFS depth (0 = unlimited).
 	MaxDepth int
+	// Parallel is the number of BFS workers per level (0 = GOMAXPROCS,
+	// 1 = serial). State, edge, and depth counts are identical for every
+	// worker count: the BFS is level-synchronous, each level's frontier is
+	// sorted by fingerprint, and new states are admitted in that order.
+	Parallel int
 	// Invariants are checked at every distinct state.
 	Invariants []Invariant
 	// Refinement, if non-nil, is checked on every explored edge.
@@ -31,16 +42,52 @@ type ExploreConfig struct {
 
 // ExploreResult reports exploration statistics.
 type ExploreResult struct {
-	States    int  // distinct states visited
-	Edges     int  // transitions explored
-	Truncated bool // hit MaxStates or MaxDepth before exhausting the space
-	MaxDepth  int  // deepest level reached
+	States         int           // distinct states visited
+	Edges          int           // transitions explored
+	Truncated      bool          // hit MaxStates or MaxDepth before exhausting the space
+	MaxDepth       int           // deepest level reached
+	InvariantEvals int64         // invariant predicate evaluations
+	Wall           time.Duration // elapsed wall-clock time
 }
 
-// Explore runs the exhaustive check. The environment supplies the
-// (finitely many) input actions available in each state; locally controlled
-// actions come from Enabled. The initial automaton is not mutated.
+// Report converts the exploration statistics into the common CheckReport
+// shape (one "execution"; steps = edges, states = distinct states).
+func (r ExploreResult) Report() CheckReport {
+	return CheckReport{
+		Executions:     1,
+		Steps:          int64(r.Edges),
+		States:         int64(r.States),
+		InvariantEvals: r.InvariantEvals,
+		Wall:           r.Wall,
+	}
+}
+
+// exploreErr is a worker-discovered failure keyed by its deterministic
+// position in the level: (frontier index, action index). The lowest key is
+// the error the serial in-order BFS would have hit first.
+type exploreErr struct {
+	frontier, action int
+	err              error
+}
+
+func (e *exploreErr) better(o *exploreErr) bool {
+	if o == nil {
+		return true
+	}
+	if e.frontier != o.frontier {
+		return e.frontier < o.frontier
+	}
+	return e.action < o.action
+}
+
+// Explore runs the exhaustive check across cfg.Parallel workers. The
+// environment supplies the (finitely many) input actions available in each
+// state; locally controlled actions come from Enabled. The initial
+// automaton is not mutated.
 func Explore(initial Automaton, env Environment, cfg ExploreConfig) (ExploreResult, error) {
+	start := time.Now()
+	var res ExploreResult
+	defer func() { res.Wall = time.Since(start) }()
 	if env == nil {
 		env = NoEnvironment
 	}
@@ -48,19 +95,16 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (ExploreResu
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
+	workers := Workers(cfg.Parallel)
+	nInvs := int64(countInvs(cfg.Invariants))
 
-	var res ExploreResult
-	type node struct {
-		a     Automaton
-		depth int
-	}
-
-	start := initial.Clone()
-	if err := checkInvariants(start, cfg.Invariants); err != nil {
+	first := initial.Clone()
+	res.InvariantEvals += nInvs
+	if err := checkInvariants(first, cfg.Invariants); err != nil {
 		return res, fmt.Errorf("initial state: %w", err)
 	}
 	if cfg.Refinement != nil {
-		abs, err := cfg.Refinement.Abstract(start)
+		abs, err := cfg.Refinement.Abstract(first)
 		if err != nil {
 			return res, fmt.Errorf("abstract initial state: %w", err)
 		}
@@ -69,48 +113,125 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (ExploreResu
 		}
 	}
 
-	seen := map[string]struct{}{start.Fingerprint(): {}}
-	queue := []node{{a: start, depth: 0}}
+	seen := newStripedSet()
+	seen.Add(first.Fingerprint())
+	frontier := []Automaton{first}
 	res.States = 1
 
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if cur.depth > res.MaxDepth {
-			res.MaxDepth = cur.depth
+	// discovery is a state first reached at the current level, carried to
+	// the post-level admission step.
+	type discovery struct {
+		fp string
+		a  Automaton
+	}
+
+	for depth := 0; len(frontier) > 0; depth++ {
+		if depth > res.MaxDepth {
+			res.MaxDepth = depth
 		}
-		if cfg.MaxDepth > 0 && cur.depth >= cfg.MaxDepth {
+		if cfg.MaxDepth > 0 && depth >= cfg.MaxDepth {
 			res.Truncated = true
-			continue
+			break
 		}
-		acts := cur.a.Enabled()
-		acts = append(acts, env.Inputs(cur.a)...)
-		for _, act := range acts {
-			succ := cur.a.Clone()
-			if err := succ.Perform(act); err != nil {
-				return res, fmt.Errorf("depth %d, action %s: %w", cur.depth, act, err)
-			}
-			res.Edges++
-			if cfg.Refinement != nil {
-				if err := checkStepCorrespondence(cur.a, act, succ, cfg.Refinement, cfg.SpecInvariants); err != nil {
-					return res, fmt.Errorf("depth %d, action %s: %w", cur.depth, act, err)
+
+		w := workers
+		if w > len(frontier) {
+			w = len(frontier)
+		}
+		var (
+			next     atomic.Int64
+			edges    atomic.Int64
+			invEvals atomic.Int64
+			mu       sync.Mutex // guards levelErr, found
+			levelErr *exploreErr
+			found    []discovery
+			wg       sync.WaitGroup
+		)
+		next.Store(-1)
+		for range w {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var local []discovery
+				for {
+					i := int(next.Add(1))
+					if i >= len(frontier) {
+						break
+					}
+					cur := frontier[i]
+					acts := cur.Enabled()
+					acts = append(acts, env.Inputs(cur)...)
+					for j, act := range acts {
+						succ := cur.Clone()
+						if err := succ.Perform(act); err != nil {
+							recordExploreErr(&mu, &levelErr, i, j,
+								fmt.Errorf("depth %d, action %s: %w", depth, act, err))
+							break
+						}
+						edges.Add(1)
+						if cfg.Refinement != nil {
+							if err := checkStepCorrespondence(cur, act, succ, cfg.Refinement, cfg.SpecInvariants, nil); err != nil {
+								recordExploreErr(&mu, &levelErr, i, j,
+									fmt.Errorf("depth %d, action %s: %w", depth, act, err))
+								break
+							}
+						}
+						fp := succ.Fingerprint()
+						if !seen.Add(fp) {
+							continue
+						}
+						invEvals.Add(nInvs)
+						if err := checkInvariants(succ, cfg.Invariants); err != nil {
+							recordExploreErr(&mu, &levelErr, i, j,
+								fmt.Errorf("depth %d, after %s: %w", depth+1, act, err))
+							break
+						}
+						local = append(local, discovery{fp: fp, a: succ})
+					}
+					mu.Lock()
+					stop := levelErr != nil && levelErr.frontier < i
+					mu.Unlock()
+					if stop {
+						// A deterministically earlier frontier entry
+						// already failed; nothing claimed from here on can
+						// precede it.
+						break
+					}
 				}
-			}
-			fp := succ.Fingerprint()
-			if _, ok := seen[fp]; ok {
-				continue
-			}
-			if err := checkInvariants(succ, cfg.Invariants); err != nil {
-				return res, fmt.Errorf("depth %d, after %s: %w", cur.depth+1, act, err)
-			}
+				mu.Lock()
+				found = append(found, local...)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		res.Edges += int(edges.Load())
+		res.InvariantEvals += invEvals.Load()
+		if levelErr != nil {
+			return res, levelErr.err
+		}
+
+		// Admit the level's discoveries in fingerprint order, up to the
+		// state cap, so the next frontier — and with it every count this
+		// exploration reports — is independent of worker scheduling.
+		sort.Slice(found, func(i, j int) bool { return found[i].fp < found[j].fp })
+		frontier = frontier[:0]
+		for _, d := range found {
 			if res.States >= maxStates {
 				res.Truncated = true
-				continue
+				break
 			}
-			seen[fp] = struct{}{}
 			res.States++
-			queue = append(queue, node{a: succ, depth: cur.depth + 1})
+			frontier = append(frontier, d.a)
 		}
 	}
 	return res, nil
+}
+
+func recordExploreErr(mu *sync.Mutex, best **exploreErr, frontier, action int, err error) {
+	e := &exploreErr{frontier: frontier, action: action, err: err}
+	mu.Lock()
+	if e.better(*best) {
+		*best = e
+	}
+	mu.Unlock()
 }

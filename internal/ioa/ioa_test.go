@@ -173,9 +173,12 @@ func TestExecutorEnvironmentInputs(t *testing.T) {
 
 func TestRunSeeds(t *testing.T) {
 	ex := &Executor{Steps: 20}
-	err := ex.RunSeeds(5, func() Automaton { return &counter{limit: 4} }, nil, nil)
+	rep, err := ex.RunSeeds(5, func() Automaton { return &counter{limit: 4} }, nil, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if rep.Executions != 5 || rep.Steps == 0 {
+		t.Errorf("report should cover all executions: %+v", rep)
 	}
 	bad := Invariant{Name: "n!=3", Check: func(a Automaton) error {
 		if a.(*counter).n == 3 {
@@ -183,9 +186,13 @@ func TestRunSeeds(t *testing.T) {
 		}
 		return nil
 	}}
-	err = ex.RunSeeds(5, func() Automaton { return &counter{limit: 4} }, nil, []Invariant{bad})
+	_, err = ex.RunSeeds(5, func() Automaton { return &counter{limit: 4} }, nil, []Invariant{bad})
 	if err == nil || !strings.Contains(err.Error(), "seed") {
 		t.Errorf("RunSeeds should report the failing seed, got %v", err)
+	}
+	var se *SeedError
+	if !errors.As(err, &se) {
+		t.Errorf("RunSeeds failures should be SeedErrors, got %T", err)
 	}
 }
 
@@ -209,14 +216,14 @@ func (r identityRefinement) Plan(pre Automaton, act Action, post Automaton) ([]A
 }
 
 func TestCheckRefinementIdentity(t *testing.T) {
-	err := CheckRefinement(&counter{limit: 6}, identityRefinement{}, nil, CheckerConfig{Steps: 50, Seed: 2})
+	_, err := CheckRefinement(&counter{limit: 6}, identityRefinement{}, nil, CheckerConfig{Steps: 50, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCheckRefinementDetectsBadAbstraction(t *testing.T) {
-	err := CheckRefinement(&counter{limit: 6}, identityRefinement{bad: true}, nil, CheckerConfig{Steps: 50, Seed: 2})
+	_, err := CheckRefinement(&counter{limit: 6}, identityRefinement{bad: true}, nil, CheckerConfig{Steps: 50, Seed: 2})
 	if err == nil {
 		t.Fatal("bad abstraction must be detected")
 	}
@@ -234,14 +241,14 @@ func (planDropper) Plan(pre Automaton, act Action, post Automaton) ([]Action, er
 }
 
 func TestCheckRefinementDetectsTraceMismatch(t *testing.T) {
-	err := CheckRefinement(&counter{limit: 6}, planDropper{}, nil, CheckerConfig{Steps: 50, Seed: 2})
+	_, err := CheckRefinement(&counter{limit: 6}, planDropper{}, nil, CheckerConfig{Steps: 50, Seed: 2})
 	if err == nil || !strings.Contains(err.Error(), "trace") {
 		t.Fatalf("dropped external action must be a trace mismatch, got %v", err)
 	}
 }
 
 func TestCheckRefinementSeeds(t *testing.T) {
-	err := CheckRefinementSeeds(3,
+	_, err := CheckRefinementSeeds(3,
 		func() Automaton { return &counter{limit: 4} },
 		identityRefinement{}, nil, CheckerConfig{Steps: 30})
 	if err != nil {
@@ -261,7 +268,7 @@ func (evenMonitor) Observe(act Action) error {
 }
 
 func TestCheckTraceInclusion(t *testing.T) {
-	err := CheckTraceInclusion(&counter{limit: 6}, evenMonitor{}, nil, CheckerConfig{Steps: 50, Seed: 4})
+	_, err := CheckTraceInclusion(&counter{limit: 6}, evenMonitor{}, nil, CheckerConfig{Steps: 50, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // Refinement is a single-valued simulation relation from an implementation
@@ -35,6 +36,9 @@ type CheckerConfig struct {
 	Seed int64
 	// InputWeight as in Executor.
 	InputWeight int
+	// Parallel is the worker count for the seed fan-out entry points
+	// (0 = GOMAXPROCS, 1 = serial); single-execution checks ignore it.
+	Parallel int
 	// ImplInvariants are checked on every reachable implementation state.
 	ImplInvariants []Invariant
 	// SpecInvariants are checked on every intermediate specification state.
@@ -52,7 +56,10 @@ type CheckerConfig struct {
 //     exactly in F(s') (Lemma 5.8).
 //
 // The implementation automaton is mutated; pass a fresh instance per call.
-func CheckRefinement(impl Automaton, ref Refinement, env Environment, cfg CheckerConfig) error {
+func CheckRefinement(impl Automaton, ref Refinement, env Environment, cfg CheckerConfig) (CheckReport, error) {
+	start := time.Now()
+	rep := CheckReport{Executions: 1, States: 1}
+	defer func() { rep.Wall = time.Since(start) }()
 	if env == nil {
 		env = NoEnvironment
 	}
@@ -61,57 +68,66 @@ func CheckRefinement(impl Automaton, ref Refinement, env Environment, cfg Checke
 	if weight <= 0 {
 		weight = 1
 	}
+	nImplInvs := int64(countInvs(cfg.ImplInvariants))
 
 	// Lemma 5.7: F maps the initial state to an initial spec state.
 	absInit, err := ref.Abstract(impl)
 	if err != nil {
-		return fmt.Errorf("abstract initial state: %w", err)
+		return rep, fmt.Errorf("abstract initial state: %w", err)
 	}
 	if got, want := absInit.Fingerprint(), ref.SpecInitial().Fingerprint(); got != want {
-		return fmt.Errorf("F(init) is not the spec initial state:\n  F(init) = %s\n  init    = %s", got, want)
+		return rep, fmt.Errorf("F(init) is not the spec initial state:\n  F(init) = %s\n  init    = %s", got, want)
 	}
+	rep.InvariantEvals += nImplInvs
 	if err := checkInvariants(impl, cfg.ImplInvariants); err != nil {
-		return &StepError{Step: 0, Action: Action{Name: "<init>"}, Fingerprint: impl.Fingerprint(), Err: err}
+		return rep, &StepError{Step: 0, Action: Action{Name: "<init>"}, Fingerprint: impl.Fingerprint(), Err: err}
 	}
 
 	for step := 1; step <= cfg.Steps; step++ {
 		act, ok := pickAction(impl, env, rng, weight)
 		if !ok {
-			return nil
+			return rep, nil
 		}
 		pre := impl.Clone()
 		if err := impl.Perform(act); err != nil {
-			return &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: fmt.Errorf("perform: %w", err)}
+			return rep, &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: fmt.Errorf("perform: %w", err)}
 		}
+		rep.Steps++
+		rep.States++
+		rep.InvariantEvals += nImplInvs
 		if err := checkInvariants(impl, cfg.ImplInvariants); err != nil {
-			return &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: err}
+			return rep, &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: err}
 		}
-		if err := checkStepCorrespondence(pre, act, impl, ref, cfg.SpecInvariants); err != nil {
-			return &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: err}
+		if err := checkStepCorrespondence(pre, act, impl, ref, cfg.SpecInvariants, &rep); err != nil {
+			return rep, &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: err}
 		}
 	}
-	return nil
+	return rep, nil
 }
 
-// CheckRefinementSeeds repeats CheckRefinement across n seeds with fresh
-// implementation automata from mk, returning the first failure.
-func CheckRefinementSeeds(n int, mk func() Automaton, ref Refinement, mkEnv func() Environment, cfg CheckerConfig) error {
+// CheckRefinementSeeds repeats CheckRefinement across seeds base..base+n-1
+// with a fresh implementation automaton (from mk) and a fresh environment
+// (from mkEnv, which receives the seed and may be nil) per seed, fanned out
+// to cfg.Parallel workers. The returned error is a *SeedError for the
+// lowest failing seed regardless of worker completion order.
+func CheckRefinementSeeds(n int, mk func() Automaton, ref Refinement, mkEnv func(seed int64) Environment, cfg CheckerConfig) (CheckReport, error) {
 	base := cfg.Seed
-	for i := 0; i < n; i++ {
+	return seedFanOut(cfg.Parallel, n, func(i int) (CheckReport, error) {
 		run := cfg
 		run.Seed = base + int64(i)
 		var env Environment
 		if mkEnv != nil {
-			env = mkEnv()
+			env = mkEnv(run.Seed)
 		}
-		if err := CheckRefinement(mk(), ref, env, run); err != nil {
-			return fmt.Errorf("seed %d: %w", run.Seed, err)
+		rep, err := CheckRefinement(mk(), ref, env, run)
+		if err != nil {
+			return rep, &SeedError{Seed: run.Seed, Err: err}
 		}
-	}
-	return nil
+		return rep, nil
+	})
 }
 
-func checkStepCorrespondence(pre Automaton, act Action, post Automaton, ref Refinement, specInvs []Invariant) error {
+func checkStepCorrespondence(pre Automaton, act Action, post Automaton, ref Refinement, specInvs []Invariant, rep *CheckReport) error {
 	absPre, err := ref.Abstract(pre)
 	if err != nil {
 		return fmt.Errorf("abstract pre-state: %w", err)
@@ -141,10 +157,14 @@ func checkStepCorrespondence(pre Automaton, act Action, post Automaton, ref Refi
 	}
 
 	// Execute the fragment from F(pre); every action must be enabled.
+	nSpecInvs := int64(countInvs(specInvs))
 	state := absPre
 	for i, pa := range plan {
 		if err := state.Perform(pa); err != nil {
 			return fmt.Errorf("spec action %d/%d (%s) not enabled: %w", i+1, len(plan), pa, err)
+		}
+		if rep != nil {
+			rep.InvariantEvals += nSpecInvs
 		}
 		if err := checkInvariants(state, specInvs); err != nil {
 			return fmt.Errorf("after spec action %s: %w", pa, err)
@@ -181,7 +201,10 @@ type Monitor interface {
 
 // CheckTraceInclusion drives the implementation through a pseudo-random
 // execution, feeding every external action to the monitor.
-func CheckTraceInclusion(impl Automaton, mon Monitor, env Environment, cfg CheckerConfig) error {
+func CheckTraceInclusion(impl Automaton, mon Monitor, env Environment, cfg CheckerConfig) (CheckReport, error) {
+	start := time.Now()
+	rep := CheckReport{Executions: 1, States: 1}
+	defer func() { rep.Wall = time.Since(start) }()
 	if env == nil {
 		env = NoEnvironment
 	}
@@ -190,25 +213,50 @@ func CheckTraceInclusion(impl Automaton, mon Monitor, env Environment, cfg Check
 	if weight <= 0 {
 		weight = 1
 	}
+	nInvs := int64(countInvs(cfg.ImplInvariants))
+	rep.InvariantEvals += nInvs
 	if err := checkInvariants(impl, cfg.ImplInvariants); err != nil {
-		return &StepError{Step: 0, Action: Action{Name: "<init>"}, Fingerprint: impl.Fingerprint(), Err: err}
+		return rep, &StepError{Step: 0, Action: Action{Name: "<init>"}, Fingerprint: impl.Fingerprint(), Err: err}
 	}
 	for step := 1; step <= cfg.Steps; step++ {
 		act, ok := pickAction(impl, env, rng, weight)
 		if !ok {
-			return nil
+			return rep, nil
 		}
 		if err := impl.Perform(act); err != nil {
-			return &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: fmt.Errorf("perform: %w", err)}
+			return rep, &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: fmt.Errorf("perform: %w", err)}
 		}
+		rep.Steps++
+		rep.States++
+		rep.InvariantEvals += nInvs
 		if err := checkInvariants(impl, cfg.ImplInvariants); err != nil {
-			return &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: err}
+			return rep, &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: err}
 		}
 		if act.External() {
 			if err := mon.Observe(act); err != nil {
-				return &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: fmt.Errorf("trace rejected: %w", err)}
+				return rep, &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: fmt.Errorf("trace rejected: %w", err)}
 			}
 		}
 	}
-	return nil
+	return rep, nil
+}
+
+// CheckTraceInclusionSeeds repeats CheckTraceInclusion across seeds
+// base..base+n-1, with a fresh implementation, monitor, and environment per
+// seed (mk receives the seed so environments can derive their own seeds
+// from it), fanned out to cfg.Parallel workers. The returned error is a
+// *SeedError for the lowest failing seed regardless of worker completion
+// order.
+func CheckTraceInclusionSeeds(n int, mk func(seed int64) (Automaton, Monitor, Environment), cfg CheckerConfig) (CheckReport, error) {
+	base := cfg.Seed
+	return seedFanOut(cfg.Parallel, n, func(i int) (CheckReport, error) {
+		run := cfg
+		run.Seed = base + int64(i)
+		impl, mon, env := mk(run.Seed)
+		rep, err := CheckTraceInclusion(impl, mon, env, run)
+		if err != nil {
+			return rep, &SeedError{Seed: run.Seed, Err: err}
+		}
+		return rep, nil
+	})
 }

@@ -1,0 +1,220 @@
+package ioa
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CheckReport summarizes the work performed by a check: how many executions
+// ran, how much of the state space was touched, and how fast. Every
+// seed-fan-out entry point (Executor.RunSeeds, CheckRefinementSeeds,
+// CheckTraceInclusionSeeds) and every root-level check returns one. On
+// failure the report covers the executions that completed (or aborted)
+// before the check returned, which under parallel execution may include
+// seeds above the reported failing seed.
+type CheckReport struct {
+	// Executions is the number of seeded executions run.
+	Executions int
+	// Steps is the total number of transitions performed.
+	Steps int64
+	// States is the number of automaton states checked: distinct states
+	// during exhaustive exploration, steps+1 per execution otherwise.
+	States int64
+	// InvariantEvals is the number of invariant predicate evaluations.
+	InvariantEvals int64
+	// Wall is the elapsed wall-clock time of the whole check.
+	Wall time.Duration
+}
+
+// StepsPerSec is the aggregate checking throughput.
+func (r CheckReport) StepsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Steps) / r.Wall.Seconds()
+}
+
+// Merge accumulates another report into r (Wall is summed; callers that
+// measure overall elapsed time should overwrite Wall afterwards).
+func (r *CheckReport) Merge(o CheckReport) {
+	r.Executions += o.Executions
+	r.Steps += o.Steps
+	r.States += o.States
+	r.InvariantEvals += o.InvariantEvals
+	r.Wall += o.Wall
+}
+
+// String renders the report in the form printed by dvscheck -v.
+func (r CheckReport) String() string {
+	return fmt.Sprintf("%d execs, %d steps, %d states, %d invariant evals, %v (%.0f steps/s)",
+		r.Executions, r.Steps, r.States, r.InvariantEvals, r.Wall.Round(time.Millisecond), r.StepsPerSec())
+}
+
+// SeedError wraps a failure of one seeded execution with the seed that
+// produced it, so callers can re-run exactly that seed. The fan-out helpers
+// guarantee the reported seed is the LOWEST failing seed regardless of
+// worker completion order.
+type SeedError struct {
+	Seed int64
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *SeedError) Error() string { return fmt.Sprintf("seed %d: %v", e.Seed, e.Err) }
+
+// Unwrap exposes the underlying failure (typically a *StepError).
+func (e *SeedError) Unwrap() error { return e.Err }
+
+// Workers resolves a parallelism setting: n < 1 means one worker per
+// GOMAXPROCS, n >= 1 means exactly n workers.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// seedFanOut runs fn(i) for i in [0, n) across `parallel` workers and
+// returns the merged report plus the error of the LOWEST failing index.
+// Determinism guarantee: once some index fails, workers stop claiming
+// higher indices, but every lower index still runs to completion, so the
+// minimal failing index — and therefore the reported seed — is identical
+// under any worker count, including 1 (which degenerates to the serial
+// in-order loop).
+func seedFanOut(parallel, n int, fn func(i int) (CheckReport, error)) (CheckReport, error) {
+	start := time.Now()
+	var total CheckReport
+	parallel = Workers(parallel)
+	if parallel > n {
+		parallel = n
+	}
+
+	if parallel <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			rep, err := fn(i)
+			total.Merge(rep)
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+		total.Wall = time.Since(start)
+		return total, firstErr
+	}
+
+	var (
+		next     atomic.Int64 // next index to claim
+		mu       sync.Mutex   // guards failIdx, failErr, total
+		failIdx  = n          // lowest failing index so far
+		failErr  error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				skip := i > failIdx
+				mu.Unlock()
+				if skip {
+					// A lower seed already failed; this seed's result
+					// cannot be the lowest failure.
+					continue
+				}
+				rep, err := fn(i)
+				mu.Lock()
+				total.Merge(rep)
+				if err != nil && i < failIdx {
+					failIdx, failErr = i, err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	total.Wall = time.Since(start)
+	return total, failErr
+}
+
+// StateSeed derives a per-state PRNG seed from a base seed and the
+// automaton's canonical fingerprint. Environments that enumerate inputs as
+// a pure function of (base seed, state) — rather than mutating internal
+// counters — keep the "equal state ⇒ equal successors" assumption behind
+// exhaustive exploration's fingerprint dedup, and make every seeded
+// execution reproducible in isolation.
+func StateSeed(seed int64, a Automaton) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u := uint64(seed)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(u >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(a.Fingerprint()))
+	return int64(h.Sum64())
+}
+
+// stripedSet is a fingerprint set sharded across mutex-protected stripes so
+// concurrent BFS workers can deduplicate states without a global lock.
+type stripedSet struct {
+	stripes [64]struct {
+		mu sync.Mutex
+		m  map[string]struct{}
+	}
+}
+
+func newStripedSet() *stripedSet {
+	s := &stripedSet{}
+	for i := range s.stripes {
+		s.stripes[i].m = make(map[string]struct{})
+	}
+	return s
+}
+
+// Add inserts fp and reports whether it was newly added.
+func (s *stripedSet) Add(fp string) bool {
+	h := fnv.New64a()
+	h.Write([]byte(fp))
+	st := &s.stripes[h.Sum64()%uint64(len(s.stripes))]
+	st.mu.Lock()
+	_, dup := st.m[fp]
+	if !dup {
+		st.m[fp] = struct{}{}
+	}
+	st.mu.Unlock()
+	return !dup
+}
+
+// Len is the total number of fingerprints across all stripes.
+func (s *stripedSet) Len() int {
+	total := 0
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+		total += len(s.stripes[i].m)
+		s.stripes[i].mu.Unlock()
+	}
+	return total
+}
+
+// countInvs counts the invariants with a non-nil predicate — the number of
+// evaluations one checkInvariants call performs.
+func countInvs(invs []Invariant) int {
+	n := 0
+	for _, inv := range invs {
+		if inv.Check != nil {
+			n++
+		}
+	}
+	return n
+}

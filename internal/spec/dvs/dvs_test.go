@@ -292,7 +292,7 @@ func TestRandomExecutionsKeepInvariants(t *testing.T) {
 		func() ioa.Automaton { return NewDrained(universe, v0) },
 	} {
 		ex := &ioa.Executor{Steps: 400, Seed: 21}
-		if err := ex.RunSeeds(8, mk, NewEnv(33, universe), Invariants()); err != nil {
+		if _, err := ex.RunSeeds(8, mk, func(int64) ioa.Environment { return NewEnv(33, universe) }, Invariants()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -307,7 +307,7 @@ func TestLiteralTracesAreAmendedTraces(t *testing.T) {
 	universe := types.RangeProcSet(4)
 	v0 := types.InitialView(types.NewProcSet(0, 1, 2))
 	ex := &ioa.Executor{Steps: 300, Seed: 3}
-	if err := ex.RunSeeds(5, func() ioa.Automaton { return NewLiteral(universe, v0) }, NewEnv(44, universe), Invariants()); err != nil {
+	if _, err := ex.RunSeeds(5, func() ioa.Automaton { return NewLiteral(universe, v0) }, func(int64) ioa.Environment { return NewEnv(44, universe) }, Invariants()); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -8,15 +8,20 @@ import (
 	"repro/internal/types"
 )
 
-// Env is a random environment for driving the DVS specification automaton
-// directly: it supplies client broadcasts, registrations, and
-// dvs-createview proposals that satisfy the creation precondition.
+// Env supplies inputs for driving the DVS specification automaton directly:
+// client broadcasts, registrations, and dvs-createview proposals that
+// satisfy the creation precondition.
+//
+// Enumeration is a pure function of (seed, automaton state): the candidate
+// set is derived from a per-state PRNG seeded by ioa.StateSeed, and the
+// view cap counts views already created in the state rather than proposals
+// made by this Env value. Equal states therefore always offer equal inputs,
+// which keeps ioa.Explore's fingerprint dedup sound and makes every seeded
+// execution reproducible in isolation.
 type Env struct {
-	rng      *rand.Rand
+	seed     int64
 	procs    []types.ProcID
-	msgSeq   int
-	proposed int
-	MaxViews int // cap on proposed views (0 = unlimited)
+	MaxViews int // cap on created views, counting v0 (0 = unlimited)
 }
 
 var _ ioa.Environment = (*Env)(nil)
@@ -24,7 +29,7 @@ var _ ioa.Environment = (*Env)(nil)
 // NewEnv returns an environment over the given universe.
 func NewEnv(seed int64, universe types.ProcSet) *Env {
 	return &Env{
-		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
 		procs:    universe.Sorted(),
 		MaxViews: 64,
 	}
@@ -36,29 +41,39 @@ func (e *Env) Inputs(a ioa.Automaton) []ioa.Action {
 	if !ok {
 		return nil
 	}
+	rng := rand.New(rand.NewSource(ioa.StateSeed(e.seed, a)))
 	var acts []ioa.Action
 
-	p := types.RandomMember(e.rng, e.procs)
-	e.msgSeq++
-	m := types.ClientMsg("m" + strconv.Itoa(e.msgSeq))
+	p := types.RandomMember(rng, e.procs)
+	m := types.ClientMsg("m" + strconv.FormatUint(rng.Uint64(), 36))
 	acts = append(acts, ioa.Action{Name: ActGpSnd, Kind: ioa.KindInput, Param: SndParam{M: m, P: p}})
 
-	q := types.RandomMember(e.rng, e.procs)
+	q := types.RandomMember(rng, e.procs)
 	acts = append(acts, ioa.Action{Name: ActRegister, Kind: ioa.KindInput, Param: RegisterParam{P: q}})
 
-	if e.MaxViews == 0 || e.proposed < e.MaxViews {
-		members := types.RandomSubset(e.rng, e.procs)
+	if e.MaxViews == 0 || len(d.Created()) < e.MaxViews {
 		var maxID types.ViewID
 		for _, v := range d.Created() {
 			if maxID.Less(v.ID) {
 				maxID = v.ID
 			}
 		}
-		v := types.View{ID: maxID.Next(members.Sorted()[0]), Members: members}
-		if d.CreateViewCandidateOK(v) {
-			e.proposed++
-			acts = append(acts, ioa.Action{Name: ActCreateView, Kind: ioa.KindInternal, Param: CreateViewParam{View: v}})
+		// Retry a few memberships from the per-state PRNG: a single
+		// rejected draw must not silence view creation in a state the
+		// execution may never leave (inputs that are no-ops keep the
+		// state, and hence the draw, identical).
+		for try := 0; try < candidateTries; try++ {
+			members := types.RandomSubset(rng, e.procs)
+			v := types.View{ID: maxID.Next(members.Sorted()[0]), Members: members}
+			if d.CreateViewCandidateOK(v) {
+				acts = append(acts, ioa.Action{Name: ActCreateView, Kind: ioa.KindInternal, Param: CreateViewParam{View: v}})
+				break
+			}
 		}
 	}
 	return acts
 }
+
+// candidateTries bounds the per-state membership draws for a view
+// candidate satisfying the creation precondition.
+const candidateTries = 16

@@ -1,0 +1,70 @@
+package dvs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+// TestEverySeedCreatesViews is the DVS-side regression test for the shared
+// MaxViews counter bug (see the VS twin for the full story): with a fresh
+// environment per seed and a state-derived cap, no seed silently runs
+// without view proposals.
+func TestEverySeedCreatesViews(t *testing.T) {
+	universe := types.RangeProcSet(5)
+	v0 := types.InitialView(types.NewProcSet(0, 1, 4))
+	const seeds = 8
+
+	var mu sync.Mutex
+	finals := make([]*DVS, 0, seeds)
+	ex := &ioa.Executor{Steps: 400, Seed: 21, Parallel: runtime.NumCPU()}
+	_, err := ex.RunSeeds(seeds,
+		func() ioa.Automaton {
+			a := New(universe, v0)
+			mu.Lock()
+			finals = append(finals, a)
+			mu.Unlock()
+			return a
+		},
+		func(seed int64) ioa.Environment { return NewEnv(seed+33, universe) },
+		Invariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range finals {
+		if len(a.Created()) <= 1 {
+			t.Errorf("execution %d created no views beyond v0 — its environment never proposed any", i)
+		}
+	}
+}
+
+// TestExploreSpecEnvDeterministic: bounded exploration of the DVS spec
+// under its own environment visits identical counts across repeated runs
+// and worker widths, now that input enumeration is a pure function of the
+// automaton state.
+func TestExploreSpecEnvDeterministic(t *testing.T) {
+	universe := types.RangeProcSet(3)
+	v0 := types.InitialView(types.NewProcSet(0, 1))
+	run := func(parallel int) ioa.ExploreResult {
+		res, err := ioa.Explore(New(universe, v0), NewEnv(5, universe), ioa.ExploreConfig{
+			MaxDepth: 5, MaxStates: 50000, Parallel: parallel, Invariants: Invariants(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	if base.States < 10 {
+		t.Fatalf("implausibly small exploration: %+v", base)
+	}
+	for _, parallel := range []int{1, runtime.NumCPU()} {
+		got := run(parallel)
+		if got.States != base.States || got.Edges != base.Edges || got.MaxDepth != base.MaxDepth {
+			t.Errorf("parallel=%d: counts diverged: got %+v, want %+v", parallel, got, base)
+		}
+	}
+}

@@ -226,9 +226,9 @@ func TestRandomExecutionsKeepInvariants(t *testing.T) {
 	universe := types.RangeProcSet(5)
 	v0 := types.InitialView(types.NewProcSet(0, 1, 4))
 	ex := &ioa.Executor{Steps: 400, Seed: 11}
-	err := ex.RunSeeds(10,
+	_, err := ex.RunSeeds(10,
 		func() ioa.Automaton { return New(universe, v0) },
-		NewEnv(99, universe),
+		func(int64) ioa.Environment { return NewEnv(99, universe) },
 		Invariants())
 	if err != nil {
 		t.Fatal(err)

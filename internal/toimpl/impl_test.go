@@ -20,7 +20,7 @@ func runTO(universe types.ProcSet, v0 types.View, cfg Config, seeds, steps int) 
 		impl := NewImpl(universe, v0, cfg)
 		mon := to.NewMonitor(universe)
 		c := ioa.CheckerConfig{Steps: steps, Seed: seed, ImplInvariants: Invariants()}
-		if err := ioa.CheckTraceInclusion(impl, mon, NewEnv(seed+500, universe), c); err != nil {
+		if _, err := ioa.CheckTraceInclusion(impl, mon, NewEnv(seed+500, universe), c); err != nil {
 			return err
 		}
 	}
@@ -66,7 +66,7 @@ func TestTOUnsoundOverAmendedUndrainedDVS(t *testing.T) {
 		impl := NewImpl(universe, v0, Config{DVS: DVSAmended})
 		mon := to.NewMonitor(universe)
 		c := ioa.CheckerConfig{Steps: 600, Seed: seed, ImplInvariants: Invariants()}
-		if err := ioa.CheckTraceInclusion(impl, mon, NewEnv(seed+900, universe), c); err != nil {
+		if _, err := ioa.CheckTraceInclusion(impl, mon, NewEnv(seed+900, universe), c); err != nil {
 			firstErr = err
 			break
 		}
@@ -89,7 +89,7 @@ func TestLiteralFigure5DuplicatesLabels(t *testing.T) {
 		impl := NewImpl(universe, v0, Config{DVS: DVSLiteral, LiteralFigure5: true})
 		mon := to.NewMonitor(universe)
 		c := ioa.CheckerConfig{Steps: 600, Seed: seed}
-		if err := ioa.CheckTraceInclusion(impl, mon, NewEnv(seed+500, universe), c); err != nil {
+		if _, err := ioa.CheckTraceInclusion(impl, mon, NewEnv(seed+500, universe), c); err != nil {
 			firstErr = err
 			break
 		}

@@ -20,7 +20,7 @@ func TestRegressionChosenRepSeed7(t *testing.T) {
 	impl := NewImpl(universe, v0, Config{DVS: DVSLiteral})
 	mon := to.NewMonitor(universe)
 	cfg := ioa.CheckerConfig{Steps: 300, Seed: 7, ImplInvariants: Invariants()}
-	if err := ioa.CheckTraceInclusion(impl, mon, NewEnv(8, universe), cfg); err != nil {
+	if _, err := ioa.CheckTraceInclusion(impl, mon, NewEnv(8, universe), cfg); err != nil {
 		t.Fatalf("F5 regression: %v", err)
 	}
 }

@@ -17,7 +17,7 @@ func TestBigSoakTO(t *testing.T) {
 				impl := NewImpl(universe, v0, cfg)
 				mon := to.NewMonitor(universe)
 				c := ioa.CheckerConfig{Steps: 500, Seed: seed, ImplInvariants: Invariants()}
-				if err := ioa.CheckTraceInclusion(impl, mon, NewEnv(seed+1, universe), c); err != nil {
+				if _, err := ioa.CheckTraceInclusion(impl, mon, NewEnv(seed+1, universe), c); err != nil {
 					t.Fatalf("cfg=%+v n=%d seed=%d: %v", cfg, n, seed, err)
 				}
 			}
