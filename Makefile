@@ -20,6 +20,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Serial-vs-parallel theorem-check benchmarks (E1–E3).
+# Serial-vs-parallel theorem-check benchmarks (E1–E3); emits the
+# machine-readable BENCH_checks.json snapshot (see scripts/bench.sh).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkE[123]' -benchtime 2x .
+	sh scripts/bench.sh

@@ -47,20 +47,21 @@ func BenchmarkE1SpecInvariants(b *testing.B) {
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
 			cfg := dvs.CheckConfig{Procs: 4, Steps: 400, Seeds: 8, Parallel: par}
 			b.ReportAllocs()
-			var steps int64
+			var steps, states int64
 			for i := 0; i < b.N; i++ {
 				cfg.Seed = int64(i)
 				rep, err := dvs.CheckVSInvariants(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
-				steps += rep.Steps
+				steps, states = steps+rep.Steps, states+rep.States
 				if rep, err = dvs.CheckDVSInvariants(cfg); err != nil {
 					b.Fatal(err)
 				}
-				steps += rep.Steps
+				steps, states = steps+rep.Steps, states+rep.States
 			}
 			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+			b.ReportMetric(float64(states)/float64(b.N), "states")
 		})
 	}
 }
@@ -71,16 +72,18 @@ func BenchmarkE2RefinementDVS(b *testing.B) {
 	for _, par := range benchModes() {
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
 			cfg := dvs.CheckConfig{Procs: 4, Steps: 300, Seeds: 8, Parallel: par}
-			var steps int64
+			b.ReportAllocs()
+			var steps, states int64
 			for i := 0; i < b.N; i++ {
 				cfg.Seed = int64(i)
 				rep, err := dvs.CheckDVSRefinement(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
-				steps += rep.Steps
+				steps, states = steps+rep.Steps, states+rep.States
 			}
 			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+			b.ReportMetric(float64(states)/float64(b.N), "states")
 		})
 	}
 }
@@ -91,16 +94,18 @@ func BenchmarkE3RefinementTO(b *testing.B) {
 	for _, par := range benchModes() {
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
 			cfg := dvs.CheckConfig{Procs: 4, Steps: 300, Seeds: 8, Parallel: par}
-			var steps int64
+			b.ReportAllocs()
+			var steps, states int64
 			for i := 0; i < b.N; i++ {
 				cfg.Seed = int64(i)
 				rep, err := dvs.CheckTOTraceInclusion(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
-				steps += rep.Steps
+				steps, states = steps+rep.Steps, states+rep.States
 			}
 			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+			b.ReportMetric(float64(states)/float64(b.N), "states")
 		})
 	}
 }
@@ -338,8 +343,11 @@ func BenchmarkImplFingerprint(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var f ioa.Fingerprinter
 	for i := 0; i < b.N; i++ {
-		if im.Fingerprint() == "" {
+		f.Reset()
+		im.Fingerprint(&f)
+		if (f.Sum() == ioa.Fp{}) {
 			b.Fatal("empty fingerprint")
 		}
 	}

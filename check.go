@@ -118,6 +118,32 @@ func CheckTOTraceInclusion(cfg CheckConfig) (ioa.CheckReport, error) {
 		})
 }
 
+// CheckExplore exhaustively model-checks a small DVS-IMPL configuration
+// (2 processes, one client message, one candidate view change) up to a
+// depth bound: Invariants 5.1–5.6 are asserted at every distinct reachable
+// state and the Theorem 5.9 step correspondence on every explored edge.
+// Only Parallel is honored from cfg — the configuration itself is fixed so
+// the reported state/edge counts are a stable cross-check between worker
+// counts (the level-synchronous BFS guarantees they are identical).
+func CheckExplore(cfg CheckConfig) (ioa.CheckReport, error) {
+	universe := types.RangeProcSet(2)
+	v0 := types.InitialView(types.NewProcSet(0, 1))
+	env := &core.BoundedEnv{
+		MaxMsgs:  1,
+		MaxViews: 2,
+		Views:    []types.ProcSet{types.NewProcSet(0), types.NewProcSet(0, 1)},
+	}
+	res, err := ioa.Explore(core.NewImpl(universe, v0), env, ioa.ExploreConfig{
+		MaxStates:      1 << 20,
+		MaxDepth:       12,
+		Parallel:       cfg.Parallel,
+		Invariants:     core.Invariants(),
+		Refinement:     &core.Refinement{Universe: universe, Initial: v0},
+		SpecInvariants: dvsspec.Invariants(),
+	})
+	return res.Report(), err
+}
+
 // CheckAll runs every specification-layer check and returns the merged
 // report.
 func CheckAll(cfg CheckConfig) (ioa.CheckReport, error) {

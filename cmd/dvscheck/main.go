@@ -9,16 +9,23 @@
 // environment, so a failure is always reported for the lowest failing seed
 // and reproduces with -seeds 1 -seed N at any worker count.
 //
+// The "explore" check is exhaustive rather than seeded: it model-checks a
+// small fixed DVS-IMPL configuration by breadth-first search, so its state
+// and edge counts are identical at every -parallel setting.
+//
 // Usage:
 //
-//	dvscheck [-check all|vs|dvs|refinement|to] [-procs N] [-steps N]
+//	dvscheck [-check all|vs|dvs|refinement|to|explore] [-procs N] [-steps N]
 //	         [-seeds N] [-seed S] [-parallel N] [-v]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	dvs "repro"
@@ -34,16 +41,44 @@ func main() {
 
 func run() error {
 	var (
-		check    = flag.String("check", "all", "which check to run: all, vs, dvs, refinement, to")
-		procs    = flag.Int("procs", 4, "universe size")
-		steps    = flag.Int("steps", 500, "steps per execution")
-		seeds    = flag.Int("seeds", 10, "number of seeded executions")
-		seed     = flag.Int64("seed", 0, "base seed")
-		parallel = flag.Int("parallel", 0, "seed fan-out workers (0 = GOMAXPROCS, 1 = serial)")
-		verbose  = flag.Bool("v", false, "print per-check work reports (executions, steps, states, invariant evals, steps/s)")
-		findings = flag.Bool("findings", false, "reproduce the documented paper discrepancies F1-F4")
+		check      = flag.String("check", "all", "which check to run: all, vs, dvs, refinement, to, explore")
+		procs      = flag.Int("procs", 4, "universe size")
+		steps      = flag.Int("steps", 500, "steps per execution")
+		seeds      = flag.Int("seeds", 10, "number of seeded executions")
+		seed       = flag.Int64("seed", 0, "base seed")
+		parallel   = flag.Int("parallel", 0, "seed fan-out workers (0 = GOMAXPROCS, 1 = serial)")
+		verbose    = flag.Bool("v", false, "print per-check work reports (executions, steps, states, invariant evals, steps/s, allocation)")
+		findings   = flag.Bool("findings", false, "reproduce the documented paper discrepancies F1-F4")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvscheck: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dvscheck: memprofile:", err)
+			}
+		}()
+	}
 
 	cfg := dvs.CheckConfig{Procs: *procs, Steps: *steps, Seeds: *seeds, Seed: *seed, Parallel: *parallel}
 	if *findings {
@@ -63,6 +98,11 @@ func run() error {
 		{"refinement", dvs.CheckDVSRefinement},
 		{"to", dvs.CheckTOTraceInclusion},
 	}
+	if *check == "explore" {
+		// Exhaustive exploration is opt-in: it ignores -procs/-steps/-seeds
+		// and is not part of "all".
+		all = []entry{{"explore", dvs.CheckExplore}}
+	}
 	ran := 0
 	var total ioa.CheckReport
 	start := time.Now()
@@ -76,8 +116,13 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
-		fmt.Printf("%-11s OK  (%d procs × %d seeds × %d steps, %d workers, %v)\n",
-			e.name, *procs, *seeds, *steps, ioa.Workers(*parallel), rep.Wall.Round(time.Millisecond))
+		if e.name == "explore" {
+			fmt.Printf("%-11s OK  (exhaustive BFS, %d workers, %v)\n",
+				e.name, ioa.Workers(*parallel), rep.Wall.Round(time.Millisecond))
+		} else {
+			fmt.Printf("%-11s OK  (%d procs × %d seeds × %d steps, %d workers, %v)\n",
+				e.name, *procs, *seeds, *steps, ioa.Workers(*parallel), rep.Wall.Round(time.Millisecond))
+		}
 		if *verbose {
 			fmt.Printf("            %s\n", rep)
 		}

@@ -50,7 +50,7 @@ func (e *BoundedEnv) Inputs(a ioa.Automaton) []ioa.Action {
 				Param: dvs.RegisterParam{P: p}})
 		}
 	}
-	if len(im.VS().Created()) < e.MaxViews {
+	if im.VS().CreatedCount() < e.MaxViews {
 		next := im.MaxCreatedID()
 		for _, members := range e.Views {
 			v := types.View{ID: next.Next(members.Sorted()[0]), Members: members.Clone()}
@@ -68,17 +68,26 @@ func (e *BoundedEnv) Inputs(a ioa.Automaton) []ioa.Action {
 // messages never leave these stores (per-view queues persist), so the count
 // is monotone along every execution path.
 func countClientMsgs(im *Impl) int {
+	countClient := func(q []types.Msg) int {
+		n := 0
+		for _, m := range q {
+			if types.IsClient(m) {
+				n++
+			}
+		}
+		return n
+	}
 	total := 0
-	for _, v := range im.VS().Created() {
+	for _, v := range im.vs.CreatedShared() {
 		g := v.ID
-		for _, e := range im.VS().Queue(g) {
+		for _, e := range im.vs.QueueShared(g) {
 			if types.IsClient(e.M) {
 				total++
 			}
 		}
-		for _, p := range im.Procs() {
-			total += len(Purge(im.VS().Pending(p, g)))
-			total += len(Purge(im.Node(p).MsgsToVS(g)))
+		for _, p := range im.procs {
+			total += countClient(im.vs.PendingShared(p, g))
+			total += countClient(im.nodes[p].msgsToVS[g])
 		}
 	}
 	return total

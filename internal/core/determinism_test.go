@@ -17,7 +17,7 @@ func TestExecutionDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.Final.Fingerprint()
+		return ioa.FingerprintString(res.Final)
 	}
 	a, b := run(), run()
 	if a != b {
@@ -55,7 +55,7 @@ func TestCloneMidExecutionEquivalence(t *testing.T) {
 		if err := clone.Perform(actsB[0]); err != nil {
 			t.Fatal(err)
 		}
-		if im.Fingerprint() != clone.Fingerprint() {
+		if ioa.FingerprintString(im) != ioa.FingerprintString(clone) {
 			t.Fatalf("step %d: states diverged", step)
 		}
 	}

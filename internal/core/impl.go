@@ -68,13 +68,7 @@ func (im *Impl) Procs() []types.ProcID { return types.CloneSeq(im.procs) }
 
 // MaxCreatedID returns the largest view id created in the underlying VS.
 func (im *Impl) MaxCreatedID() types.ViewID {
-	var best types.ViewID
-	for _, v := range im.vs.Created() {
-		if best.Less(v.ID) {
-			best = v.ID
-		}
-	}
-	return best
+	return im.vs.MaxCreatedID()
 }
 
 // VSCreateViewCandidateOK exposes the inner VS's createview precondition for
@@ -145,6 +139,61 @@ func (im *Impl) hasTotRegBetween(lo, hi types.ViewID) bool {
 		if lo.Less(x.ID) && x.ID.Less(hi) {
 			return true
 		}
+	}
+	return false
+}
+
+// attShared is Att without cloning memberships; the views are read-only.
+// CreatedShared is sorted by id, so the result is too.
+func (im *Impl) attShared() []types.View {
+	var out []types.View
+	for _, v := range im.vs.CreatedShared() {
+		for p := range v.Members {
+			if im.nodes[p].HasAttempted(v.ID) {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// totRegShared is TotReg without cloning memberships; read-only, sorted.
+func (im *Impl) totRegShared() []types.View {
+	var out []types.View
+	for _, v := range im.vs.CreatedShared() {
+		all := true
+		for p := range v.Members {
+			if !im.nodes[p].Reg(v.ID) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// totRegIDs returns the ids of the totally registered views, sorted.
+func (im *Impl) totRegIDs() []types.ViewID {
+	tot := im.totRegShared()
+	out := make([]types.ViewID, len(tot))
+	for i, v := range tot {
+		out[i] = v.ID
+	}
+	return out
+}
+
+// hasIDBetween reports whether the sorted id list has an element strictly
+// between lo and hi.
+func hasIDBetween(ids []types.ViewID, lo, hi types.ViewID) bool {
+	for _, x := range ids {
+		if !lo.Less(x) {
+			continue
+		}
+		return x.Less(hi)
 	}
 	return false
 }
@@ -335,12 +384,14 @@ func (im *Impl) Clone() ioa.Automaton {
 	return c
 }
 
-// Fingerprint implements ioa.Automaton.
-func (im *Impl) Fingerprint() string {
-	var f ioa.Fingerprinter
-	f.Add("vs", im.vs.Fingerprint())
+// Fingerprint implements ioa.Automaton. The VS component's lines are
+// flattened under a "vs." prefix; each node contributes its own "n<p>."
+// lines.
+func (im *Impl) Fingerprint(f *ioa.Fingerprinter) {
+	f.SetPrefix("vs.")
+	im.vs.Fingerprint(f)
+	f.SetPrefix("")
 	for _, p := range im.procs {
-		im.nodes[p].AddFingerprint(&f)
+		im.nodes[p].AddFingerprint(f)
 	}
-	return f.String()
 }

@@ -97,17 +97,17 @@ func TestImplCloneDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := im.Clone()
-	if c.Fingerprint() != im.Fingerprint() {
+	if ioa.FingerprintString(c) != ioa.FingerprintString(im) {
 		t.Error("clone fingerprint differs")
 	}
 	// Advancing the clone must not affect the original.
-	pre := im.Fingerprint()
+	pre := ioa.FingerprintString(im)
 	if acts := c.Enabled(); len(acts) > 0 {
 		if err := c.Perform(acts[0]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if im.Fingerprint() != pre {
+	if ioa.FingerprintString(im) != pre {
 		t.Error("clone mutation leaked")
 	}
 }

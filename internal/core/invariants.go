@@ -34,11 +34,10 @@ import (
 // then cur.id_q ≥ v.id.
 func CheckInvariant51(im *Impl) error {
 	for _, p := range im.procs {
-		for _, v := range im.nodes[p].Attempted() {
+		for _, v := range im.nodes[p].attempted {
 			for q := range v.Members {
 				nq := im.nodes[q]
-				cur, ok := nq.Cur()
-				if !ok || cur.ID.Less(v.ID) {
+				if !nq.curOK || nq.cur.ID.Less(v.ID) {
 					return fmt.Errorf("p=%s attempted %s but cur_%s < v.id", p, v, q)
 				}
 			}
@@ -50,37 +49,50 @@ func CheckInvariant51(im *Impl) error {
 // CheckInvariant52 checks parts 1, 2, 4, 5, 6 of Invariant 5.2 as printed,
 // and part 3 in the amended form w ∈ use_p ⇒ w.id ≤ cur.id_p.
 func CheckInvariant52(im *Impl) error {
-	totReg := viewIDSet(im.TotReg())
+	totIDs := im.totRegIDs()
+	totReg := make(map[types.ViewID]struct{}, len(totIDs))
+	for _, id := range totIDs {
+		totReg[id] = struct{}{}
+	}
+	created := im.vs.CreatedShared()
 	for _, p := range im.procs {
 		n := im.nodes[p]
+		act := n.act
 		// (1) act_p ∈ TotReg.
-		if _, ok := totReg[n.Act().ID]; !ok {
-			return fmt.Errorf("5.2(1): act_%s = %s not totally registered", p, n.Act())
+		if _, ok := totReg[act.ID]; !ok {
+			return fmt.Errorf("5.2(1): act_%s = %s not totally registered", p, act)
 		}
 		// (2) w ∈ amb_p ⇒ act.id_p < w.id.
-		for _, w := range n.Amb() {
-			if !n.Act().ID.Less(w.ID) {
-				return fmt.Errorf("5.2(2): amb_%s contains %s with id ≤ act.id %s", p, w, n.Act().ID)
+		for _, w := range n.amb {
+			if !act.ID.Less(w.ID) {
+				return fmt.Errorf("5.2(2): amb_%s contains %s with id ≤ act.id %s", p, w, act.ID)
 			}
 		}
-		// (3 amended) w ∈ use_p ⇒ w.id ≤ cur.id_p (when cur ≠ ⊥; when
-		// cur = ⊥, use_p = {v0}).
-		if cur, ok := n.Cur(); ok {
-			for _, w := range n.Use() {
+		// (3 amended) w ∈ use_p = {act} ∪ amb ⇒ w.id ≤ cur.id_p (when
+		// cur ≠ ⊥; when cur = ⊥, use_p = {v0}).
+		if n.curOK {
+			cur := n.cur
+			if cur.ID.Less(act.ID) {
+				return fmt.Errorf("5.2(3 amended): use_%s contains %s with id > cur.id %s", p, act, cur.ID)
+			}
+			for _, w := range n.amb {
 				if cur.ID.Less(w.ID) {
 					return fmt.Errorf("5.2(3 amended): use_%s contains %s with id > cur.id %s", p, w, cur.ID)
 				}
 			}
 		} else {
-			for _, w := range n.Use() {
+			if !act.ID.IsZero() {
+				return fmt.Errorf("5.2(3 amended): use_%s contains %s with cur = ⊥", p, act)
+			}
+			for _, w := range n.amb {
 				if !w.ID.IsZero() {
 					return fmt.Errorf("5.2(3 amended): use_%s contains %s with cur = ⊥", p, w)
 				}
 			}
 		}
 		// (4,5,6) info-sent constraints.
-		for _, v := range im.vs.Created() {
-			info, ok := n.InfoSent(v.ID)
+		for _, v := range created {
+			info, ok := n.infoSent[v.ID]
 			if !ok {
 				continue
 			}
@@ -92,7 +104,10 @@ func CheckInvariant52(im *Impl) error {
 					return fmt.Errorf("5.2(5): info-sent[%s]_%s has amb view %s with id ≤ act.id", v.ID, p, w)
 				}
 			}
-			for _, w := range append([]types.View{info.Act}, info.Amb...) {
+			if !info.Act.ID.Less(v.ID) {
+				return fmt.Errorf("5.2(6): info-sent[%s]_%s contains %s with id ≥ g", v.ID, p, info.Act)
+			}
+			for _, w := range info.Amb {
 				if !w.ID.Less(v.ID) {
 					return fmt.Errorf("5.2(6): info-sent[%s]_%s contains %s with id ≥ g", v.ID, p, w)
 				}
@@ -130,13 +145,14 @@ func CheckInvariant52Part3Literal(im *Impl) error {
 //	(2) if info-rcvd[q, g]_p = ⟨x, X⟩ and w ∈ {x} ∪ X, then w ∈ use_p or
 //	    w.id < act.id_p.
 func CheckInvariant53(im *Impl) error {
-	created := im.vs.Created()
+	created := im.vs.CreatedShared()
 	for _, p := range im.procs {
 		n := im.nodes[p]
+		actID := n.act.ID
 		for _, v := range created {
 			g := v.ID
-			if info, ok := n.InfoSent(g); ok {
-				for _, w := range n.Attempted() {
+			if info, ok := n.infoSent[g]; ok {
+				for _, w := range n.attempted {
 					if !w.ID.Less(g) {
 						continue
 					}
@@ -147,12 +163,15 @@ func CheckInvariant53(im *Impl) error {
 				}
 			}
 			for _, q := range im.procs {
-				info, ok := n.InfoRcvd(q, g)
+				info, ok := n.infoRcvd[procViewKey{q, g}]
 				if !ok {
 					continue
 				}
-				for _, w := range append([]types.View{info.Act}, info.Amb...) {
-					if viewIn(w, n.Act(), n.Amb()) || w.ID.Less(n.Act().ID) {
+				if !n.inUse(info.Act.ID) && !info.Act.ID.Less(actID) {
+					return fmt.Errorf("5.3(2): p=%s info-rcvd[%s,%s] view %s neither in use nor below act", p, q, g, info.Act)
+				}
+				for _, w := range info.Amb {
+					if n.inUse(w.ID) || w.ID.Less(actID) {
 						continue
 					}
 					return fmt.Errorf("5.3(2): p=%s info-rcvd[%s,%s] view %s neither in use nor below act", p, q, g, w)
@@ -167,14 +186,15 @@ func CheckInvariant53(im *Impl) error {
 // w ∈ attempted_q, w.id < v.id, and no x ∈ TotReg has w.id < x.id < v.id,
 // then |v.set ∩ w.set| > |w.set|/2.
 func CheckInvariant54(im *Impl) error {
+	totIDs := im.totRegIDs()
 	for _, p := range im.procs {
-		for _, v := range im.nodes[p].Attempted() {
+		for _, v := range im.nodes[p].attempted {
 			for q := range v.Members {
-				for _, w := range im.nodes[q].Attempted() {
+				for _, w := range im.nodes[q].attempted {
 					if !w.ID.Less(v.ID) {
 						continue
 					}
-					if im.hasTotRegBetween(w.ID, v.ID) {
+					if hasIDBetween(totIDs, w.ID, v.ID) {
 						continue
 					}
 					if !v.Members.MajorityOf(w.Members) {
@@ -191,19 +211,21 @@ func CheckInvariant54(im *Impl) error {
 // v.id, and no x ∈ TotReg has w.id < x.id < v.id, then |v.set ∩ w.set| >
 // |w.set|/2.
 func CheckInvariant55(im *Impl) error {
-	att := im.Att()
-	totReg := im.TotReg()
+	att := im.attShared()
+	totReg := im.totRegShared()
 	for _, v := range att {
-		for _, w := range totReg {
+		// totReg is sorted by id, so in descending order the first w below v
+		// is itself totally registered: every earlier w' has w strictly
+		// between w' and v, so only this w needs checking.
+		for j := len(totReg) - 1; j >= 0; j-- {
+			w := totReg[j]
 			if !w.ID.Less(v.ID) {
-				continue
-			}
-			if im.hasTotRegBetween(w.ID, v.ID) {
 				continue
 			}
 			if !v.Members.MajorityOf(w.Members) {
 				return fmt.Errorf("5.5: v=%s, w=%s ∈ TotReg: no majority intersection", v, w)
 			}
+			break
 		}
 	}
 	return nil
@@ -213,11 +235,16 @@ func CheckInvariant55(im *Impl) error {
 // refinement proof): if v, w ∈ Att, w.id < v.id, and no x ∈ TotReg has
 // w.id < x.id < v.id, then v.set ∩ w.set ≠ {}.
 func CheckInvariant56(im *Impl) error {
-	att := im.Att()
-	for i, w := range att {
-		for _, v := range att[i+1:] {
-			if im.hasTotRegBetween(w.ID, v.ID) {
-				continue
+	att := im.attShared()
+	totIDs := im.totRegIDs()
+	for i := 1; i < len(att); i++ {
+		v := att[i]
+		// att is sorted by id; scanning w downward, once a totally
+		// registered id separates w from v it separates every lower w too.
+		for j := i - 1; j >= 0; j-- {
+			w := att[j]
+			if hasIDBetween(totIDs, w.ID, v.ID) {
+				break
 			}
 			if !v.Members.Intersects(w.Members) {
 				return fmt.Errorf("5.6: attempted views %s and %s disjoint with no intervening totally registered view", w, v)
@@ -225,14 +252,6 @@ func CheckInvariant56(im *Impl) error {
 		}
 	}
 	return nil
-}
-
-func viewIDSet(vs []types.View) map[types.ViewID]struct{} {
-	out := make(map[types.ViewID]struct{}, len(vs))
-	for _, v := range vs {
-		out[v.ID] = struct{}{}
-	}
-	return out
 }
 
 func viewIn(w, act types.View, amb []types.View) bool {

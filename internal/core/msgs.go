@@ -46,6 +46,20 @@ func (m InfoMsg) MsgKey() string {
 	return b.String()
 }
 
+// WriteFp streams the canonical key (same format as MsgKey) into a
+// fingerprint digest.
+func (m InfoMsg) WriteFp(w types.FpWriter) {
+	w.Str("info:")
+	m.Act.WriteFp(w)
+	w.Byte(';')
+	for i, v := range m.Amb {
+		if i > 0 {
+			w.Byte('|')
+		}
+		v.WriteFp(w)
+	}
+}
+
 // Clone returns an independent copy.
 func (m InfoMsg) Clone() InfoMsg { return NewInfoMsg(m.Act, m.Amb) }
 
@@ -57,6 +71,9 @@ type RegisteredMsg struct{}
 
 // MsgKey implements types.Msg.
 func (RegisteredMsg) MsgKey() string { return "registered" }
+
+// WriteFp streams the canonical key into a fingerprint digest.
+func (RegisteredMsg) WriteFp(w types.FpWriter) { w.Str("registered") }
 
 // ServiceMsg marks RegisteredMsg as internal to the group-communication
 // layer.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/ioa"
 	"repro/internal/types"
@@ -26,6 +25,20 @@ func (i Info) key() string {
 	return NewInfoMsg(i.Act, i.Amb).MsgKey()
 }
 
+// writeFp streams the same canonical form as key (Amb is kept sorted, so no
+// copy or re-sort is needed).
+func (i Info) writeFp(f *ioa.Fingerprinter) {
+	f.Str("info:")
+	i.Act.WriteFp(f)
+	f.Byte(';')
+	for j, v := range i.Amb {
+		if j > 0 {
+			f.Byte('|')
+		}
+		v.WriteFp(f)
+	}
+}
+
 type procViewKey struct {
 	Q types.ProcID
 	G types.ViewID
@@ -43,7 +56,8 @@ func (e MsgFrom) key() string { return e.M.MsgKey() + "@" + e.Q.String() }
 // process p. It is not a standalone ioa.Automaton: its vs-* actions
 // synchronize with the VS automaton inside the Impl composition.
 type Node struct {
-	p types.ProcID
+	p     types.ProcID
+	fpPre string // fingerprint line prefix "n<p>.", precomputed
 
 	cur         types.View // meaningful iff curOK
 	curOK       bool
@@ -66,6 +80,7 @@ type Node struct {
 func NewNode(p types.ProcID, initial types.View, inP0 bool) *Node {
 	n := &Node{
 		p:          p,
+		fpPre:      "n" + p.String() + ".",
 		act:        initial.Clone(),
 		amb:        make(map[types.ViewID]types.View),
 		attempted:  make(map[types.ViewID]types.View),
@@ -110,6 +125,27 @@ func (n *Node) Use() []types.View {
 
 // Attempted returns the history variable attempted_p, sorted by id.
 func (n *Node) Attempted() []types.View { return sortedViews(n.attempted) }
+
+// attemptedShared returns attempted_p sorted by id without cloning
+// memberships; the views are read-only. The per-step abstraction function
+// uses it: its output is deep-copied by dvs.FromState anyway.
+func (n *Node) attemptedShared() []types.View {
+	out := make([]types.View, 0, len(n.attempted))
+	for _, v := range n.attempted {
+		out = append(out, v)
+	}
+	types.SortViews(out)
+	return out
+}
+
+// inUse reports whether a view with the given id is in use = {act} ∪ amb.
+func (n *Node) inUse(id types.ViewID) bool {
+	if id == n.act.ID {
+		return true
+	}
+	_, ok := n.amb[id]
+	return ok
+}
 
 // HasAttempted reports whether a view with the given id is in attempted_p.
 func (n *Node) HasAttempted(g types.ViewID) bool {
@@ -416,6 +452,7 @@ func (n *Node) PerformGC(v types.View) error {
 func (n *Node) Clone() *Node {
 	c := &Node{
 		p:           n.p,
+		fpPre:       n.fpPre,
 		cur:         n.cur.Clone(),
 		curOK:       n.curOK,
 		clientCur:   n.clientCur.Clone(),
@@ -461,73 +498,119 @@ func (n *Node) Clone() *Node {
 	return c
 }
 
-// AddFingerprint appends the node's state to a composite fingerprint.
+// AddFingerprint appends the node's state to a composite fingerprint. Every
+// line carries the node's "n<p>." prefix; values stream into the digest.
 func (n *Node) AddFingerprint(f *ioa.Fingerprinter) {
-	pre := "n" + n.p.String() + "."
+	f.SetPrefix(n.fpPre)
 	if n.curOK {
-		f.Add(pre+"cur", n.cur.String())
+		f.Begin("cur")
+		f.Byte('=')
+		n.cur.WriteFp(f)
+		f.End()
 	}
 	if n.clientCurOK {
-		f.Add(pre+"ccur", n.clientCur.String())
+		f.Begin("ccur")
+		f.Byte('=')
+		n.clientCur.WriteFp(f)
+		f.End()
 	}
-	f.Add(pre+"act", n.act.String())
+	f.Begin("act")
+	f.Byte('=')
+	n.act.WriteFp(f)
+	f.End()
 	for id, v := range n.amb {
-		f.Add(pre+"amb."+id.String(), v.Members.String())
+		f.Begin("amb.")
+		id.WriteFp(f)
+		f.Byte('=')
+		v.Members.WriteFp(f)
+		f.End()
 	}
 	for id, v := range n.attempted {
-		f.Add(pre+"attempted."+id.String(), v.Members.String())
+		f.Begin("attempted.")
+		id.WriteFp(f)
+		f.Byte('=')
+		v.Members.WriteFp(f)
+		f.End()
 	}
 	for k, i := range n.infoRcvd {
-		f.Add(pre+"ircv."+k.Q.String()+"."+k.G.String(), i.key())
+		f.Begin("ircv.")
+		k.Q.WriteFp(f)
+		f.Byte('.')
+		k.G.WriteFp(f)
+		f.Byte('=')
+		i.writeFp(f)
+		f.End()
 	}
 	for g, s := range n.rcvdRgst {
 		if s.Len() > 0 {
-			f.Add(pre+"rgst."+g.String(), s.String())
+			f.Begin("rgst.")
+			g.WriteFp(f)
+			f.Byte('=')
+			s.WriteFp(f)
+			f.End()
 		}
 	}
 	for g, q := range n.msgsToVS {
 		if len(q) > 0 {
-			f.Add(pre+"tovs."+g.String(), msgSeqKey(q))
+			f.Begin("tovs.")
+			g.WriteFp(f)
+			f.Byte('=')
+			writeMsgSeqFp(f, q)
+			f.End()
 		}
 	}
 	for g, q := range n.msgsFromVS {
 		if len(q) > 0 {
-			f.Add(pre+"fromvs."+g.String(), msgFromSeqKey(q))
+			f.Begin("fromvs.")
+			g.WriteFp(f)
+			f.Byte('=')
+			writeMsgFromSeqFp(f, q)
+			f.End()
 		}
 	}
 	for g, q := range n.safeFromVS {
 		if len(q) > 0 {
-			f.Add(pre+"safevs."+g.String(), msgFromSeqKey(q))
+			f.Begin("safevs.")
+			g.WriteFp(f)
+			f.Byte('=')
+			writeMsgFromSeqFp(f, q)
+			f.End()
 		}
 	}
 	for g, b := range n.reg {
 		if b {
-			f.Add(pre+"reg."+g.String(), "1")
+			f.Begin("reg.")
+			g.WriteFp(f)
+			f.Str("=1")
+			f.End()
 		}
 	}
 	for g, i := range n.infoSent {
-		f.Add(pre+"isent."+g.String(), i.key())
+		f.Begin("isent.")
+		g.WriteFp(f)
+		f.Byte('=')
+		i.writeFp(f)
+		f.End()
 	}
+	f.SetPrefix("")
 }
 
-func msgSeqKey(q []types.Msg) string {
-	var b strings.Builder
+func writeMsgSeqFp(f *ioa.Fingerprinter, q []types.Msg) {
 	for i, m := range q {
 		if i > 0 {
-			b.WriteByte('|')
+			f.Byte('|')
 		}
-		b.WriteString(m.MsgKey())
+		types.WriteMsgFp(f, m)
 	}
-	return b.String()
 }
 
-func msgFromSeqKey(q []MsgFrom) string {
-	var b strings.Builder
+func writeMsgFromSeqFp(f *ioa.Fingerprinter, q []MsgFrom) {
 	for i, e := range q {
 		if i > 0 {
-			b.WriteByte('|')
+			f.Byte('|')
 		}
-		b.WriteString(e.key())
+		types.WriteMsgFp(f, e.M)
+		f.Byte('@')
+		e.Q.WriteFp(f)
 	}
-	return b.String()
 }

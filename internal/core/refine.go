@@ -55,9 +55,10 @@ func (r *Refinement) Abstract(a ioa.Automaton) (ioa.Automaton, error) {
 	}
 
 	// t.created = ∪_p attempted_p; t.attempted[g] = attempting processes.
+	// Shared (read-only) views are fine throughout: FromState deep-copies.
 	createdIDs := make(map[types.ViewID]types.View)
 	for _, p := range im.procs {
-		for _, v := range im.nodes[p].Attempted() {
+		for _, v := range im.nodes[p].attemptedShared() {
 			createdIDs[v.ID] = v
 			set, ok := st.Attempted[v.ID]
 			if !ok {
@@ -71,7 +72,7 @@ func (r *Refinement) Abstract(a ioa.Automaton) (ioa.Automaton, error) {
 		st.Created = append(st.Created, v)
 	}
 
-	vsCreated := im.vs.Created()
+	vsCreated := im.vs.CreatedShared()
 	for _, p := range im.procs {
 		n := im.nodes[p]
 		// t.current-viewid[p] = client-cur.id_p.
@@ -95,7 +96,7 @@ func (r *Refinement) Abstract(a ioa.Automaton) (ioa.Automaton, error) {
 		g := v.ID
 		// t.queue[g] = purge(s.queue[g]).
 		var tq []dvs.Entry
-		vsQueue := im.vs.Queue(g)
+		vsQueue := im.vs.QueueShared(g)
 		for _, e := range vsQueue {
 			if types.IsClient(e.M) {
 				tq = append(tq, dvs.Entry{M: e.M, P: e.P})
@@ -107,8 +108,8 @@ func (r *Refinement) Abstract(a ioa.Automaton) (ioa.Automaton, error) {
 		for _, p := range im.procs {
 			n := im.nodes[p]
 			// t.pending[p,g] = purge(s.pending[p,g]) + purge(s.msgs-to-vs[g]_p).
-			pend := Purge(im.vs.Pending(p, g))
-			pend = append(pend, Purge(n.MsgsToVS(g))...)
+			pend := Purge(im.vs.PendingShared(p, g))
+			pend = append(pend, Purge(n.msgsToVS[g])...)
 			if len(pend) > 0 {
 				if st.Pending[p] == nil {
 					st.Pending[p] = make(map[types.ViewID][]types.Msg)
@@ -127,7 +128,7 @@ func (r *Refinement) Abstract(a ioa.Automaton) (ioa.Automaton, error) {
 				st.Rcvd[p][g] = tRcvd
 			}
 			// t.next[p,g] = s.next[p,g] - purgesize(queue(1..next-1)) - |msgs-from-vs[g]_p|.
-			tNext := tRcvd - len(n.MsgsFromVS(g))
+			tNext := tRcvd - len(n.msgsFromVS[g])
 			if tNext != 1 {
 				if st.Next[p] == nil {
 					st.Next[p] = make(map[types.ViewID]int)
@@ -136,7 +137,7 @@ func (r *Refinement) Abstract(a ioa.Automaton) (ioa.Automaton, error) {
 			}
 			// t.next-safe analogous with safe-from-vs.
 			ns := im.vs.NextSafe(p, g)
-			tNS := ns - purgeSizeEntries(vsQueue[:ns-1]) - len(n.SafeFromVS(g))
+			tNS := ns - purgeSizeEntries(vsQueue[:ns-1]) - len(n.safeFromVS[g])
 			if tNS != 1 {
 				if st.NextSafe[p] == nil {
 					st.NextSafe[p] = make(map[types.ViewID]int)

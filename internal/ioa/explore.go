@@ -15,10 +15,11 @@ import (
 // complete check up to the given bounds: if it passes, no reachable state
 // within the bounds violates the properties.
 //
-// States are deduplicated by fingerprint, so automata must produce
-// canonical fingerprints (equal states ⇔ equal fingerprints), and the
-// environment's Inputs must be a pure function of the automaton state
-// (equal state ⇒ equal successors) — see StateSeed.
+// States are deduplicated by 128-bit hash fingerprint, so automata must
+// produce canonical fingerprints (equal states ⇔ equal fingerprints), and
+// the environment's Inputs must be a pure function of the automaton state
+// (equal state ⇒ equal successors) — see StateSeed. AuditFingerprints
+// cross-checks the hash against the readable string representation.
 
 // ExploreConfig bounds an exploration.
 type ExploreConfig struct {
@@ -33,11 +34,19 @@ type ExploreConfig struct {
 	Parallel int
 	// Invariants are checked at every distinct state.
 	Invariants []Invariant
-	// Refinement, if non-nil, is checked on every explored edge.
+	// Refinement, if non-nil, is checked on every explored edge. The
+	// abstracted spec state F(s) is computed once per distinct state and
+	// cached on the frontier, not recomputed per outgoing edge.
 	Refinement Refinement
 	// SpecInvariants are checked on intermediate spec states when
 	// Refinement is set.
 	SpecInvariants []Invariant
+	// AuditFingerprints enables the dual-fingerprint verification mode:
+	// every visited state is fingerprinted both as a 128-bit hash and as
+	// the readable sorted-line string, and the exploration fails if
+	// hash-equality and string-equality ever disagree (a hash collision or
+	// a non-canonical digest). Expensive; for tests.
+	AuditFingerprints bool
 }
 
 // ExploreResult reports exploration statistics.
@@ -48,6 +57,8 @@ type ExploreResult struct {
 	MaxDepth       int           // deepest level reached
 	InvariantEvals int64         // invariant predicate evaluations
 	Wall           time.Duration // elapsed wall-clock time
+	AllocBytes     uint64        // heap allocation delta over the exploration
+	GCCycles       uint32        // GC cycles completed during the exploration
 }
 
 // Report converts the exploration statistics into the common CheckReport
@@ -59,6 +70,8 @@ func (r ExploreResult) Report() CheckReport {
 		States:         int64(r.States),
 		InvariantEvals: r.InvariantEvals,
 		Wall:           r.Wall,
+		AllocBytes:     r.AllocBytes,
+		GCCycles:       r.GCCycles,
 	}
 }
 
@@ -80,14 +93,72 @@ func (e *exploreErr) better(o *exploreErr) bool {
 	return e.action < o.action
 }
 
+// frontierEntry is one distinct state queued for expansion, together with
+// its cached abstraction F(a) when a refinement is being checked.
+type frontierEntry struct {
+	a   Automaton
+	abs Automaton
+}
+
+// discovery is a state first reached at the current level, carried to the
+// post-level admission step.
+type discovery struct {
+	fp  Fp
+	a   Automaton
+	abs Automaton
+}
+
+// exploreScratch is per-worker reusable storage: the fingerprint digest, the
+// local discovery buffer, and the action buffer survive across frontier
+// entries and across levels, so steady-state expansion does not allocate
+// for bookkeeping.
+type exploreScratch struct {
+	f     Fingerprinter
+	found []discovery
+	acts  []Action
+}
+
+// fpAudit cross-checks hash fingerprints against string fingerprints for
+// every visited state (AuditFingerprints mode).
+type fpAudit struct {
+	mu    sync.Mutex
+	byFp  map[Fp]string
+	byStr map[string]Fp
+}
+
+func newFpAudit() *fpAudit {
+	return &fpAudit{byFp: make(map[Fp]string), byStr: make(map[string]Fp)}
+}
+
+// check records the (hash, string) pair for one state and fails if it is
+// inconsistent with any previously visited state: two distinct strings with
+// one hash is a collision; two distinct hashes for one string means the
+// digest is not a function of the state text.
+func (au *fpAudit) check(fp Fp, s string) error {
+	au.mu.Lock()
+	defer au.mu.Unlock()
+	if prev, ok := au.byFp[fp]; ok && prev != s {
+		return fmt.Errorf("fingerprint collision: hash %v for two distinct states:\n--- state A ---\n%s\n--- state B ---\n%s", fp, prev, s)
+	}
+	if prev, ok := au.byStr[s]; ok && prev != fp {
+		return fmt.Errorf("non-canonical fingerprint: state hashed to both %v and %v:\n%s", prev, fp, s)
+	}
+	au.byFp[fp] = s
+	au.byStr[s] = fp
+	return nil
+}
+
 // Explore runs the exhaustive check across cfg.Parallel workers. The
 // environment supplies the (finitely many) input actions available in each
 // state; locally controlled actions come from Enabled. The initial
 // automaton is not mutated.
-func Explore(initial Automaton, env Environment, cfg ExploreConfig) (ExploreResult, error) {
+func Explore(initial Automaton, env Environment, cfg ExploreConfig) (res ExploreResult, err error) {
 	start := time.Now()
-	var res ExploreResult
-	defer func() { res.Wall = time.Since(start) }()
+	mem := startMemSample()
+	defer func() {
+		res.Wall = time.Since(start)
+		mem.apply2(&res.AllocBytes, &res.GCCycles)
+	}()
 	if env == nil {
 		env = NoEnvironment
 	}
@@ -97,33 +168,44 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (ExploreResu
 	}
 	workers := Workers(cfg.Parallel)
 	nInvs := int64(countInvs(cfg.Invariants))
+	var audit *fpAudit
+	if cfg.AuditFingerprints {
+		audit = newFpAudit()
+	}
 
 	first := initial.Clone()
 	res.InvariantEvals += nInvs
 	if err := checkInvariants(first, cfg.Invariants); err != nil {
 		return res, fmt.Errorf("initial state: %w", err)
 	}
+	var absFirst Automaton
 	if cfg.Refinement != nil {
-		abs, err := cfg.Refinement.Abstract(first)
+		var err error
+		absFirst, err = cfg.Refinement.Abstract(first)
 		if err != nil {
 			return res, fmt.Errorf("abstract initial state: %w", err)
 		}
-		if abs.Fingerprint() != cfg.Refinement.SpecInitial().Fingerprint() {
-			return res, fmt.Errorf("F(init) is not the spec initial state")
+		specInit := cfg.Refinement.SpecInitial()
+		if FpOf(absFirst) != FpOf(specInit) {
+			return res, fmt.Errorf("F(init) is not the spec initial state:\n  F(init) = %s\n  init    = %s",
+				FingerprintString(absFirst), FingerprintString(specInit))
 		}
 	}
 
-	seen := newStripedSet()
-	seen.Add(first.Fingerprint())
-	frontier := []Automaton{first}
+	seen := newFpSet()
+	firstFp := FpOf(first)
+	if audit != nil {
+		fp, s := FingerprintBoth(first)
+		firstFp = fp
+		if err := audit.check(fp, s); err != nil {
+			return res, err
+		}
+	}
+	seen.Add(firstFp)
+	frontier := []frontierEntry{{a: first, abs: absFirst}}
 	res.States = 1
 
-	// discovery is a state first reached at the current level, carried to
-	// the post-level admission step.
-	type discovery struct {
-		fp string
-		a  Automaton
-	}
+	scratch := make([]exploreScratch, workers)
 
 	for depth := 0; len(frontier) > 0; depth++ {
 		if depth > res.MaxDepth {
@@ -148,19 +230,21 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (ExploreResu
 			wg       sync.WaitGroup
 		)
 		next.Store(-1)
-		for range w {
+		for wi := 0; wi < w; wi++ {
 			wg.Add(1)
-			go func() {
+			go func(sc *exploreScratch) {
 				defer wg.Done()
-				var local []discovery
+				local := sc.found[:0]
 				for {
 					i := int(next.Add(1))
 					if i >= len(frontier) {
 						break
 					}
-					cur := frontier[i]
-					acts := cur.Enabled()
+					cur := frontier[i].a
+					absPre := frontier[i].abs
+					acts := append(sc.acts[:0], cur.Enabled()...)
 					acts = append(acts, env.Inputs(cur)...)
+					sc.acts = acts
 					for j, act := range acts {
 						succ := cur.Clone()
 						if err := succ.Perform(act); err != nil {
@@ -169,14 +253,37 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (ExploreResu
 							break
 						}
 						edges.Add(1)
+						var absSucc Automaton
 						if cfg.Refinement != nil {
-							if err := checkStepCorrespondence(cur, act, succ, cfg.Refinement, cfg.SpecInvariants, nil); err != nil {
+							var err error
+							absSucc, err = cfg.Refinement.Abstract(succ)
+							if err != nil {
+								recordExploreErr(&mu, &levelErr, i, j,
+									fmt.Errorf("depth %d, action %s: abstract post-state: %w", depth, act, err))
+								break
+							}
+							if err := checkPlannedStep(cur, act, succ, absPre, absSucc, cfg.Refinement, cfg.SpecInvariants, nil); err != nil {
 								recordExploreErr(&mu, &levelErr, i, j,
 									fmt.Errorf("depth %d, action %s: %w", depth, act, err))
 								break
 							}
 						}
-						fp := succ.Fingerprint()
+						sc.f.Reset()
+						succ.Fingerprint(&sc.f)
+						fp := sc.f.Sum()
+						if audit != nil {
+							afp, astr := FingerprintBoth(succ)
+							if afp != fp {
+								recordExploreErr(&mu, &levelErr, i, j,
+									fmt.Errorf("depth %d, action %s: hash-only and recording fingerprints disagree: %v vs %v", depth, act, fp, afp))
+								break
+							}
+							if err := audit.check(afp, astr); err != nil {
+								recordExploreErr(&mu, &levelErr, i, j,
+									fmt.Errorf("depth %d, action %s: %w", depth, act, err))
+								break
+							}
+						}
 						if !seen.Add(fp) {
 							continue
 						}
@@ -186,7 +293,7 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (ExploreResu
 								fmt.Errorf("depth %d, after %s: %w", depth+1, act, err))
 							break
 						}
-						local = append(local, discovery{fp: fp, a: succ})
+						local = append(local, discovery{fp: fp, a: succ, abs: absSucc})
 					}
 					mu.Lock()
 					stop := levelErr != nil && levelErr.frontier < i
@@ -201,7 +308,8 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (ExploreResu
 				mu.Lock()
 				found = append(found, local...)
 				mu.Unlock()
-			}()
+				sc.found = local[:0]
+			}(&scratch[wi])
 		}
 		wg.Wait()
 		res.Edges += int(edges.Load())
@@ -213,7 +321,7 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (ExploreResu
 		// Admit the level's discoveries in fingerprint order, up to the
 		// state cap, so the next frontier — and with it every count this
 		// exploration reports — is independent of worker scheduling.
-		sort.Slice(found, func(i, j int) bool { return found[i].fp < found[j].fp })
+		sort.Slice(found, func(i, j int) bool { return found[i].fp.Less(found[j].fp) })
 		frontier = frontier[:0]
 		for _, d := range found {
 			if res.States >= maxStates {
@@ -221,7 +329,7 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (ExploreResu
 				break
 			}
 			res.States++
-			frontier = append(frontier, d.a)
+			frontier = append(frontier, frontierEntry{a: d.a, abs: d.abs})
 		}
 	}
 	return res, nil

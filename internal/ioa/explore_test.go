@@ -2,7 +2,6 @@ package ioa
 
 import (
 	"errors"
-	"strconv"
 	"testing"
 )
 
@@ -28,8 +27,8 @@ func (r *ring) Perform(a Action) error {
 	}
 	return nil
 }
-func (r *ring) Clone() Automaton    { cp := *r; return &cp }
-func (r *ring) Fingerprint() string { return strconv.Itoa(r.n) }
+func (r *ring) Clone() Automaton             { cp := *r; return &cp }
+func (r *ring) Fingerprint(f *Fingerprinter) { f.AddInt("n", r.n) }
 
 func TestExploreVisitsWholeSpace(t *testing.T) {
 	res, err := Explore(&ring{m: 10}, nil, ExploreConfig{})

@@ -80,7 +80,7 @@ func paramString(p any) string {
 
 // Automaton is an executable I/O automaton. Implementations are
 // single-threaded value-semantics state machines: Clone must produce a fully
-// independent copy, and Fingerprint must be a canonical rendering of the
+// independent copy, and Fingerprint must write a canonical rendering of the
 // state (equal states ⇒ equal fingerprints, and for the automata in this
 // repository the converse as well).
 type Automaton interface {
@@ -95,8 +95,11 @@ type Automaton interface {
 	Perform(a Action) error
 	// Clone returns an independent deep copy.
 	Clone() Automaton
-	// Fingerprint returns a canonical rendering of the state.
-	Fingerprint() string
+	// Fingerprint writes the canonical state components into f, one
+	// key=value line per component (omit default-valued components). The
+	// digest is order-canonical, so writes driven by map iteration are
+	// fine. Use FpOf / FingerprintString / FingerprintBoth to consume it.
+	Fingerprint(f *Fingerprinter)
 }
 
 // Environment supplies candidate input actions for an automaton's current

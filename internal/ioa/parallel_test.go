@@ -3,7 +3,6 @@ package ioa
 import (
 	"errors"
 	"runtime"
-	"strconv"
 	"sync"
 	"testing"
 )
@@ -37,8 +36,11 @@ func (b *bomb) Perform(a Action) error {
 	return nil
 }
 func (b *bomb) Clone() Automaton { cp := *b; return &cp }
-func (b *bomb) Fingerprint() string {
-	return "n=" + strconv.Itoa(b.n) + " tripped=" + strconv.FormatBool(b.tripped)
+func (b *bomb) Fingerprint(f *Fingerprinter) {
+	f.AddInt("n", b.n)
+	if b.tripped {
+		f.Add("tripped", "true")
+	}
 }
 
 var tripwire = []Invariant{{Name: "never tripped", Check: func(a Automaton) error {
@@ -224,31 +226,60 @@ func TestExploreParallelStateBound(t *testing.T) {
 	}
 }
 
-func TestStripedSet(t *testing.T) {
-	s := newStripedSet()
+// testFp derives a well-spread Fp from an integer (splitmix64 on two
+// streams), so the open-addressing stripes see realistic keys.
+func testFp(i int) Fp {
+	mix := func(x uint64) uint64 {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x
+	}
+	return Fp{Hi: mix(uint64(i) + 1), Lo: mix(uint64(i) + 0x9e3779b97f4a7c15)}
+}
+
+func TestFpSet(t *testing.T) {
+	s := newFpSet()
 	var wg sync.WaitGroup
 	dups := make([]int, 8)
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := 0; i < 1000; i++ {
-				if !s.Add(strconv.Itoa(i)) {
+			for i := 0; i < 20000; i++ {
+				if !s.Add(testFp(i)) {
 					dups[w]++
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	if s.Len() != 1000 {
-		t.Errorf("len = %d, want 1000", s.Len())
+	if s.Len() != 20000 {
+		t.Errorf("len = %d, want 20000", s.Len())
 	}
 	total := 0
 	for _, d := range dups {
 		total += d
 	}
-	if total != 7000 {
-		t.Errorf("duplicate adds = %d, want 7000", total)
+	if total != 7*20000 {
+		t.Errorf("duplicate adds = %d, want %d", total, 7*20000)
+	}
+}
+
+// TestFpSetZeroFingerprint: the zero Fp doubles as the empty-slot marker, so
+// it is stored out of band; adding it must still dedup correctly.
+func TestFpSetZeroFingerprint(t *testing.T) {
+	s := newFpSet()
+	if !s.Add(Fp{}) {
+		t.Error("first add of zero fingerprint must succeed")
+	}
+	if s.Add(Fp{}) {
+		t.Error("second add of zero fingerprint must report duplicate")
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d, want 1", s.Len())
 	}
 }
 

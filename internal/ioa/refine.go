@@ -71,16 +71,18 @@ func CheckRefinement(impl Automaton, ref Refinement, env Environment, cfg Checke
 	nImplInvs := int64(countInvs(cfg.ImplInvariants))
 
 	// Lemma 5.7: F maps the initial state to an initial spec state.
-	absInit, err := ref.Abstract(impl)
+	absCur, err := ref.Abstract(impl)
 	if err != nil {
 		return rep, fmt.Errorf("abstract initial state: %w", err)
 	}
-	if got, want := absInit.Fingerprint(), ref.SpecInitial().Fingerprint(); got != want {
-		return rep, fmt.Errorf("F(init) is not the spec initial state:\n  F(init) = %s\n  init    = %s", got, want)
+	specInit := ref.SpecInitial()
+	if FpOf(absCur) != FpOf(specInit) {
+		return rep, fmt.Errorf("F(init) is not the spec initial state:\n  F(init) = %s\n  init    = %s",
+			FingerprintString(absCur), FingerprintString(specInit))
 	}
 	rep.InvariantEvals += nImplInvs
 	if err := checkInvariants(impl, cfg.ImplInvariants); err != nil {
-		return rep, &StepError{Step: 0, Action: Action{Name: "<init>"}, Fingerprint: impl.Fingerprint(), Err: err}
+		return rep, &StepError{Step: 0, Action: Action{Name: "<init>"}, Fingerprint: FingerprintString(impl), Err: err}
 	}
 
 	for step := 1; step <= cfg.Steps; step++ {
@@ -90,17 +92,24 @@ func CheckRefinement(impl Automaton, ref Refinement, env Environment, cfg Checke
 		}
 		pre := impl.Clone()
 		if err := impl.Perform(act); err != nil {
-			return rep, &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: fmt.Errorf("perform: %w", err)}
+			return rep, &StepError{Step: step, Action: act, Fingerprint: FingerprintString(impl), Err: fmt.Errorf("perform: %w", err)}
 		}
 		rep.Steps++
 		rep.States++
 		rep.InvariantEvals += nImplInvs
 		if err := checkInvariants(impl, cfg.ImplInvariants); err != nil {
-			return rep, &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: err}
+			return rep, &StepError{Step: step, Action: act, Fingerprint: FingerprintString(impl), Err: err}
 		}
-		if err := checkStepCorrespondence(pre, act, impl, ref, cfg.SpecInvariants, &rep); err != nil {
-			return rep, &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: err}
+		// The walk is sequential, so F(post) of this step is F(pre) of the
+		// next: one Abstract call per step instead of two.
+		absPost, err := ref.Abstract(impl)
+		if err != nil {
+			return rep, &StepError{Step: step, Action: act, Fingerprint: FingerprintString(impl), Err: fmt.Errorf("abstract post-state: %w", err)}
 		}
+		if err := checkPlannedStep(pre, act, impl, absCur, absPost, ref, cfg.SpecInvariants, &rep); err != nil {
+			return rep, &StepError{Step: step, Action: act, Fingerprint: FingerprintString(impl), Err: err}
+		}
+		absCur = absPost
 	}
 	return rep, nil
 }
@@ -127,6 +136,9 @@ func CheckRefinementSeeds(n int, mk func() Automaton, ref Refinement, mkEnv func
 	})
 }
 
+// checkStepCorrespondence verifies the Lemma 5.8 obligation for one
+// implementation step, computing F(pre) and F(post) itself. Callers that
+// already hold the abstractions use checkPlannedStep directly.
 func checkStepCorrespondence(pre Automaton, act Action, post Automaton, ref Refinement, specInvs []Invariant, rep *CheckReport) error {
 	absPre, err := ref.Abstract(pre)
 	if err != nil {
@@ -136,56 +148,71 @@ func checkStepCorrespondence(pre Automaton, act Action, post Automaton, ref Refi
 	if err != nil {
 		return fmt.Errorf("abstract post-state: %w", err)
 	}
+	return checkPlannedStep(pre, act, post, absPre, absPost, ref, specInvs, rep)
+}
+
+// checkPlannedStep is the core of the Lemma 5.8 check with F(pre) and
+// F(post) already computed. absPre is never mutated — the planned fragment
+// runs on a clone — so callers may cache it across all outgoing edges of a
+// state (Explore) or across consecutive steps of a walk (CheckRefinement).
+func checkPlannedStep(pre Automaton, act Action, post Automaton, absPre, absPost Automaton, ref Refinement, specInvs []Invariant, rep *CheckReport) error {
 	plan, err := ref.Plan(pre, act, post)
 	if err != nil {
 		return fmt.Errorf("plan: %w", err)
 	}
 
-	// The plan's external trace must equal the step's external trace.
-	var wantTrace []string
-	if act.External() {
-		wantTrace = []string{act.Key()}
-	}
-	var gotTrace []string
+	// The plan's external trace must equal the step's external trace: one
+	// matching external action if the step is external, none otherwise.
+	// Compared pairwise to avoid building trace slices per edge.
+	externals := 0
+	match := true
 	for _, pa := range plan {
-		if pa.External() {
-			gotTrace = append(gotTrace, pa.Key())
+		if !pa.External() {
+			continue
+		}
+		externals++
+		if externals > 1 || !act.External() || pa.Key() != act.Key() {
+			match = false
 		}
 	}
-	if !equalStrings(gotTrace, wantTrace) {
+	if act.External() && externals != 1 {
+		match = false
+	}
+	if !match {
+		var gotTrace, wantTrace []string
+		for _, pa := range plan {
+			if pa.External() {
+				gotTrace = append(gotTrace, pa.Key())
+			}
+		}
+		if act.External() {
+			wantTrace = []string{act.Key()}
+		}
 		return fmt.Errorf("plan trace %v does not match step trace %v", gotTrace, wantTrace)
 	}
 
-	// Execute the fragment from F(pre); every action must be enabled.
-	nSpecInvs := int64(countInvs(specInvs))
+	// Execute the fragment from F(pre); every action must be enabled. An
+	// empty plan leaves the spec state untouched, so the clone is skipped.
 	state := absPre
-	for i, pa := range plan {
-		if err := state.Perform(pa); err != nil {
-			return fmt.Errorf("spec action %d/%d (%s) not enabled: %w", i+1, len(plan), pa, err)
-		}
-		if rep != nil {
-			rep.InvariantEvals += nSpecInvs
-		}
-		if err := checkInvariants(state, specInvs); err != nil {
-			return fmt.Errorf("after spec action %s: %w", pa, err)
+	if len(plan) > 0 {
+		nSpecInvs := int64(countInvs(specInvs))
+		state = absPre.Clone()
+		for i, pa := range plan {
+			if err := state.Perform(pa); err != nil {
+				return fmt.Errorf("spec action %d/%d (%s) not enabled: %w", i+1, len(plan), pa, err)
+			}
+			if rep != nil {
+				rep.InvariantEvals += nSpecInvs
+			}
+			if err := checkInvariants(state, specInvs); err != nil {
+				return fmt.Errorf("after spec action %s: %w", pa, err)
+			}
 		}
 	}
-	if got, want := state.Fingerprint(), absPost.Fingerprint(); got != want {
-		return errors.New("simulated spec state differs from F(post):\n  simulated = " + got + "\n  F(post)   = " + want)
+	if FpOf(state) != FpOf(absPost) {
+		return errors.New("simulated spec state differs from F(post):\n  simulated = " + FingerprintString(state) + "\n  F(post)   = " + FingerprintString(absPost))
 	}
 	return nil
-}
-
-func equalStrings(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // Monitor accepts the external actions of an implementation one at a time,
@@ -216,7 +243,7 @@ func CheckTraceInclusion(impl Automaton, mon Monitor, env Environment, cfg Check
 	nInvs := int64(countInvs(cfg.ImplInvariants))
 	rep.InvariantEvals += nInvs
 	if err := checkInvariants(impl, cfg.ImplInvariants); err != nil {
-		return rep, &StepError{Step: 0, Action: Action{Name: "<init>"}, Fingerprint: impl.Fingerprint(), Err: err}
+		return rep, &StepError{Step: 0, Action: Action{Name: "<init>"}, Fingerprint: FingerprintString(impl), Err: err}
 	}
 	for step := 1; step <= cfg.Steps; step++ {
 		act, ok := pickAction(impl, env, rng, weight)
@@ -224,17 +251,17 @@ func CheckTraceInclusion(impl Automaton, mon Monitor, env Environment, cfg Check
 			return rep, nil
 		}
 		if err := impl.Perform(act); err != nil {
-			return rep, &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: fmt.Errorf("perform: %w", err)}
+			return rep, &StepError{Step: step, Action: act, Fingerprint: FingerprintString(impl), Err: fmt.Errorf("perform: %w", err)}
 		}
 		rep.Steps++
 		rep.States++
 		rep.InvariantEvals += nInvs
 		if err := checkInvariants(impl, cfg.ImplInvariants); err != nil {
-			return rep, &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: err}
+			return rep, &StepError{Step: step, Action: act, Fingerprint: FingerprintString(impl), Err: err}
 		}
 		if act.External() {
 			if err := mon.Observe(act); err != nil {
-				return rep, &StepError{Step: step, Action: act, Fingerprint: impl.Fingerprint(), Err: fmt.Errorf("trace rejected: %w", err)}
+				return rep, &StepError{Step: step, Action: act, Fingerprint: FingerprintString(impl), Err: fmt.Errorf("trace rejected: %w", err)}
 			}
 		}
 	}

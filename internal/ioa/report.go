@@ -2,7 +2,7 @@ package ioa
 
 import (
 	"fmt"
-	"hash/fnv"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,6 +28,14 @@ type CheckReport struct {
 	InvariantEvals int64
 	// Wall is the elapsed wall-clock time of the whole check.
 	Wall time.Duration
+	// AllocBytes is the heap allocation delta (runtime.MemStats.TotalAlloc)
+	// over the check. The sample is process-wide, so concurrent unrelated
+	// work inflates it; for the benchmarks and dvscheck, where one check
+	// runs at a time, it is an accurate cost of the check.
+	AllocBytes uint64
+	// GCCycles is the number of garbage-collection cycles completed during
+	// the check (process-wide, like AllocBytes).
+	GCCycles uint32
 }
 
 // StepsPerSec is the aggregate checking throughput.
@@ -46,12 +54,47 @@ func (r *CheckReport) Merge(o CheckReport) {
 	r.States += o.States
 	r.InvariantEvals += o.InvariantEvals
 	r.Wall += o.Wall
+	r.AllocBytes += o.AllocBytes
+	r.GCCycles += o.GCCycles
 }
 
-// String renders the report in the form printed by dvscheck -v.
+// String renders the report in the form printed by dvscheck -v. The
+// allocation tail is appended only when measured, so deterministic fields
+// (steps, states) stay in a fixed position for scripts to parse.
 func (r CheckReport) String() string {
-	return fmt.Sprintf("%d execs, %d steps, %d states, %d invariant evals, %v (%.0f steps/s)",
+	s := fmt.Sprintf("%d execs, %d steps, %d states, %d invariant evals, %v (%.0f steps/s)",
 		r.Executions, r.Steps, r.States, r.InvariantEvals, r.Wall.Round(time.Millisecond), r.StepsPerSec())
+	if r.AllocBytes > 0 || r.GCCycles > 0 {
+		s += fmt.Sprintf(", %.1f MB alloc, %d GCs", float64(r.AllocBytes)/(1<<20), r.GCCycles)
+	}
+	return s
+}
+
+// memSample captures process-wide allocation counters so a check can report
+// its allocation cost. ReadMemStats briefly stops the world, so samples are
+// taken once per check, never per seed or per state.
+type memSample struct {
+	alloc uint64
+	gc    uint32
+}
+
+func startMemSample() memSample {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return memSample{alloc: m.TotalAlloc, gc: m.NumGC}
+}
+
+// apply writes the deltas since the sample into rep.
+func (s memSample) apply(rep *CheckReport) {
+	s.apply2(&rep.AllocBytes, &rep.GCCycles)
+}
+
+// apply2 writes the deltas since the sample into the given fields.
+func (s memSample) apply2(alloc *uint64, gc *uint32) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	*alloc = m.TotalAlloc - s.alloc
+	*gc = m.NumGC - s.gc
 }
 
 // SeedError wraps a failure of one seeded execution with the seed that
@@ -87,6 +130,7 @@ func Workers(n int) int {
 // in-order loop).
 func seedFanOut(parallel, n int, fn func(i int) (CheckReport, error)) (CheckReport, error) {
 	start := time.Now()
+	mem := startMemSample()
 	var total CheckReport
 	parallel = Workers(parallel)
 	if parallel > n {
@@ -104,6 +148,7 @@ func seedFanOut(parallel, n int, fn func(i int) (CheckReport, error)) (CheckRepo
 			}
 		}
 		total.Wall = time.Since(start)
+		mem.apply(&total)
 		return total, firstErr
 	}
 
@@ -144,6 +189,7 @@ func seedFanOut(parallel, n int, fn func(i int) (CheckReport, error)) (CheckRepo
 	}
 	wg.Wait()
 	total.Wall = time.Since(start)
+	mem.apply(&total)
 	return total, failErr
 }
 
@@ -152,57 +198,108 @@ func seedFanOut(parallel, n int, fn func(i int) (CheckReport, error)) (CheckRepo
 // a pure function of (base seed, state) — rather than mutating internal
 // counters — keep the "equal state ⇒ equal successors" assumption behind
 // exhaustive exploration's fingerprint dedup, and make every seeded
-// execution reproducible in isolation.
+// execution reproducible in isolation. The derivation hashes the state (not
+// a string rendering of it) and is stable across processes, so a failing
+// seed reported by one run replays exactly in another.
 func StateSeed(seed int64, a Automaton) int64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	u := uint64(seed)
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(u >> (8 * i))
-	}
-	h.Write(buf[:])
-	h.Write([]byte(a.Fingerprint()))
-	return int64(h.Sum64())
+	fp := FpOf(a)
+	x := fp.Lo ^ bits.RotateLeft64(fp.Hi, 29) ^ (uint64(seed) * 0x9e3779b97f4a7c15)
+	// splitmix64 finalizer
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
 }
 
-// stripedSet is a fingerprint set sharded across mutex-protected stripes so
-// concurrent BFS workers can deduplicate states without a global lock.
-type stripedSet struct {
-	stripes [64]struct {
-		mu sync.Mutex
-		m  map[string]struct{}
-	}
+// fpSet is a concurrent set of 128-bit fingerprints, sharded across
+// mutex-protected stripes so BFS workers can deduplicate states without a
+// global lock. Each stripe is an open-addressing table with linear probing:
+// 16 bytes per entry, no per-insert allocation, no string keys. The stripe
+// is chosen from Fp.Hi and the probe position from Fp.Lo, so the two are
+// independent even for fingerprints that land in the same stripe.
+type fpSet struct {
+	stripes [64]fpStripe
 }
 
-func newStripedSet() *stripedSet {
-	s := &stripedSet{}
-	for i := range s.stripes {
-		s.stripes[i].m = make(map[string]struct{})
-	}
-	return s
+type fpStripe struct {
+	mu      sync.Mutex
+	tab     []Fp // power-of-two size; the zero Fp marks an empty slot
+	n       int  // non-zero fingerprints stored
+	hasZero bool // the zero fingerprint, stored out of band
+	_       [15]byte
 }
+
+const fpStripeInitCap = 256
+
+func newFpSet() *fpSet { return &fpSet{} }
 
 // Add inserts fp and reports whether it was newly added.
-func (s *stripedSet) Add(fp string) bool {
-	h := fnv.New64a()
-	h.Write([]byte(fp))
-	st := &s.stripes[h.Sum64()%uint64(len(s.stripes))]
+func (s *fpSet) Add(fp Fp) bool {
+	st := &s.stripes[fp.Hi&uint64(len(s.stripes)-1)]
 	st.mu.Lock()
-	_, dup := st.m[fp]
-	if !dup {
-		st.m[fp] = struct{}{}
-	}
+	added := st.add(fp)
 	st.mu.Unlock()
-	return !dup
+	return added
+}
+
+func (st *fpStripe) add(fp Fp) bool {
+	if fp == (Fp{}) {
+		// Sum never returns the zero Fp for an empty digest, but a real
+		// state could hash to zero; keep it out of band so the empty-slot
+		// marker stays unambiguous.
+		if st.hasZero {
+			return false
+		}
+		st.hasZero = true
+		return true
+	}
+	if st.tab == nil {
+		st.tab = make([]Fp, fpStripeInitCap)
+	} else if (st.n+1)*4 > len(st.tab)*3 {
+		st.grow()
+	}
+	mask := uint64(len(st.tab) - 1)
+	for i := fp.Lo & mask; ; i = (i + 1) & mask {
+		switch st.tab[i] {
+		case Fp{}:
+			st.tab[i] = fp
+			st.n++
+			return true
+		case fp:
+			return false
+		}
+	}
+}
+
+func (st *fpStripe) grow() {
+	old := st.tab
+	st.tab = make([]Fp, 2*len(old))
+	mask := uint64(len(st.tab) - 1)
+	for _, fp := range old {
+		if fp == (Fp{}) {
+			continue
+		}
+		i := fp.Lo & mask
+		for st.tab[i] != (Fp{}) {
+			i = (i + 1) & mask
+		}
+		st.tab[i] = fp
+	}
 }
 
 // Len is the total number of fingerprints across all stripes.
-func (s *stripedSet) Len() int {
+func (s *fpSet) Len() int {
 	total := 0
 	for i := range s.stripes {
-		s.stripes[i].mu.Lock()
-		total += len(s.stripes[i].m)
-		s.stripes[i].mu.Unlock()
+		st := &s.stripes[i]
+		st.mu.Lock()
+		total += st.n
+		if st.hasZero {
+			total++
+		}
+		st.mu.Unlock()
 	}
 	return total
 }

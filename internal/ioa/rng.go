@@ -1,0 +1,23 @@
+package ioa
+
+import (
+	"math/rand"
+	"sync"
+)
+
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+
+// SeededRng returns a pooled *rand.Rand reseeded to seed. The stream is
+// identical to rand.New(rand.NewSource(seed)) — reseeding runs the same
+// source initialization — but the ~5 KB source table is recycled instead of
+// allocated per call, which matters for state-pure environments that derive
+// a fresh PRNG from every visited state. Release with PutRng; do not retain
+// the instance afterwards.
+func SeededRng(seed int64) *rand.Rand {
+	r := rngPool.Get().(*rand.Rand)
+	r.Seed(seed)
+	return r
+}
+
+// PutRng returns a SeededRng instance to the pool.
+func PutRng(r *rand.Rand) { rngPool.Put(r) }

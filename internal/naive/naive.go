@@ -24,6 +24,7 @@ import (
 // is the last primary this process accepted.
 type Node struct {
 	p     types.ProcID
+	fpPre string // fingerprint line prefix "n<p>.", precomputed
 	cur   types.View
 	curOK bool
 	last  types.View // last accepted primary; starts at v0
@@ -36,6 +37,7 @@ type Node struct {
 func NewNode(p types.ProcID, initial types.View, inP0 bool) *Node {
 	n := &Node{
 		p:         p,
+		fpPre:     "n" + p.String() + ".",
 		last:      initial.Clone(),
 		attempted: make(map[types.ViewID]types.View),
 	}
@@ -86,7 +88,7 @@ func (n *Node) Attempted() []types.View {
 }
 
 func (n *Node) clone() *Node {
-	c := &Node{p: n.p, cur: n.cur.Clone(), curOK: n.curOK, last: n.last.Clone(),
+	c := &Node{p: n.p, fpPre: n.fpPre, cur: n.cur.Clone(), curOK: n.curOK, last: n.last.Clone(),
 		attempted: make(map[types.ViewID]types.View, len(n.attempted))}
 	for id, v := range n.attempted {
 		c.attempted[id] = v.Clone()
@@ -229,22 +231,34 @@ func (im *Impl) Clone() ioa.Automaton {
 	return c
 }
 
-// Fingerprint implements ioa.Automaton.
-func (im *Impl) Fingerprint() string {
-	var f ioa.Fingerprinter
-	f.Add("vs", im.vs.Fingerprint())
+// Fingerprint implements ioa.Automaton. The VS component's lines are
+// flattened under a "vs." prefix; node values stream into the digest.
+func (im *Impl) Fingerprint(f *ioa.Fingerprinter) {
+	f.SetPrefix("vs.")
+	im.vs.Fingerprint(f)
+	f.SetPrefix("")
 	for _, p := range im.procs {
 		n := im.nodes[p]
-		pre := "n" + p.String() + "."
+		f.SetPrefix(n.fpPre)
 		if n.curOK {
-			f.Add(pre+"cur", n.cur.String())
+			f.Begin("cur")
+			f.Byte('=')
+			n.cur.WriteFp(f)
+			f.End()
 		}
-		f.Add(pre+"last", n.last.String())
+		f.Begin("last")
+		f.Byte('=')
+		n.last.WriteFp(f)
+		f.End()
 		for id, v := range n.attempted {
-			f.Add(pre+"att."+id.String(), v.Members.String())
+			f.Begin("att.")
+			id.WriteFp(f)
+			f.Byte('=')
+			v.Members.WriteFp(f)
+			f.End()
 		}
+		f.SetPrefix("")
 	}
-	return f.String()
 }
 
 // maxCreated returns the largest view id created in the underlying VS.

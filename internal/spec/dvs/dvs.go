@@ -26,8 +26,7 @@ package dvs
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
+	"sort"
 
 	"repro/internal/ioa"
 	"repro/internal/types"
@@ -242,6 +241,19 @@ func (a *DVS) Created() []types.View {
 	return out
 }
 
+// CreatedShared returns the created views sorted by id without cloning
+// memberships. The caller must treat the views as read-only; it exists for
+// per-state hot paths (environments, invariants) where Created's defensive
+// copies dominate the allocation profile.
+func (a *DVS) CreatedShared() []types.View {
+	out := make([]types.View, 0, len(a.created))
+	for _, v := range a.created {
+		out = append(out, v)
+	}
+	types.SortViews(out)
+	return out
+}
+
 // CurrentViewID returns current-viewid[p]; ok is false for ⊥.
 func (a *DVS) CurrentViewID(p types.ProcID) (types.ViewID, bool) {
 	g, ok := a.current[p]
@@ -255,6 +267,10 @@ func (a *DVS) Attempted(g types.ViewID) types.ProcSet {
 	}
 	return types.NewProcSet()
 }
+
+// AttemptedShared returns attempted[g] without copying (nil if empty);
+// read-only.
+func (a *DVS) AttemptedShared(g types.ViewID) types.ProcSet { return a.attempted[g] }
 
 // Registered returns registered[g].
 func (a *DVS) Registered(g types.ViewID) types.ProcSet {
@@ -290,17 +306,39 @@ func (a *DVS) TotAtt() []types.View {
 	return out
 }
 
-// hasTotRegBetween reports whether ∃x ∈ TotReg with lo < x.id < hi.
-func (a *DVS) hasTotRegBetween(lo, hi types.ViewID) bool {
-	for id, v := range a.created {
-		if !lo.Less(id) || !id.Less(hi) {
-			continue
-		}
-		if reg, ok := a.registered[id]; ok && v.Members.Subset(reg) {
-			return true
+// CreatedCount returns |created| without materializing the views.
+func (a *DVS) CreatedCount() int { return len(a.created) }
+
+// MaxCreatedID returns the largest created view id (the zero ViewID if no
+// view has been created, which cannot happen after initialization).
+func (a *DVS) MaxCreatedID() types.ViewID {
+	var max types.ViewID
+	for id := range a.created {
+		if max.Less(id) {
+			max = id
 		}
 	}
-	return false
+	return max
+}
+
+// sortedTotReg returns the created view ids in increasing order together
+// with a parallel flag marking the totally registered ones. Memberships are
+// not cloned — the snapshot is read-only. It backs the early-breaking
+// "totally registered view strictly between" scans below, which replace
+// per-pair rescans of the created map (O(V³·n) worst case on the invariant
+// check, the dominant cost of spec-state exploration).
+func (a *DVS) sortedTotReg() ([]types.ViewID, []bool) {
+	ids := make([]types.ViewID, 0, len(a.created))
+	for id := range a.created {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	tot := make([]bool, len(ids))
+	for i, id := range ids {
+		reg, ok := a.registered[id]
+		tot[i] = ok && a.created[id].Members.Subset(reg)
+	}
+	return ids, tot
 }
 
 // CreateViewCandidateOK reports whether dvs-createview(v)'s precondition
@@ -314,12 +352,26 @@ func (a *DVS) CreateViewCandidateOK(v types.View) bool {
 	if _, dup := a.created[v.ID]; dup {
 		return false
 	}
-	for _, w := range a.created {
-		if a.hasTotRegBetween(w.ID, v.ID) || a.hasTotRegBetween(v.ID, w.ID) {
-			continue
-		}
-		if !v.Members.Intersects(w.Members) {
+	ids, tot := a.sortedTotReg()
+	pos := sort.Search(len(ids), func(k int) bool { return v.ID.Less(ids[k]) })
+	// Walk outward from v's position in id order. A totally registered view
+	// at index k lies strictly between v and every view beyond k, so each
+	// scan stops at the first flagged view (after checking it: the flagged
+	// view itself has nothing strictly between it and v).
+	for k := pos - 1; k >= 0; k-- {
+		if !v.Members.Intersects(a.created[ids[k]].Members) {
 			return false
+		}
+		if tot[k] {
+			break
+		}
+	}
+	for k := pos; k < len(ids); k++ {
+		if !v.Members.Intersects(a.created[ids[k]].Members) {
+			return false
+		}
+		if tot[k] {
+			break
 		}
 	}
 	return true
@@ -413,9 +465,17 @@ func (a *DVS) Queue(g types.ViewID) []Entry {
 	return types.CloneSeq(a.queues[g])
 }
 
+// QueueShared returns queue[g] without copying; read-only.
+func (a *DVS) QueueShared(g types.ViewID) []Entry { return a.queues[g] }
+
 // Pending returns a copy of pending[p, g].
 func (a *DVS) Pending(p types.ProcID, g types.ViewID) []types.Msg {
 	return types.CloneSeq(a.pending[procView{p, g}])
+}
+
+// PendingShared returns pending[p, g] without copying; read-only.
+func (a *DVS) PendingShared(p types.ProcID, g types.ViewID) []types.Msg {
+	return a.pending[procView{p, g}]
 }
 
 func defaultOne(m map[procView]int, k procView) int {
@@ -633,71 +693,105 @@ func (a *DVS) Clone() ioa.Automaton {
 	return b
 }
 
-// Fingerprint implements ioa.Automaton.
-func (a *DVS) Fingerprint() string {
-	var f ioa.Fingerprinter
+// Fingerprint implements ioa.Automaton. Values stream into the digest; no
+// intermediate strings are built.
+func (a *DVS) Fingerprint(f *ioa.Fingerprinter) {
 	for id, v := range a.created {
-		f.Add("created."+id.String(), v.Members.String())
+		f.Begin("created.")
+		id.WriteFp(f)
+		f.Byte('=')
+		v.Members.WriteFp(f)
+		f.End()
 	}
 	for p, g := range a.current {
-		f.Add("cur."+p.String(), g.String())
+		f.Begin("cur.")
+		p.WriteFp(f)
+		f.Byte('=')
+		g.WriteFp(f)
+		f.End()
 	}
 	for g, q := range a.queues {
 		if len(q) > 0 {
-			f.Add("queue."+g.String(), entriesKey(q))
+			f.Begin("queue.")
+			g.WriteFp(f)
+			f.Byte('=')
+			writeEntriesFp(f, q)
+			f.End()
 		}
 	}
 	for g, s := range a.attempted {
 		if s.Len() > 0 {
-			f.Add("att."+g.String(), s.String())
+			f.Begin("att.")
+			g.WriteFp(f)
+			f.Byte('=')
+			s.WriteFp(f)
+			f.End()
 		}
 	}
 	for g, s := range a.registered {
 		if s.Len() > 0 {
-			f.Add("reg."+g.String(), s.String())
+			f.Begin("reg.")
+			g.WriteFp(f)
+			f.Byte('=')
+			s.WriteFp(f)
+			f.End()
 		}
 	}
 	for k, msgs := range a.pending {
 		if len(msgs) > 0 {
-			f.Add("pending."+k.P.String()+"."+k.G.String(), msgsKey(msgs))
+			beginProcViewFp(f, "pending.", k)
+			writeMsgsFp(f, msgs)
+			f.End()
 		}
 	}
 	for k, n := range a.next {
 		if n != 1 {
-			f.Add("next."+k.P.String()+"."+k.G.String(), strconv.Itoa(n))
+			beginProcViewFp(f, "next.", k)
+			f.Int(n)
+			f.End()
 		}
 	}
 	for k, n := range a.nextSafe {
 		if n != 1 {
-			f.Add("nextsafe."+k.P.String()+"."+k.G.String(), strconv.Itoa(n))
+			beginProcViewFp(f, "nextsafe.", k)
+			f.Int(n)
+			f.End()
 		}
 	}
 	for k, n := range a.rcvd {
 		if n != 1 {
-			f.Add("rcvd."+k.P.String()+"."+k.G.String(), strconv.Itoa(n))
+			beginProcViewFp(f, "rcvd.", k)
+			f.Int(n)
+			f.End()
 		}
 	}
-	return f.String()
 }
 
-func entriesKey(q []Entry) string {
-	var b strings.Builder
+// beginProcViewFp opens a "key.p.g=" fingerprint line.
+func beginProcViewFp(f *ioa.Fingerprinter, key string, k procView) {
+	f.Begin(key)
+	k.P.WriteFp(f)
+	f.Byte('.')
+	k.G.WriteFp(f)
+	f.Byte('=')
+}
+
+func writeEntriesFp(f *ioa.Fingerprinter, q []Entry) {
 	for i, e := range q {
 		if i > 0 {
-			b.WriteByte('|')
+			f.Byte('|')
 		}
-		b.WriteString(e.key())
+		types.WriteMsgFp(f, e.M)
+		f.Byte('@')
+		e.P.WriteFp(f)
 	}
-	return b.String()
 }
 
-func msgsKey(msgs []types.Msg) string {
-	var b strings.Builder
+func writeMsgsFp(f *ioa.Fingerprinter, msgs []types.Msg) {
 	for i, m := range msgs {
 		if i > 0 {
-			b.WriteByte('|')
+			f.Byte('|')
 		}
-		b.WriteString(m.MsgKey())
+		types.WriteMsgFp(f, m)
 	}
-	return b.String()
 }

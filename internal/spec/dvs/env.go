@@ -1,7 +1,6 @@
 package dvs
 
 import (
-	"math/rand"
 	"strconv"
 
 	"repro/internal/ioa"
@@ -41,7 +40,8 @@ func (e *Env) Inputs(a ioa.Automaton) []ioa.Action {
 	if !ok {
 		return nil
 	}
-	rng := rand.New(rand.NewSource(ioa.StateSeed(e.seed, a)))
+	rng := ioa.SeededRng(ioa.StateSeed(e.seed, a))
+	defer ioa.PutRng(rng)
 	var acts []ioa.Action
 
 	p := types.RandomMember(rng, e.procs)
@@ -51,13 +51,8 @@ func (e *Env) Inputs(a ioa.Automaton) []ioa.Action {
 	q := types.RandomMember(rng, e.procs)
 	acts = append(acts, ioa.Action{Name: ActRegister, Kind: ioa.KindInput, Param: RegisterParam{P: q}})
 
-	if e.MaxViews == 0 || len(d.Created()) < e.MaxViews {
-		var maxID types.ViewID
-		for _, v := range d.Created() {
-			if maxID.Less(v.ID) {
-				maxID = v.ID
-			}
-		}
+	if e.MaxViews == 0 || d.CreatedCount() < e.MaxViews {
+		maxID := d.MaxCreatedID()
 		// Retry a few memberships from the per-state PRNG: a single
 		// rejected draw must not silence view creation in a state the
 		// execution may never leave (inputs that are no-ops keep the

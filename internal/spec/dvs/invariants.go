@@ -11,14 +11,19 @@ import (
 // if v, w ∈ created, v.id < w.id, and there is no x ∈ TotReg with
 // v.id < x.id < w.id, then v.set ∩ w.set ≠ {}.
 func CheckInvariant41(a *DVS) error {
-	views := a.Created()
-	for i, v := range views {
-		for _, w := range views[i+1:] {
-			if a.hasTotRegBetween(v.ID, w.ID) {
-				continue
-			}
+	ids, tot := a.sortedTotReg()
+	for i, vid := range ids {
+		v := a.created[vid]
+		// In id order, the first totally registered view after i lies
+		// strictly between v and every later view, exempting those pairs;
+		// the scan stops there after checking the flagged view itself.
+		for j := i + 1; j < len(ids); j++ {
+			w := a.created[ids[j]]
 			if !v.Members.Intersects(w.Members) {
 				return fmt.Errorf("views %s and %s disjoint with no intervening totally registered view", v, w)
+			}
+			if tot[j] {
+				break
 			}
 		}
 	}

@@ -14,8 +14,6 @@ package to
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/ioa"
 	"repro/internal/types"
@@ -179,30 +177,45 @@ func (a *TO) Clone() ioa.Automaton {
 	return b
 }
 
-// Fingerprint implements ioa.Automaton.
-func (a *TO) Fingerprint() string {
-	var f ioa.Fingerprinter
+// Fingerprint implements ioa.Automaton. Values stream into the digest; no
+// intermediate strings are built.
+func (a *TO) Fingerprint(f *ioa.Fingerprinter) {
 	if len(a.queue) > 0 {
-		var b strings.Builder
+		f.Begin("queue")
+		f.Byte('=')
 		for i, e := range a.queue {
 			if i > 0 {
-				b.WriteByte('|')
+				f.Byte('|')
 			}
-			b.WriteString(e.key())
+			f.Str(e.A)
+			f.Byte('@')
+			e.P.WriteFp(f)
 		}
-		f.Add("queue", b.String())
+		f.End()
 	}
 	for p, msgs := range a.pending {
 		if len(msgs) > 0 {
-			f.Add("pending."+p.String(), strings.Join(msgs, "|"))
+			f.Begin("pending.")
+			p.WriteFp(f)
+			f.Byte('=')
+			for i, m := range msgs {
+				if i > 0 {
+					f.Byte('|')
+				}
+				f.Str(m)
+			}
+			f.End()
 		}
 	}
 	for p, n := range a.next {
 		if n != 1 {
-			f.Add("next."+p.String(), strconv.Itoa(n))
+			f.Begin("next.")
+			p.WriteFp(f)
+			f.Byte('=')
+			f.Int(n)
+			f.End()
 		}
 	}
-	return f.String()
 }
 
 // Monitor is a greedy trace-inclusion monitor for TO. Feed it the external

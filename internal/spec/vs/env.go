@@ -1,7 +1,6 @@
 package vs
 
 import (
-	"math/rand"
 	"strconv"
 
 	"repro/internal/ioa"
@@ -41,20 +40,16 @@ func (e *Env) Inputs(a ioa.Automaton) []ioa.Action {
 	if !ok {
 		return nil
 	}
-	rng := rand.New(rand.NewSource(ioa.StateSeed(e.seed, a)))
+	rng := ioa.SeededRng(ioa.StateSeed(e.seed, a))
+	defer ioa.PutRng(rng)
 	var acts []ioa.Action
 
 	p := types.RandomMember(rng, e.procs)
 	m := types.ClientMsg("m" + strconv.FormatUint(rng.Uint64(), 36))
 	acts = append(acts, ioa.Action{Name: ActGpSnd, Kind: ioa.KindInput, Param: SndParam{M: m, P: p}})
 
-	if e.MaxViews == 0 || len(v.Created()) < e.MaxViews {
-		var maxID types.ViewID
-		for _, w := range v.Created() {
-			if maxID.Less(w.ID) {
-				maxID = w.ID
-			}
-		}
+	if e.MaxViews == 0 || v.CreatedCount() < e.MaxViews {
+		maxID := v.MaxCreatedID()
 		// Retry a few memberships from the per-state PRNG: a single
 		// rejected draw must not silence view creation in a state the
 		// execution may never leave (inputs that are no-ops keep the

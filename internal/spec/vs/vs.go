@@ -13,8 +13,6 @@ package vs
 import (
 	"errors"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/ioa"
 	"repro/internal/types"
@@ -144,6 +142,34 @@ func (a *VS) Created() []types.View {
 	return out
 }
 
+// CreatedCount returns |created| without materializing the views.
+func (a *VS) CreatedCount() int { return len(a.created) }
+
+// MaxCreatedID returns the largest created view id (the zero ViewID if no
+// view has been created, which cannot happen after initialization).
+func (a *VS) MaxCreatedID() types.ViewID {
+	var max types.ViewID
+	for id := range a.created {
+		if max.Less(id) {
+			max = id
+		}
+	}
+	return max
+}
+
+// CreatedShared returns the created views sorted by id without cloning
+// memberships. The caller must treat the views as read-only; it exists for
+// per-state hot paths (abstraction functions, environments, invariants)
+// where Created's defensive copies dominate the allocation profile.
+func (a *VS) CreatedShared() []types.View {
+	out := make([]types.View, 0, len(a.created))
+	for _, v := range a.created {
+		out = append(out, v)
+	}
+	types.SortViews(out)
+	return out
+}
+
 // CurrentViewID returns current-viewid[p]; ok is false for ⊥.
 func (a *VS) CurrentViewID(p types.ProcID) (types.ViewID, bool) {
 	g, ok := a.current[p]
@@ -158,6 +184,9 @@ func (a *VS) Queue(g types.ViewID) []Entry {
 	return out
 }
 
+// QueueShared returns queue[g] without copying; read-only.
+func (a *VS) QueueShared(g types.ViewID) []Entry { return a.queues[g] }
+
 // Next returns next[p, g].
 func (a *VS) Next(p types.ProcID, g types.ViewID) int {
 	return defaultOne(a.next, procView{p, g})
@@ -171,6 +200,11 @@ func (a *VS) NextSafe(p types.ProcID, g types.ViewID) int {
 // Pending returns a copy of pending[p, g].
 func (a *VS) Pending(p types.ProcID, g types.ViewID) []types.Msg {
 	return types.CloneSeq(a.pending[procView{p, g}])
+}
+
+// PendingShared returns pending[p, g] without copying; read-only.
+func (a *VS) PendingShared(p types.ProcID, g types.ViewID) []types.Msg {
+	return a.pending[procView{p, g}]
 }
 
 func defaultOne(m map[procView]int, k procView) int {
@@ -388,58 +422,82 @@ func (a *VS) Clone() ioa.Automaton {
 
 // Fingerprint implements ioa.Automaton. Default-valued components (empty
 // queues, next = 1) are omitted so materialized-but-default map entries do
-// not perturb the fingerprint.
-func (a *VS) Fingerprint() string {
-	var f ioa.Fingerprinter
+// not perturb the fingerprint. Values stream into the digest; no
+// intermediate strings are built.
+func (a *VS) Fingerprint(f *ioa.Fingerprinter) {
 	for id, v := range a.created {
-		f.Add("created."+id.String(), v.Members.String())
+		f.Begin("created.")
+		id.WriteFp(f)
+		f.Byte('=')
+		v.Members.WriteFp(f)
+		f.End()
 	}
 	for p, g := range a.current {
-		f.Add("cur."+p.String(), g.String())
+		f.Begin("cur.")
+		p.WriteFp(f)
+		f.Byte('=')
+		g.WriteFp(f)
+		f.End()
 	}
 	for g, q := range a.queues {
 		if len(q) > 0 {
-			f.Add("queue."+g.String(), entriesKey(q))
+			f.Begin("queue.")
+			g.WriteFp(f)
+			f.Byte('=')
+			writeEntriesFp(f, q)
+			f.End()
 		}
 	}
 	for k, msgs := range a.pending {
 		if len(msgs) > 0 {
-			f.Add("pending."+k.P.String()+"."+k.G.String(), msgsKey(msgs))
+			beginProcViewFp(f, "pending.", k)
+			writeMsgsFp(f, msgs)
+			f.End()
 		}
 	}
 	for k, n := range a.next {
 		if n != 1 {
-			f.Add("next."+k.P.String()+"."+k.G.String(), strconv.Itoa(n))
+			beginProcViewFp(f, "next.", k)
+			f.Int(n)
+			f.End()
 		}
 	}
 	for k, n := range a.nextSafe {
 		if n != 1 {
-			f.Add("nextsafe."+k.P.String()+"."+k.G.String(), strconv.Itoa(n))
+			beginProcViewFp(f, "nextsafe.", k)
+			f.Int(n)
+			f.End()
 		}
 	}
-	return f.String()
 }
 
-func entriesKey(q []Entry) string {
-	var b strings.Builder
+// beginProcViewFp opens a "key.p.g=" fingerprint line.
+func beginProcViewFp(f *ioa.Fingerprinter, key string, k procView) {
+	f.Begin(key)
+	k.P.WriteFp(f)
+	f.Byte('.')
+	k.G.WriteFp(f)
+	f.Byte('=')
+}
+
+func writeEntriesFp(f *ioa.Fingerprinter, q []Entry) {
 	for i, e := range q {
 		if i > 0 {
-			b.WriteByte('|')
+			f.Byte('|')
 		}
-		b.WriteString(e.key())
+		types.WriteMsgFp(f, e.M)
+		f.Byte('@')
+		e.P.WriteFp(f)
 	}
-	return b.String()
 }
 
-func msgsKey(msgs []types.Msg) string {
-	var b strings.Builder
+func writeMsgsFp(f *ioa.Fingerprinter, msgs []types.Msg) {
 	for i, m := range msgs {
 		if i > 0 {
-			b.WriteByte('|')
+			f.Byte('|')
 		}
-		b.WriteString(m.MsgKey())
+		types.WriteMsgFp(f, m)
 	}
-	return b.String()
 }
 
 // CheckInvariant31 checks Invariant 3.1: created views have unique ids. The

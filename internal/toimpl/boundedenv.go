@@ -28,18 +28,13 @@ func (e *BoundedEnv) Inputs(a ioa.Automaton) []ioa.Action {
 	}
 	var acts []ioa.Action
 	if countClientCommands(im) < e.MaxMsgs {
-		for _, p := range im.Procs() {
+		for _, p := range im.procs {
 			acts = append(acts, ioa.Action{Name: to.ActBCast, Kind: ioa.KindInput,
 				Param: to.BCastParam{A: "a", P: p}})
 		}
 	}
-	if len(im.DVS().Created()) < e.MaxViews {
-		var maxID types.ViewID
-		for _, v := range im.DVS().Created() {
-			if maxID.Less(v.ID) {
-				maxID = v.ID
-			}
-		}
+	if im.DVS().CreatedCount() < e.MaxViews {
+		maxID := im.DVS().MaxCreatedID()
 		for _, members := range e.Views {
 			v := types.View{ID: maxID.Next(members.Sorted()[0]), Members: members.Clone()}
 			if im.DVS().CreateViewCandidateOK(v) {
@@ -56,10 +51,10 @@ func (e *BoundedEnv) Inputs(a ioa.Automaton) []ioa.Action {
 // (labels with the node's own origin never leave its content relation).
 func countClientCommands(im *Impl) int {
 	total := 0
-	for _, p := range im.Procs() {
-		n := im.Node(p)
-		total += n.DelayLen()
-		for l := range n.Content() {
+	for _, p := range im.procs {
+		n := im.nodes[p]
+		total += len(n.delay)
+		for l := range n.content {
 			if l.Origin == p {
 				total++
 			}

@@ -21,7 +21,7 @@ func TestExecutionDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			return res.Final.Fingerprint()
+			return ioa.FingerprintString(res.Final)
 		}
 		if run() != run() {
 			t.Fatalf("variant %+v: nondeterministic execution", cfg)
@@ -50,7 +50,7 @@ func TestCloneMidExecutionEquivalence(t *testing.T) {
 		if err := clone.Perform(acts[0]); err != nil {
 			t.Fatalf("step %d: clone rejected %s: %v", step, acts[0], err)
 		}
-		if im.Fingerprint() != clone.Fingerprint() {
+		if ioa.FingerprintString(im) != ioa.FingerprintString(clone) {
 			t.Fatalf("step %d: states diverged", step)
 		}
 	}

@@ -50,12 +50,7 @@ func (e *Env) Inputs(a ioa.Automaton) []ioa.Action {
 
 	if e.MaxViews == 0 || e.proposed < e.MaxViews {
 		members := types.RandomSubset(e.rng, e.procs)
-		var maxID types.ViewID
-		for _, v := range im.DVS().Created() {
-			if maxID.Less(v.ID) {
-				maxID = v.ID
-			}
-		}
+		maxID := im.DVS().MaxCreatedID()
 		v := types.View{ID: maxID.Next(members.Sorted()[0]), Members: members}
 		if im.DVS().CreateViewCandidateOK(v) {
 			e.proposed++

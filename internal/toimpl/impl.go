@@ -264,12 +264,14 @@ func (im *Impl) Clone() ioa.Automaton {
 	return c
 }
 
-// Fingerprint implements ioa.Automaton.
-func (im *Impl) Fingerprint() string {
-	var f ioa.Fingerprinter
-	f.Add("dvs", im.dvs.Fingerprint())
+// Fingerprint implements ioa.Automaton. The DVS component's lines are
+// flattened under a "dvs." prefix; each node contributes its own "t<p>."
+// lines.
+func (im *Impl) Fingerprint(f *ioa.Fingerprinter) {
+	f.SetPrefix("dvs.")
+	im.dvs.Fingerprint(f)
+	f.SetPrefix("")
 	for _, p := range im.procs {
-		im.nodes[p].AddFingerprint(&f)
+		im.nodes[p].AddFingerprint(f)
 	}
-	return f.String()
 }

@@ -145,7 +145,7 @@ func TestTOImplCloneDeterminism(t *testing.T) {
 	if _, err := ex.Run(im, NewEnv(9, universe), nil); err != nil {
 		t.Fatal(err)
 	}
-	if im.Clone().Fingerprint() != im.Fingerprint() {
+	if ioa.FingerprintString(im.Clone()) != ioa.FingerprintString(im) {
 		t.Error("clone fingerprint differs")
 	}
 }

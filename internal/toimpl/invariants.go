@@ -35,19 +35,48 @@ func (im *Impl) AllState() []types.Summary {
 	return out
 }
 
+// allStateShared is AllState without the defensive copies; the summaries are
+// read-only. The invariant checkers run once per explored state, so they use
+// this form.
+func (im *Impl) allStateShared() []types.Summary {
+	var out []types.Summary
+	for _, p := range im.procs {
+		for _, x := range im.nodes[p].gotstate {
+			out = append(out, x)
+		}
+	}
+	for _, v := range im.dvs.CreatedShared() {
+		g := v.ID
+		for _, e := range im.dvs.QueueShared(g) {
+			if sm, ok := e.M.(SummaryMsg); ok {
+				out = append(out, sm.X)
+			}
+		}
+		for _, p := range im.procs {
+			for _, m := range im.dvs.PendingShared(p, g) {
+				if sm, ok := m.(SummaryMsg); ok {
+					out = append(out, sm.X)
+				}
+			}
+		}
+	}
+	return out
+}
+
 // CheckInvariant61 checks Invariant 6.1: for every x ∈ allstate there is a
 // created view w with x.high = w.id that was attempted by all its members.
 func CheckInvariant61(im *Impl) error {
-	created := make(map[types.ViewID]types.View)
-	for _, v := range im.dvs.Created() {
+	createdShared := im.dvs.CreatedShared()
+	created := make(map[types.ViewID]types.View, len(createdShared))
+	for _, v := range createdShared {
 		created[v.ID] = v
 	}
-	for _, x := range im.AllState() {
+	for _, x := range im.allStateShared() {
 		w, ok := created[x.High]
 		if !ok {
 			return fmt.Errorf("6.1: summary high %s names no created view", x.High)
 		}
-		att := im.dvs.Attempted(w.ID)
+		att := im.dvs.AttemptedShared(w.ID)
 		if !w.Members.Subset(att) {
 			return fmt.Errorf("6.1: view %s (high of a summary) attempted only by %s", w, att)
 		}
@@ -60,7 +89,7 @@ func CheckInvariant61(im *Impl) error {
 func CheckInvariant62(im *Impl) error {
 	var maxHigh types.ViewID
 	hasSummary := false
-	for _, x := range im.AllState() {
+	for _, x := range im.allStateShared() {
 		hasSummary = true
 		if maxHigh.Less(x.High) {
 			maxHigh = x.High
@@ -69,7 +98,7 @@ func CheckInvariant62(im *Impl) error {
 	if !hasSummary {
 		return nil
 	}
-	for _, v := range im.dvs.Created() {
+	for _, v := range im.dvs.CreatedShared() {
 		if !v.ID.Less(maxHigh) {
 			continue
 		}
@@ -96,8 +125,8 @@ func CheckInvariant62(im *Impl) error {
 // vacuous. If S is empty the hypothesis holds for every σ, so no summary may
 // have high > v.id at all.
 func CheckInvariant63(im *Impl) error {
-	allstate := im.AllState()
-	for _, v := range im.dvs.Created() {
+	allstate := im.allStateShared()
+	for _, v := range im.dvs.CreatedShared() {
 		var sigma []types.Label
 		vacuous := false
 		sMembers := 0
@@ -112,7 +141,7 @@ func CheckInvariant63(im *Impl) error {
 				vacuous = true
 				break
 			}
-			bo := im.nodes[p].BuildOrder(v.ID)
+			bo := im.nodes[p].buildOrder[v.ID]
 			if first {
 				sigma = bo
 				first = false
@@ -145,7 +174,8 @@ func CheckInvariant63(im *Impl) error {
 func CheckConfirmedConsistent(im *Impl) error {
 	confirmed := make([][]types.Label, 0, len(im.procs))
 	for _, p := range im.procs {
-		confirmed = append(confirmed, im.nodes[p].ConfirmedOrder())
+		n := im.nodes[p]
+		confirmed = append(confirmed, n.order[:n.nextConfirm-1])
 	}
 	if !types.Consistent(confirmed...) {
 		return fmt.Errorf("confirmed orders inconsistent across nodes")

@@ -20,7 +20,6 @@ package toimpl
 import (
 	"fmt"
 	"strconv"
-	"strings"
 
 	"repro/internal/ioa"
 	"repro/internal/types"
@@ -59,6 +58,15 @@ type LabelMsg struct {
 // MsgKey implements types.Msg.
 func (m LabelMsg) MsgKey() string { return "lbl:" + m.L.String() + "=" + m.A }
 
+// WriteFp streams the canonical key (same format as MsgKey) into a
+// fingerprint digest.
+func (m LabelMsg) WriteFp(w types.FpWriter) {
+	w.Str("lbl:")
+	m.L.WriteFp(w)
+	w.Byte('=')
+	w.Str(m.A)
+}
+
 // SummaryMsg carries a state summary x ∈ S.
 type SummaryMsg struct {
 	X types.Summary
@@ -66,6 +74,13 @@ type SummaryMsg struct {
 
 // MsgKey implements types.Msg.
 func (m SummaryMsg) MsgKey() string { return "sum:" + m.X.String() }
+
+// WriteFp streams the canonical key (same format as MsgKey) into a
+// fingerprint digest.
+func (m SummaryMsg) WriteFp(w types.FpWriter) {
+	w.Str("sum:")
+	m.X.WriteFp(w)
+}
 
 var (
 	_ types.Msg = LabelMsg{}
@@ -75,7 +90,8 @@ var (
 // Node is the state of the DVS-TO-TO_p automaton of Figure 5.
 type Node struct {
 	p       types.ProcID
-	literal bool // exactly Figure 5's safe-exchange handling
+	fpPre   string // fingerprint line prefix "t<p>.", precomputed
+	literal bool   // exactly Figure 5's safe-exchange handling
 
 	current     types.View
 	currentOK   bool
@@ -104,6 +120,7 @@ type Node struct {
 func NewNode(p types.ProcID, initial types.View, inP0, literal bool) *Node {
 	n := &Node{
 		p:           p,
+		fpPre:       "t" + p.String() + ".",
 		literal:     literal,
 		status:      StatusNormal,
 		content:     make(types.Content),
@@ -415,6 +432,7 @@ func (n *Node) PerformRegister() error {
 func (n *Node) Clone() *Node {
 	c := &Node{
 		p:           n.p,
+		fpPre:       n.fpPre,
 		literal:     n.literal,
 		current:     n.current.Clone(),
 		currentOK:   n.currentOK,
@@ -449,19 +467,29 @@ func (n *Node) Clone() *Node {
 	return c
 }
 
-// AddFingerprint appends the node's state to a composite fingerprint.
+// AddFingerprint appends the node's state to a composite fingerprint. Every
+// line carries the node's "t<p>." prefix; values stream into the digest.
 func (n *Node) AddFingerprint(f *ioa.Fingerprinter) {
-	pre := "t" + n.p.String() + "."
+	f.SetPrefix(n.fpPre)
 	if n.currentOK {
-		f.Add(pre+"cur", n.current.String())
+		f.Begin("cur")
+		f.Byte('=')
+		n.current.WriteFp(f)
+		f.End()
 	}
-	f.Add(pre+"status", n.status.String())
+	f.Add("status", n.status.String())
 	if len(n.content) > 0 {
-		f.Add(pre+"content", n.content.String())
+		f.Begin("content")
+		f.Byte('=')
+		n.content.WriteFp(f)
+		f.End()
 	}
-	f.Add(pre+"nseq", strconv.Itoa(n.nextSeqno))
+	f.AddInt("nseq", n.nextSeqno)
 	if len(n.buffer) > 0 {
-		f.Add(pre+"buffer", labelsKey(n.buffer))
+		f.Begin("buffer")
+		f.Byte('=')
+		writeLabelsFp(f, n.buffer)
+		f.End()
 	}
 	if len(n.safeLabels) > 0 {
 		ls := make([]types.Label, 0, len(n.safeLabels))
@@ -469,44 +497,73 @@ func (n *Node) AddFingerprint(f *ioa.Fingerprinter) {
 			ls = append(ls, l)
 		}
 		types.SortLabels(ls)
-		f.Add(pre+"safe", labelsKey(ls))
+		f.Begin("safe")
+		f.Byte('=')
+		writeLabelsFp(f, ls)
+		f.End()
 	}
 	if len(n.order) > 0 {
-		f.Add(pre+"order", labelsKey(n.order))
+		f.Begin("order")
+		f.Byte('=')
+		writeLabelsFp(f, n.order)
+		f.End()
 	}
-	f.Add(pre+"nconf", strconv.Itoa(n.nextConfirm))
-	f.Add(pre+"nrep", strconv.Itoa(n.nextReport))
-	f.Add(pre+"high", n.highPrimary.String())
+	f.AddInt("nconf", n.nextConfirm)
+	f.AddInt("nrep", n.nextReport)
+	f.Begin("high")
+	f.Byte('=')
+	n.highPrimary.WriteFp(f)
+	f.End()
 	for q, x := range n.gotstate {
-		f.Add(pre+"got."+q.String(), x.String())
+		f.Begin("got.")
+		q.WriteFp(f)
+		f.Byte('=')
+		x.WriteFp(f)
+		f.End()
 	}
 	if n.safeExch.Len() > 0 {
-		f.Add(pre+"sexch", n.safeExch.String())
+		f.Begin("sexch")
+		f.Byte('=')
+		n.safeExch.WriteFp(f)
+		f.End()
 	}
 	for g, b := range n.registered {
 		if b {
-			f.Add(pre+"rgst."+g.String(), "1")
+			f.Begin("rgst.")
+			g.WriteFp(f)
+			f.Str("=1")
+			f.End()
 		}
 	}
 	if len(n.delay) > 0 {
-		f.Add(pre+"delay", strings.Join(n.delay, "|"))
+		f.Begin("delay")
+		f.Byte('=')
+		for i, a := range n.delay {
+			if i > 0 {
+				f.Byte('|')
+			}
+			f.Str(a)
+		}
+		f.End()
 	}
 	for g, b := range n.established {
 		if b {
-			f.Add(pre+"est."+g.String(), "1")
+			f.Begin("est.")
+			g.WriteFp(f)
+			f.Str("=1")
+			f.End()
 		}
 	}
+	f.SetPrefix("")
 }
 
-func labelsKey(ls []types.Label) string {
-	var b strings.Builder
+func writeLabelsFp(f *ioa.Fingerprinter, ls []types.Label) {
 	for i, l := range ls {
 		if i > 0 {
-			b.WriteByte('|')
+			f.Byte('|')
 		}
-		b.WriteString(l.String())
+		l.WriteFp(f)
 	}
-	return b.String()
 }
 
 // DelayLen returns the number of buffered client commands awaiting labels.

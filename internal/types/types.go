@@ -6,7 +6,7 @@ package types
 
 import (
 	"errors"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -189,7 +189,7 @@ func (s ProcSet) Sorted() []ProcID {
 	for p := range s {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -243,7 +243,15 @@ func (v View) String() string {
 
 // SortViews orders views in place by increasing identifier.
 func SortViews(vs []View) {
-	sort.Slice(vs, func(i, j int) bool { return vs[i].ID.Less(vs[j].ID) })
+	slices.SortFunc(vs, func(a, b View) int {
+		if a.ID.Less(b.ID) {
+			return -1
+		}
+		if b.ID.Less(a.ID) {
+			return 1
+		}
+		return 0
+	})
 }
 
 // MaxView returns the view with the greatest identifier in vs, and false if

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Benchmark snapshot of the theorem-check engine (E1-E3: invariant checks,
+# the Theorem 5.9 refinement, the Theorem 6.4 trace inclusion), each in a
+# serial and a parallel variant. Emits BENCH_checks.json with one record per
+# benchmark: ns/op, B/op, allocs/op, checking throughput (steps/s), and the
+# per-iteration state count (which must be identical across the serial and
+# parallel variants of the same check).
+#
+# BENCHTIME overrides the -benchtime argument (default 2x).
+set -eu
+cd "$(dirname "$0")/.."
+out=BENCH_checks.json
+
+raw=$(go test -run '^$' -bench 'BenchmarkE[123]' -benchtime "${BENCHTIME:-2x}" -benchmem .)
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk '
+BEGIN { printf "{\n  \"benchmarks\": [\n"; n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iters\": %s", name, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/-/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' > "$out"
+echo "wrote $out"

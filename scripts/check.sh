@@ -5,3 +5,11 @@ set -eux
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Benchmark smoke: the parallel BFS must report exactly the serial step and
+# state counts for the exhaustive exploration check (the allocation tail of
+# the report is timing-dependent and deliberately not compared).
+serial=$(go run ./cmd/dvscheck -check explore -parallel 1 -v | sed -n 's/.* \([0-9][0-9]* steps, [0-9][0-9]* states\).*/\1/p')
+par=$(go run ./cmd/dvscheck -check explore -parallel 4 -v | sed -n 's/.* \([0-9][0-9]* steps, [0-9][0-9]* states\).*/\1/p')
+test -n "$serial"
+test "$serial" = "$par"
