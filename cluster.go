@@ -200,6 +200,10 @@ func (p *Process) Stats() (tob.Stats, dvsg.Stats) {
 	return r.t, r.d
 }
 
+// VSStats returns the view-synchronous layer counters of this process
+// (views installed, retransmissions, delivery latency). Thread-safe.
+func (p *Process) VSStats() vsg.Stats { return p.vsg.Stats() }
+
 // AmbiguousViews returns the current size of the filter's ambiguous-view
 // set (dynamic mode; always 0 in static mode).
 func (p *Process) AmbiguousViews() int {

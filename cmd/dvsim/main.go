@@ -46,6 +46,7 @@ func run() error {
 				return err
 			}
 			fmt.Println(res)
+			fmt.Printf("  net: %s\n", res.Run)
 		}
 	case "cascade":
 		res, err := sim.PartitionCascade(sim.CascadeConfig{
@@ -55,6 +56,7 @@ func run() error {
 			return fmt.Errorf("%w (result %s)", err, res)
 		}
 		fmt.Println(res)
+		fmt.Printf("  net: %s\n", res.Run)
 		for _, v := range res.Primaries {
 			fmt.Printf("  primary %s\n", v)
 		}
@@ -66,12 +68,14 @@ func run() error {
 			return err
 		}
 		fmt.Println(res)
+		fmt.Printf("  net: %s\n", res.Run)
 	case "recovery":
 		res, err := sim.Recovery(sim.RecoveryConfig{Processes: *procs, Seed: *seed})
 		if err != nil {
 			return fmt.Errorf("%w (result %s)", err, res)
 		}
 		fmt.Println(res)
+		fmt.Printf("  net: %s\n", res.Run)
 	case "ablation":
 		for _, disable := range []bool{false, true} {
 			res, err := sim.RegisterAblation(sim.AblationConfig{
@@ -82,6 +86,7 @@ func run() error {
 				return err
 			}
 			fmt.Println(res)
+			fmt.Printf("  net: %s\n", res.Run)
 		}
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)

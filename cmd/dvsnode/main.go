@@ -11,8 +11,12 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -34,8 +38,9 @@ func run() error {
 		n      = flag.Int("n", 3, "universe size")
 		listen = flag.String("listen", "127.0.0.1:7000", "listen address")
 		peers  = flag.String("peers", "", "comma-separated id=host:port pairs")
-		static = flag.Bool("static", false, "use static majority primaries instead of dynamic")
-		tick   = flag.Duration("tick", 20*time.Millisecond, "heartbeat tick")
+		static  = flag.Bool("static", false, "use static majority primaries instead of dynamic")
+		tick    = flag.Duration("tick", 20*time.Millisecond, "heartbeat tick")
+		metrics = flag.String("metrics", "", "serve per-layer stats over HTTP at this address (expvar at /debug/vars, JSON at /stats)")
 	)
 	flag.Parse()
 
@@ -60,6 +65,13 @@ func run() error {
 	}
 	defer node.Close()
 	fmt.Printf("node %d listening on %s (%s primaries)\n", *id, node.Addr(), mode)
+	if *metrics != "" {
+		addr, err := serveMetrics(*metrics, node)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics on http://%s/stats (expvar at /debug/vars)\n", addr)
+	}
 
 	go func() {
 		for d := range node.Deliveries() {
@@ -87,6 +99,28 @@ func run() error {
 		}
 	}
 	return sc.Err()
+}
+
+// serveMetrics exposes the node's per-layer counters over HTTP: the
+// standard expvar surface at /debug/vars (publishing the snapshot under the
+// "dvsnode" key) and a plain JSON endpoint at /stats. It returns the actual
+// listen address (useful with ":0").
+func serveMetrics(addr string, node *dvs.Node) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics listen: %w", err)
+	}
+	expvar.Publish("dvsnode", expvar.Func(func() any { return node.StatsSnapshot() }))
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(node.StatsSnapshot())
+	})
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
 }
 
 func parsePeers(s string) (map[int]string, error) {

@@ -56,6 +56,9 @@ type Stats struct {
 	GCs          uint64 // garbage collections performed
 	MaxAmb       int    // high-water mark of |amb|
 	RegistersOut uint64 // register requests forwarded
+	SendsDown    uint64 // client messages submitted through the filter
+	DeliveriesUp uint64 // client messages delivered to the handler
+	SafesUp      uint64 // safe indications delivered to the handler
 }
 
 // Layer drives a Filter over a vsg.Node.
@@ -121,6 +124,7 @@ func (l *Layer) OnSafe(payload any, from types.ProcID) {
 // Send submits a client message for delivery in the current primary view.
 // It must be called from the event loop.
 func (l *Layer) Send(m types.Msg) {
+	l.stats.SendsDown++
 	l.filter.OnDVSGpSnd(m)
 	l.drain()
 }
@@ -160,6 +164,7 @@ func (l *Layer) drain() {
 			if err := l.filter.TakeDVSGpRcvHead(e); err != nil {
 				break
 			}
+			l.stats.DeliveriesUp++
 			l.handler.OnDVSRecv(e.M, e.Q)
 			progress = true
 		}
@@ -171,6 +176,7 @@ func (l *Layer) drain() {
 			if err := l.filter.TakeDVSSafeHead(e); err != nil {
 				break
 			}
+			l.stats.SafesUp++
 			l.handler.OnDVSSafe(e.M, e.Q)
 			progress = true
 		}

@@ -37,13 +37,6 @@ type Transport interface {
 	Inbox(p types.ProcID) (<-chan Envelope, error)
 }
 
-// Stats are cumulative fabric counters.
-type Stats struct {
-	Sent      uint64 // send attempts
-	Delivered uint64 // enqueued to a reachable inbox
-	Dropped   uint64 // lost to partition, crash, loss injection, or overflow
-}
-
 // Config configures a Fabric.
 type Config struct {
 	// InboxSize is the per-endpoint buffered channel capacity
@@ -67,7 +60,7 @@ type Fabric struct {
 	inboxes   map[types.ProcID]chan Envelope
 	component map[types.ProcID]int // partition component id
 	crashed   map[types.ProcID]bool
-	stats     Stats
+	book      statsBook
 	closed    bool
 }
 
@@ -109,27 +102,26 @@ func (f *Fabric) Inbox(p types.ProcID) (<-chan Envelope, error) {
 func (f *Fabric) Send(from, to types.ProcID, payload Payload) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.stats.Sent++
 	if f.closed || f.crashed[from] || f.crashed[to] {
-		f.stats.Dropped++
+		f.book.send(to, false)
 		return false
 	}
 	cf, okf := f.component[from]
 	ct, okt := f.component[to]
 	if !okf || !okt || cf != ct {
-		f.stats.Dropped++
+		f.book.send(to, false)
 		return false
 	}
 	if f.lossRate > 0 && from != to && f.rng.Float64() < f.lossRate {
-		f.stats.Dropped++
+		f.book.send(to, false)
 		return false
 	}
 	select {
 	case f.inboxes[to] <- Envelope{From: from, Payload: payload}:
-		f.stats.Delivered++
+		f.book.send(to, true)
 		return true
 	default:
-		f.stats.Dropped++
+		f.book.send(to, false)
 		return false
 	}
 }
@@ -200,11 +192,10 @@ func (f *Fabric) Connected(a, b types.ProcID) bool {
 	return oka && okb && ca == cb
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters, including the
+// per-destination breakdown.
 func (f *Fabric) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	return f.book.snapshot(nil)
 }
 
 // Close disconnects everything. Inbox channels are left open (receivers

@@ -1,0 +1,195 @@
+package net
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// FaultPlan is a shared chaos controller: one plan can govern many
+// FaultTransports (e.g. one per TCP node), so a single Partition or Crash
+// call affects the whole group symmetrically — the same fault knobs the
+// in-memory Fabric offers, lifted to any Transport.
+//
+// Semantics mirror the Fabric's: messages flow only within a partition
+// component (endpoints not mentioned in Partition form one extra component
+// together), crashed endpoints neither send nor receive, loss is
+// probabilistic per send, and latency delays delivery without reordering
+// guarantees across links.
+type FaultPlan struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	partitioned bool
+	component   map[types.ProcID]int
+	crashed     map[types.ProcID]bool
+	lossRate    float64
+	latency     time.Duration
+	jitter      time.Duration
+}
+
+// NewFaultPlan builds a healed, fault-free plan with seeded randomness for
+// loss and latency jitter.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{
+		rng:       rand.New(rand.NewSource(seed)),
+		component: make(map[types.ProcID]int),
+		crashed:   make(map[types.ProcID]bool),
+	}
+}
+
+// Partition splits the group into the given components. Endpoints not
+// mentioned form one extra component together.
+func (p *FaultPlan) Partition(groups ...[]types.ProcID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.partitioned = true
+	p.component = make(map[types.ProcID]int)
+	for i, g := range groups {
+		for _, q := range g {
+			p.component[q] = i + 1
+		}
+	}
+}
+
+// Heal reconnects every endpoint.
+func (p *FaultPlan) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.partitioned = false
+	p.component = make(map[types.ProcID]int)
+}
+
+// Crash permanently disconnects endpoint q (crash-stop).
+func (p *FaultPlan) Crash(q types.ProcID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crashed[q] = true
+}
+
+// SetLoss sets the probability in [0,1) that a deliverable send is dropped.
+func (p *FaultPlan) SetLoss(rate float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lossRate = rate
+}
+
+// SetLatency delays every deliverable send by base plus a uniform random
+// amount in [0, jitter). Zero base and jitter disables latency injection.
+func (p *FaultPlan) SetLatency(base, jitter time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.latency, p.jitter = base, jitter
+}
+
+// Connected reports whether two endpoints can currently exchange messages.
+func (p *FaultPlan) Connected(a, b types.ProcID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.crashed[a] && !p.crashed[b] && p.sameComponent(a, b)
+}
+
+func (p *FaultPlan) sameComponent(a, b types.ProcID) bool {
+	if !p.partitioned {
+		return true
+	}
+	return p.component[a] == p.component[b]
+}
+
+// decide returns whether a send passes and, if so, with what injected
+// delay. Self-sends are never subjected to loss, matching the Fabric.
+func (p *FaultPlan) decide(from, to types.ProcID) (pass bool, delay time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed[from] || p.crashed[to] || !p.sameComponent(from, to) {
+		return false, 0
+	}
+	if p.lossRate > 0 && from != to && p.rng.Float64() < p.lossRate {
+		return false, 0
+	}
+	d := p.latency
+	if p.jitter > 0 {
+		d += time.Duration(p.rng.Int63n(int64(p.jitter)))
+	}
+	return true, d
+}
+
+// FaultTransport decorates any Transport with injected partitions,
+// probabilistic loss, latency, and crash-stop, governed by a (possibly
+// shared) FaultPlan. It keeps its own Stats of the injection decisions —
+// Sent == Delivered + Dropped holds per peer, where Delivered means "passed
+// to the inner transport" (immediately or after an injected delay).
+type FaultTransport struct {
+	inner Transport
+	plan  *FaultPlan
+	book  statsBook
+
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+var _ Transport = (*FaultTransport)(nil)
+
+// NewFaultTransport wraps inner under the given plan. Close the wrapper to
+// cancel in-flight delayed sends; the inner transport stays owned by the
+// caller.
+func NewFaultTransport(inner Transport, plan *FaultPlan) *FaultTransport {
+	return &FaultTransport{inner: inner, plan: plan, stop: make(chan struct{})}
+}
+
+// Inner returns the wrapped transport.
+func (f *FaultTransport) Inner() Transport { return f.inner }
+
+// Plan returns the governing fault plan.
+func (f *FaultTransport) Plan() *FaultPlan { return f.plan }
+
+// Send implements Transport. A delayed send is reported as accepted; the
+// inner transport's own stats record its eventual fate.
+func (f *FaultTransport) Send(from, to types.ProcID, payload Payload) bool {
+	select {
+	case <-f.stop:
+		f.book.send(to, false)
+		return false
+	default:
+	}
+	pass, delay := f.plan.decide(from, to)
+	if !pass {
+		f.book.send(to, false)
+		return false
+	}
+	if delay <= 0 {
+		ok := f.inner.Send(from, to, payload)
+		f.book.send(to, ok)
+		return ok
+	}
+	f.book.send(to, true)
+	f.wg.Add(1)
+	timer := time.NewTimer(delay)
+	go func() {
+		defer f.wg.Done()
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			f.inner.Send(from, to, payload)
+		case <-f.stop:
+		}
+	}()
+	return true
+}
+
+// Inbox implements Transport by delegation.
+func (f *FaultTransport) Inbox(p types.ProcID) (<-chan Envelope, error) {
+	return f.inner.Inbox(p)
+}
+
+// Stats returns a snapshot of the injection-level counters.
+func (f *FaultTransport) Stats() Stats { return f.book.snapshot(nil) }
+
+// Close cancels pending delayed sends and waits for their goroutines. It
+// does not close the inner transport.
+func (f *FaultTransport) Close() {
+	f.once.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}

@@ -1,0 +1,123 @@
+package net
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// faultPair wraps a two-endpoint fabric in FaultTransports sharing one
+// plan, mirroring how TCP nodes are chaos-tested.
+func faultPair(t *testing.T, seed int64) (*FaultTransport, *FaultTransport, *FaultPlan, *Fabric) {
+	t.Helper()
+	fab := NewFabric(types.RangeProcSet(2), Config{})
+	plan := NewFaultPlan(seed)
+	a := NewFaultTransport(fab, plan)
+	b := NewFaultTransport(fab, plan)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, plan, fab
+}
+
+func TestFaultTransportPartitionAndHeal(t *testing.T) {
+	a, _, plan, fab := faultPair(t, 1)
+	if !a.Send(0, 1, "hello") {
+		t.Fatal("send through healed plan failed")
+	}
+	plan.Partition([]types.ProcID{0}, []types.ProcID{1})
+	if a.Send(0, 1, "blocked") {
+		t.Error("send across partition accepted")
+	}
+	if plan.Connected(0, 1) {
+		t.Error("Connected across partition")
+	}
+	// Endpoints not mentioned in Partition form one extra component.
+	plan.Partition([]types.ProcID{0})
+	if !plan.Connected(1, 1) {
+		t.Error("unmentioned endpoint disconnected from itself")
+	}
+	if plan.Connected(0, 1) {
+		t.Error("mentioned and unmentioned endpoints connected")
+	}
+	plan.Heal()
+	if !a.Send(0, 1, "healed") {
+		t.Error("send after heal failed")
+	}
+	st := a.Stats()
+	if err := st.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+	if st.Dropped == 0 {
+		t.Errorf("partition drop not counted: %+v", st)
+	}
+	inbox, _ := fab.Inbox(1)
+	for _, want := range []string{"hello", "healed"} {
+		select {
+		case env := <-inbox:
+			if env.Payload != want {
+				t.Fatalf("got %v, want %v", env.Payload, want)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("timeout")
+		}
+	}
+}
+
+func TestFaultTransportLossAndCrash(t *testing.T) {
+	a, _, plan, _ := faultPair(t, 2)
+	plan.SetLoss(1.0)
+	for i := 0; i < 10; i++ {
+		if a.Send(0, 1, i) {
+			t.Fatal("send passed despite loss rate 1.0")
+		}
+	}
+	// Self-sends are exempt from loss, like the fabric.
+	if !a.Send(0, 0, "self") {
+		t.Error("self-send subjected to loss")
+	}
+	plan.SetLoss(0)
+	plan.Crash(1)
+	if a.Send(0, 1, "to-crashed") {
+		t.Error("send to crashed endpoint accepted")
+	}
+	if a.Send(1, 0, "from-crashed") {
+		t.Error("send from crashed endpoint accepted")
+	}
+	if err := a.Stats().CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultTransportLatency(t *testing.T) {
+	a, _, plan, fab := faultPair(t, 3)
+	plan.SetLatency(20*time.Millisecond, 10*time.Millisecond)
+	start := time.Now()
+	if !a.Send(0, 1, "delayed") {
+		t.Fatal("delayed send rejected")
+	}
+	inbox, _ := fab.Inbox(1)
+	select {
+	case <-inbox:
+		if d := time.Since(start); d < 15*time.Millisecond {
+			t.Errorf("delivered after %v, want >= ~20ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed send never arrived")
+	}
+	// Close cancels pending delayed sends without leaking their goroutines.
+	if !a.Send(0, 1, "cancelled-by-close") {
+		t.Fatal("send rejected")
+	}
+	a.Close()
+	select {
+	case env := <-inbox:
+		t.Fatalf("delayed send survived Close: %v", env.Payload)
+	case <-time.After(60 * time.Millisecond):
+	}
+	if a.Send(0, 1, "after-close") {
+		t.Error("send accepted after Close")
+	}
+	if err := a.Stats().CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}

@@ -3,6 +3,7 @@ package net
 import (
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -33,8 +34,20 @@ type TCPConfig struct {
 	Peers map[types.ProcID]string
 	// DialTimeout bounds connection attempts (default 500ms).
 	DialTimeout time.Duration
-	// RedialBackoff is the pause after a failed dial (default 250ms).
+	// RedialBackoff is the initial pause after a failed dial (default
+	// 250ms). Successive failures back off exponentially with ±50% jitter
+	// up to RedialBackoffMax; a successful dial resets the backoff.
 	RedialBackoff time.Duration
+	// RedialBackoffMax caps the exponential redial backoff (default 5s).
+	RedialBackoffMax time.Duration
+	// WriteTimeout bounds each frame write, so a stalled peer whose TCP
+	// buffer has filled cannot wedge the writer goroutine forever
+	// (default 2s). A timed-out write closes the connection and redials.
+	WriteTimeout time.Duration
+	// PayloadAttempts is how many connection attempts the writer spends on
+	// one payload before abandoning it (default 3). Abandoned payloads are
+	// counted as WriterDrops; the stack's retransmissions recover them.
+	PayloadAttempts int
 	// OutboxSize is the per-peer outgoing queue (default 1024); a full
 	// queue drops, like a lossy link.
 	OutboxSize int
@@ -49,6 +62,15 @@ func (c *TCPConfig) fill() {
 	if c.RedialBackoff <= 0 {
 		c.RedialBackoff = 250 * time.Millisecond
 	}
+	if c.RedialBackoffMax <= 0 {
+		c.RedialBackoffMax = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * time.Second
+	}
+	if c.PayloadAttempts <= 0 {
+		c.PayloadAttempts = 3
+	}
 	if c.OutboxSize <= 0 {
 		c.OutboxSize = 1024
 	}
@@ -57,18 +79,22 @@ func (c *TCPConfig) fill() {
 	}
 }
 
-// TCPTransport implements Transport over real TCP connections, one outgoing
-// connection per peer with automatic redial. Frames are gob-encoded. Losses
-// (dial failures, full queues, broken connections) surface as message drops
-// — exactly the fault model the stack's retransmission machinery tolerates.
+// TCPTransport implements Transport over real TCP connections, one
+// persistent outgoing connection per peer with exponential-backoff redial.
+// Frames are gob-encoded. Losses (dial give-ups, full queues, broken or
+// stalled connections) surface as message drops — exactly the fault model
+// the stack's retransmission machinery tolerates — and every loss is
+// counted in Stats, per peer.
 type TCPTransport struct {
 	cfg   TCPConfig
 	ln    net.Listener
 	inbox chan Envelope
+	book  statsBook
 
 	mu    sync.Mutex
 	peers map[types.ProcID]*tcpPeer
-	stats Stats
+	conns map[net.Conn]struct{} // live inbound connections, closed on Close
+	done  bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -77,12 +103,13 @@ type TCPTransport struct {
 var _ Transport = (*TCPTransport)(nil)
 
 type tcpPeer struct {
+	id   types.ProcID
 	addr string
 	out  chan Payload
 }
 
 // NewTCPTransport starts listening and returns the transport. Outgoing
-// connections are established lazily.
+// connections are established lazily and kept open across payloads.
 func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
 	cfg.fill()
 	ln, err := net.Listen("tcp", cfg.Listen)
@@ -94,13 +121,14 @@ func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
 		ln:    ln,
 		inbox: make(chan Envelope, cfg.InboxSize),
 		peers: make(map[types.ProcID]*tcpPeer, len(cfg.Peers)),
+		conns: make(map[net.Conn]struct{}),
 		stop:  make(chan struct{}),
 	}
 	for id, addr := range cfg.Peers {
 		if id == cfg.Self {
 			continue
 		}
-		p := &tcpPeer{addr: addr, out: make(chan Payload, cfg.OutboxSize)}
+		p := &tcpPeer{id: id, addr: addr, out: make(chan Payload, cfg.OutboxSize)}
 		t.peers[id] = p
 		t.wg.Add(1)
 		go t.writer(p)
@@ -121,21 +149,21 @@ func (t *TCPTransport) Inbox(p types.ProcID) (<-chan Envelope, error) {
 	return t.inbox, nil
 }
 
-// Send implements Transport.
+// Send implements Transport. Every attempt is accounted exactly once:
+// misrouted sends (from != Self) and sends to unknown peers count as drops,
+// so Sent == Delivered + Dropped holds at all times, per peer and in total.
 func (t *TCPTransport) Send(from, to types.ProcID, payload Payload) bool {
-	t.mu.Lock()
-	t.stats.Sent++
-	t.mu.Unlock()
 	if from != t.cfg.Self {
+		t.book.misrouted(to)
 		return false
 	}
 	if to == t.cfg.Self {
 		select {
 		case t.inbox <- Envelope{From: from, Payload: payload}:
-			t.count(true)
+			t.book.send(to, true)
 			return true
 		default:
-			t.count(false)
+			t.book.send(to, false)
 			return false
 		}
 	}
@@ -143,39 +171,37 @@ func (t *TCPTransport) Send(from, to types.ProcID, payload Payload) bool {
 	peer := t.peers[to]
 	t.mu.Unlock()
 	if peer == nil {
-		t.count(false)
+		t.book.send(to, false)
 		return false
 	}
 	select {
 	case peer.out <- payload:
-		t.count(true)
+		t.book.send(to, true)
 		return true
 	default:
-		t.count(false)
+		t.book.send(to, false)
 		return false
 	}
 }
 
-func (t *TCPTransport) count(ok bool) {
-	t.mu.Lock()
-	if ok {
-		t.stats.Delivered++
-	} else {
-		t.stats.Dropped++
-	}
-	t.mu.Unlock()
-}
-
-// Stats returns a snapshot of the counters (Delivered counts local enqueue
-// to the outgoing queue; the network may still lose the message, which the
-// stack's retransmissions cover).
+// Stats returns a snapshot of the counters, including the per-peer
+// breakdown and current queue depths. Delivered counts local enqueue to the
+// outgoing queue; a post-enqueue loss (dial give-up, broken pipe) is
+// counted as a WriterDrop and recovered by the stack's retransmissions.
 func (t *TCPTransport) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	return t.book.snapshot(func(p types.ProcID) int {
+		t.mu.Lock()
+		peer := t.peers[p]
+		t.mu.Unlock()
+		if peer == nil {
+			return 0
+		}
+		return len(peer.out)
+	})
 }
 
-// Close stops the transport and waits for its goroutines.
+// Close stops the transport, severs every live connection, and waits for
+// all of its goroutines — no goroutine outlives Close.
 func (t *TCPTransport) Close() {
 	select {
 	case <-t.stop:
@@ -183,11 +209,51 @@ func (t *TCPTransport) Close() {
 		close(t.stop)
 	}
 	t.ln.Close()
+	t.mu.Lock()
+	t.done = true
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
 	t.wg.Wait()
+}
+
+// track registers an inbound connection so Close can sever it. It reports
+// false (and closes the connection) when the transport is already closing.
+func (t *TCPTransport) track(conn net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		conn.Close()
+		return false
+	}
+	t.conns[conn] = struct{}{}
+	return true
+}
+
+func (t *TCPTransport) untrack(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, conn)
+	t.mu.Unlock()
+}
+
+// sleep pauses for d or until the transport stops, reporting whether it
+// slept the full duration.
+func (t *TCPTransport) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-t.stop:
+		return false
+	case <-timer.C:
+		return true
+	}
 }
 
 func (t *TCPTransport) acceptLoop() {
 	defer t.wg.Done()
+	backoff := 5 * time.Millisecond
+	const backoffMax = time.Second
 	for {
 		conn, err := t.ln.Accept()
 		if err != nil {
@@ -195,21 +261,35 @@ func (t *TCPTransport) acceptLoop() {
 			case <-t.stop:
 				return
 			default:
-				continue
 			}
+			// Persistent Accept errors (EMFILE, ENFILE, ...) must not
+			// busy-spin: back off, growing up to a second.
+			t.book.acceptError()
+			if !t.sleep(backoff) {
+				return
+			}
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
+			continue
+		}
+		backoff = 5 * time.Millisecond
+		if !t.track(conn) {
+			return
 		}
 		t.wg.Add(1)
 		go t.reader(conn)
 	}
 }
 
+// reader decodes frames from one inbound connection. The connection is
+// registered in t.conns, so Close unblocks the decoder by severing it — no
+// per-connection watchdog goroutine is needed, and a naturally-closed
+// connection leaves nothing behind.
 func (t *TCPTransport) reader(conn net.Conn) {
 	defer t.wg.Done()
+	defer t.untrack(conn)
 	defer conn.Close()
-	go func() { // unblock the decoder on shutdown
-		<-t.stop
-		conn.Close()
-	}()
 	dec := gob.NewDecoder(conn)
 	for {
 		var f frame
@@ -221,11 +301,18 @@ func (t *TCPTransport) reader(conn net.Conn) {
 		case <-t.stop:
 			return
 		default:
-			// inbox overflow: drop, like the in-memory fabric
+			// Inbox overflow: drop like the in-memory fabric, but make the
+			// loss visible to operators and tests.
+			t.book.recvDrop()
 		}
 	}
 }
 
+// writer owns the persistent outgoing connection to one peer. Dial failures
+// back off exponentially with jitter; each payload is abandoned (and
+// counted) after PayloadAttempts connection attempts, so a dead peer drains
+// the queue instead of wedging it. Writes carry a deadline so a stalled
+// peer with a full TCP buffer cannot block the writer forever.
 func (t *TCPTransport) writer(p *tcpPeer) {
 	defer t.wg.Done()
 	var conn net.Conn
@@ -235,6 +322,8 @@ func (t *TCPTransport) writer(p *tcpPeer) {
 			conn.Close()
 		}
 	}()
+	rng := rand.New(rand.NewSource(int64(p.id)*0x9e3779b9 + 1))
+	backoff := t.cfg.RedialBackoff
 	for {
 		var payload Payload
 		select {
@@ -242,31 +331,37 @@ func (t *TCPTransport) writer(p *tcpPeer) {
 			return
 		case payload = <-p.out:
 		}
-		for attempt := 0; ; attempt++ {
+		sent := false
+		for attempt := 0; attempt < t.cfg.PayloadAttempts; attempt++ {
 			if conn == nil {
 				c, err := net.DialTimeout("tcp", p.addr, t.cfg.DialTimeout)
 				if err != nil {
-					if attempt > 0 {
-						// Give up on this payload after one redial; the
-						// stack's retransmissions recover.
-						break
-					}
-					select {
-					case <-t.stop:
+					t.book.redial(p.id)
+					// Exponential backoff with ±50% jitter, capped.
+					d := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+					if !t.sleep(d) {
 						return
-					case <-time.After(t.cfg.RedialBackoff):
+					}
+					if backoff *= 2; backoff > t.cfg.RedialBackoffMax {
+						backoff = t.cfg.RedialBackoffMax
 					}
 					continue
 				}
+				backoff = t.cfg.RedialBackoff
 				conn = c
 				enc = gob.NewEncoder(conn)
 			}
+			conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
 			if err := enc.Encode(frame{From: t.cfg.Self, Payload: payload}); err != nil {
 				conn.Close()
 				conn, enc = nil, nil
-				continue // redial once for this payload
+				continue // redial and retry this payload
 			}
+			sent = true
 			break
+		}
+		if !sent {
+			t.book.writerDrop(p.id)
 		}
 	}
 }

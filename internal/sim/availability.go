@@ -50,6 +50,7 @@ type AvailabilityResult struct {
 	Replacements   int
 	PrimariesSeen  int
 	FinalAvailable bool // primary exists after the last replacement settles
+	Run            RunStats
 }
 
 // Fraction is the availability fraction.
@@ -122,6 +123,7 @@ func Availability(cfg AvailabilityConfig) (AvailabilityResult, error) {
 	}
 	res.FinalAvailable = available(cl, active, primaries)
 	res.PrimariesSeen = len(primaries)
+	res.Run = captureRunStats(cl)
 	return res, nil
 }
 

@@ -40,6 +40,7 @@ type CascadeResult struct {
 	Rounds    int
 	Primaries []dvs.View // unique primaries, in id order
 	ChainOK   bool
+	Run       RunStats
 }
 
 // String renders one result row.
@@ -95,6 +96,7 @@ func PartitionCascade(cfg CascadeConfig) (CascadeResult, error) {
 	err = CheckPrimaryChain(res.Primaries)
 	res.ChainOK = err == nil
 	sortViews(res.Primaries)
+	res.Run = captureRunStats(cl)
 	return res, err
 }
 
@@ -134,6 +136,7 @@ type ThroughputResult struct {
 	Delivered  int // deliveries observed at process 0
 	Elapsed    time.Duration
 	Consistent bool
+	Run        RunStats
 }
 
 // PerSecond is the delivery rate observed at one process.
@@ -195,6 +198,7 @@ func Throughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	res.Elapsed = time.Since(start)
 	res.Delivered = len(delivered[0])
 	res.Consistent = CheckDeliverySequences(delivered) == nil
+	res.Run = captureRunStats(cl)
 	return res, nil
 }
 
@@ -213,6 +217,7 @@ type RecoveryResult struct {
 	ExtraMessages  uint64        // fabric messages consumed by the recovery
 	RecoveredOK    bool
 	ConsistencyErr string
+	Run            RunStats
 }
 
 // String renders one result row.
@@ -296,6 +301,7 @@ func Recovery(cfg RecoveryConfig) (RecoveryResult, error) {
 		return res, fmt.Errorf("recovery: post-heal message not delivered within %v", cfg.Timeout)
 	}
 	res.ExtraMessages = cl.NetStats().Delivered - before.Delivered
+	res.Run = captureRunStats(cl)
 	if err := CheckDeliverySequences(delivered); err != nil {
 		res.ConsistencyErr = err.Error()
 		return res, err
@@ -330,6 +336,7 @@ type AblationResult struct {
 	MaxAmbiguous         int
 	GCs                  uint64
 	Primaries            uint64
+	Run                  RunStats
 }
 
 // String renders one result row.
@@ -390,5 +397,6 @@ func RegisterAblation(cfg AblationConfig) (AblationResult, error) {
 			res.MaxAmbiguous = ds.MaxAmb
 		}
 	}
+	res.Run = captureRunStats(cl)
 	return res, nil
 }

@@ -9,8 +9,44 @@ import (
 	"time"
 
 	dvs "repro"
+	netfab "repro/internal/net"
 	"repro/internal/types"
 )
+
+// RunStats is the end-of-run transport and view-synchronous summary
+// attached to every scenario result: cumulative fabric counters plus
+// per-layer activity aggregated over all processes.
+type RunStats struct {
+	Net         netfab.Stats
+	Views       uint64        // vsg views installed, summed over processes
+	Retransmits uint64        // tick-driven retransmissions, summed
+	AvgLatency  time.Duration // mean submit-to-deliver latency of own submissions
+}
+
+// String renders the summary as one compact report line.
+func (r RunStats) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d dropped=%d views=%d retransmits=%d avg_latency=%v",
+		r.Net.Sent, r.Net.Delivered, r.Net.Dropped, r.Views, r.Retransmits, r.AvgLatency)
+}
+
+// captureRunStats snapshots the cluster's counters; scenarios call it just
+// before returning (while the cluster is still open).
+func captureRunStats(cl *dvs.Cluster) RunStats {
+	rs := RunStats{Net: cl.NetStats()}
+	var samples uint64
+	var total time.Duration
+	for _, p := range cl.Processes() {
+		vs := p.VSStats()
+		rs.Views += vs.ViewsInstalled
+		rs.Retransmits += vs.Retransmits
+		samples += vs.LatencySamples
+		total += vs.LatencyTotal
+	}
+	if samples > 0 {
+		rs.AvgLatency = total / time.Duration(samples)
+	}
+	return rs
+}
 
 // CheckDeliverySequences verifies the TO service's end-to-end guarantee on
 // observed delivery sequences: pairwise prefix consistency.

@@ -31,12 +31,14 @@ type ViewEvent struct {
 
 // Stats are cumulative per-node tob counters.
 type Stats struct {
-	Broadcasts  uint64
-	Labeled     uint64
-	Confirmed   uint64
-	Delivered   uint64
-	Established uint64
-	DroppedUp   uint64 // deliveries dropped because the application lagged
+	Broadcasts     uint64
+	Labeled        uint64
+	Confirmed      uint64
+	Delivered      uint64
+	Established    uint64
+	DroppedUp      uint64 // deliveries dropped because the application lagged
+	LabelsSent     uint64 // labeled client messages sent through DVS
+	StateExchanges uint64 // recovery summaries sent (one per view needing state exchange)
 }
 
 // Layer drives a toimpl.Node over a dvsg.Layer.
@@ -130,12 +132,14 @@ func (l *Layer) drain() {
 		}
 		if m, ok := l.node.GpSndSummary(); ok {
 			if err := l.node.TakeGpSndSummary(m); err == nil {
+				l.stats.StateExchanges++
 				l.dvs.Send(m)
 				progress = true
 			}
 		}
 		if m, ok := l.node.GpSndLabel(); ok {
 			if err := l.node.TakeGpSndLabel(m); err == nil {
+				l.stats.LabelsSent++
 				l.dvs.Send(m)
 				progress = true
 			}

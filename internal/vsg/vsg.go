@@ -18,6 +18,7 @@ package vsg
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/member"
@@ -64,6 +65,27 @@ type Handler interface {
 	OnNewView(v types.View)
 	OnRecv(payload any, from types.ProcID)
 	OnSafe(payload any, from types.ProcID)
+}
+
+// Stats are cumulative per-node counters of the view-synchronous layer.
+// They are safe to read from any goroutine at any time.
+type Stats struct {
+	ViewsInstalled uint64 // views installed (initial view included)
+	Heartbeats     uint64 // heartbeats sent
+	Retransmits    uint64 // messages resent by the tick-based reliability
+	Submissions    uint64 // payloads submitted via SendInLoop
+	Delivered      uint64 // ordered messages delivered in-view
+	LatencySamples uint64 // own submissions whose delivery latency was measured
+	LatencyTotal   time.Duration // cumulative submit-to-self-delivery latency
+}
+
+// AvgLatency is the mean submit-to-self-delivery latency of this node's own
+// submissions within stable views (zero without samples).
+func (s Stats) AvgLatency() time.Duration {
+	if s.LatencySamples == 0 {
+		return 0
+	}
+	return s.LatencyTotal / time.Duration(s.LatencySamples)
 }
 
 // Config configures a Node.
@@ -116,9 +138,11 @@ type Node struct {
 	safeUpTo    int
 
 	// Sender-side reliability: submissions not yet seen in the ordered
-	// stream, retransmitted on ticks.
-	sendSeq    int
-	pendingOut []Data
+	// stream, retransmitted on ticks. Submission times feed the delivery
+	// latency counters.
+	sendSeq     int
+	pendingOut  []Data
+	pendingTime []time.Time
 	// Leader-side per-sender dedup/reorder state.
 	dataNext map[types.ProcID]int
 	dataBuf  map[types.ProcID]map[int]any
@@ -130,6 +154,15 @@ type Node struct {
 	mu        sync.Mutex
 	published types.View // last installed view, for observers
 	publishOK bool
+
+	// Counters, updated from the event loop, readable from anywhere.
+	nViews      atomic.Uint64
+	nHeartbeats atomic.Uint64
+	nRetransmit atomic.Uint64
+	nSubmit     atomic.Uint64
+	nDelivered  atomic.Uint64
+	nLatSamples atomic.Uint64
+	latTotalNs  atomic.Int64
 }
 
 // NewNode builds a node without starting it. Call SetHandler (handlers
@@ -181,6 +214,19 @@ func (n *Node) Do(f func()) bool {
 	}
 }
 
+// Stats returns a snapshot of the layer's counters (thread-safe).
+func (n *Node) Stats() Stats {
+	return Stats{
+		ViewsInstalled: n.nViews.Load(),
+		Heartbeats:     n.nHeartbeats.Load(),
+		Retransmits:    n.nRetransmit.Load(),
+		Submissions:    n.nSubmit.Load(),
+		Delivered:      n.nDelivered.Load(),
+		LatencySamples: n.nLatSamples.Load(),
+		LatencyTotal:   time.Duration(n.latTotalNs.Load()),
+	}
+}
+
 // View returns the last installed view (thread-safe).
 func (n *Node) View() (types.View, bool) {
 	n.mu.Lock()
@@ -225,6 +271,7 @@ func (n *Node) onTick(now time.Time) {
 	for _, q := range n.cfg.Universe.Sorted() {
 		if q != n.self {
 			n.fabric.Send(n.self, q, member.Heartbeat{})
+			n.nHeartbeats.Add(1)
 		}
 	}
 	sends, installed := n.agreement.Tick(now, n.detector.Alive(now))
@@ -251,6 +298,7 @@ func (n *Node) retransmit() {
 	for _, q := range n.view.Members.Sorted() {
 		if q != n.self {
 			n.fabric.Send(n.self, q, member.Install{View: n.view.Clone()})
+			n.nRetransmit.Add(1)
 		}
 	}
 	if n.leader() != n.self {
@@ -260,9 +308,11 @@ func (n *Node) retransmit() {
 				break
 			}
 			n.fabric.Send(n.self, n.leader(), d)
+			n.nRetransmit.Add(1)
 		}
 		if n.nextDeliver > 1 {
 			n.fabric.Send(n.self, n.leader(), Ack{ViewID: n.view.ID, Seq: n.nextDeliver - 1})
+			n.nRetransmit.Add(1)
 		}
 		return
 	}
@@ -273,9 +323,11 @@ func (n *Node) retransmit() {
 		from := n.acked[q]
 		for s := from; s < len(n.leaderLog) && s < from+window; s++ {
 			n.fabric.Send(n.self, q, n.leaderLog[s])
+			n.nRetransmit.Add(1)
 		}
 		if n.safePoint > 0 {
 			n.fabric.Send(n.self, q, SafePoint{ViewID: n.view.ID, Seq: n.safePoint})
+			n.nRetransmit.Add(1)
 		}
 	}
 }
@@ -324,8 +376,10 @@ func (n *Node) installView(v types.View) {
 	n.safeUpTo = 0
 	n.sendSeq = 0
 	n.pendingOut = nil
+	n.pendingTime = nil
 	n.dataNext = make(map[types.ProcID]int)
 	n.dataBuf = make(map[types.ProcID]map[int]any)
+	n.nViews.Add(1)
 
 	n.mu.Lock()
 	n.published = v.Clone()
@@ -348,8 +402,10 @@ func (n *Node) SendInLoop(payload any) {
 		return
 	}
 	n.sendSeq++
+	n.nSubmit.Add(1)
 	d := Data{ViewID: n.view.ID, SenderSeq: n.sendSeq, Payload: payload}
 	n.pendingOut = append(n.pendingOut, d)
+	n.pendingTime = append(n.pendingTime, time.Now())
 	if n.leader() == n.self {
 		n.onData(n.self, d)
 		return
@@ -413,12 +469,17 @@ func (n *Node) onOrdered(m Ordered) {
 		delete(n.buffer, n.nextDeliver)
 		n.delivered = append(n.delivered, o)
 		n.nextDeliver++
+		n.nDelivered.Add(1)
 		progressed = true
 		if o.Sender == n.self {
 			// Our own submission made it into the ordered stream: stop
-			// retransmitting everything up to it.
+			// retransmitting everything up to it, recording its
+			// submit-to-delivery latency.
 			for len(n.pendingOut) > 0 && n.pendingOut[0].SenderSeq <= o.SenderSeq {
+				n.nLatSamples.Add(1)
+				n.latTotalNs.Add(int64(time.Since(n.pendingTime[0])))
 				n.pendingOut = n.pendingOut[1:]
+				n.pendingTime = n.pendingTime[1:]
 			}
 		}
 		if n.handler != nil {

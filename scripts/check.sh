@@ -13,3 +13,9 @@ serial=$(go run ./cmd/dvscheck -check explore -parallel 1 -v | sed -n 's/.* \([0
 par=$(go run ./cmd/dvscheck -check explore -parallel 4 -v | sed -n 's/.* \([0-9][0-9]* steps, [0-9][0-9]* states\).*/\1/p')
 test -n "$serial"
 test "$serial" = "$par"
+
+# Transport hardening gate: rerun the TCP connection-lifecycle, fault
+# injection, and chaos-soak tests in isolation under the race detector
+# (they also run in the full suite above; isolation gives the goroutine
+# leak checks a clean baseline).
+go test -race -count=1 -run 'TestTCP|TestFault|TestChaos' ./internal/net .

@@ -1,0 +1,213 @@
+package dvs
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	netfab "repro/internal/net"
+	"repro/internal/types"
+)
+
+// collectNodeDeliveries drains a TCP node's delivery channel into out.
+func collectNodeDeliveries(n *Node, out *[]Delivery) {
+	for {
+		select {
+		case d := <-n.Deliveries():
+			*out = append(*out, d)
+		default:
+			return
+		}
+	}
+}
+
+// TestChaosTCPFaultSoak is the acceptance soak for the hardened transport:
+// three standalone TCP nodes, each wrapped in a FaultTransport sharing one
+// plan, driven through injected partitions, probabilistic loss, and latency
+// while broadcasting. After healing, the group must converge to the full
+// primary view with an identical total order; the per-peer accounting
+// invariant Sent == Delivered + Dropped must hold on both the fault layer
+// and the raw TCP transport of every node; and closing everything must
+// return the goroutine count to baseline.
+func TestChaosTCPFaultSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	baseline := runtime.NumGoroutine()
+	const n = 3
+	plan := netfab.NewFaultPlan(99)
+	plan.SetLatency(time.Millisecond, 2*time.Millisecond)
+	faults := make([]*netfab.FaultTransport, n)
+
+	base := 39700
+	addrs := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", base+i)
+	}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		peers := make(map[int]string, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers[j] = addrs[j]
+			}
+		}
+		i := i
+		node, err := StartNode(NodeConfig{
+			ID:           i,
+			Processes:    n,
+			Listen:       addrs[i],
+			Peers:        peers,
+			TickInterval: 5 * time.Millisecond,
+			WrapTransport: func(tr netfab.Transport) netfab.Transport {
+				faults[i] = netfab.NewFaultTransport(tr, plan)
+				return faults[i]
+			},
+		})
+		if err != nil {
+			for _, nd := range nodes[:i] {
+				nd.Close()
+			}
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes[i] = node
+	}
+	closeAll := func() {
+		for _, nd := range nodes {
+			if nd != nil {
+				nd.Close()
+			}
+		}
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			closeAll()
+		}
+	}()
+
+	delivered := make([][]Delivery, n)
+	harvest := func() {
+		for i := 0; i < n; i++ {
+			collectNodeDeliveries(nodes[i], &delivered[i])
+		}
+	}
+	broadcast := make(map[string]bool)
+	msg := 0
+	send := func(from, k int) {
+		for j := 0; j < k; j++ {
+			payload := fmt.Sprintf("c%d", msg)
+			msg++
+			if nodes[from].Broadcast(payload) {
+				broadcast[payload] = true
+			}
+		}
+	}
+
+	time.Sleep(150 * time.Millisecond)
+	send(0, 2)
+	send(1, 2)
+
+	// Phase 1: partition {0,1} | {2} — the majority side keeps a primary.
+	plan.Partition([]types.ProcID{0, 1}, []types.ProcID{2})
+	time.Sleep(200 * time.Millisecond)
+	send(0, 2)
+	send(2, 1) // buffered in 2's minority, delivered after heal
+	harvest()
+
+	// Phase 2: heal under probabilistic loss and latency.
+	plan.SetLoss(0.15)
+	plan.Heal()
+	time.Sleep(300 * time.Millisecond)
+	send(1, 2)
+	harvest()
+
+	// Phase 3: clean network; converge.
+	plan.SetLoss(0)
+	plan.SetLatency(0, 0)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ok := true
+		for i := 0; i < n; i++ {
+			v, has := nodes[i].CurrentPrimary()
+			if !has || v.Members.Len() != n || !nodes[i].Established() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("group never converged to the full primary view")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	send(2, 2)
+
+	// Every broadcast must eventually deliver everywhere, in one order.
+	for {
+		harvest()
+		done := true
+		for i := 0; i < n; i++ {
+			if len(delivered[i]) < len(broadcast) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("deliveries incomplete: want %d, have %d/%d/%d",
+				len(broadcast), len(delivered[0]), len(delivered[1]), len(delivered[2]))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	assertPrefixConsistent(t, delivered)
+	for i := 0; i < n; i++ {
+		if len(delivered[i]) != len(broadcast) {
+			t.Errorf("node %d delivered %d of %d", i, len(delivered[i]), len(broadcast))
+		}
+	}
+
+	// Per-peer accounting invariant on both layers of every node.
+	for i := 0; i < n; i++ {
+		if err := faults[i].Stats().CheckInvariant(); err != nil {
+			t.Errorf("node %d fault layer: %v", i, err)
+		}
+		st := nodes[i].NetStats()
+		if err := st.CheckInvariant(); err != nil {
+			t.Errorf("node %d tcp layer: %v", i, err)
+		}
+		if st.Sent == 0 || len(st.Peers) == 0 {
+			t.Errorf("node %d recorded no per-peer traffic: %+v", i, st)
+		}
+		ns := nodes[i].StatsSnapshot()
+		if ns.VS.ViewsInstalled == 0 || ns.TOB.Delivered == 0 {
+			t.Errorf("node %d layer counters empty: %+v", i, ns)
+		}
+	}
+	fs := faults[0].Stats()
+	if fs.Dropped == 0 {
+		t.Errorf("fault layer injected no drops despite partition+loss: %+v", fs)
+	}
+
+	// Zero leaked goroutines after Close.
+	closed = true
+	closeAll()
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		g := runtime.NumGoroutine()
+		if g <= baseline+2 {
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after Close: %d > baseline %d\n%s",
+				g, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

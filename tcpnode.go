@@ -56,12 +56,28 @@ type NodeConfig struct {
 	TickInterval   time.Duration
 	SuspectTimeout time.Duration
 	ProposeRetry   time.Duration
+	// WrapTransport, when set, decorates the node's TCP transport before
+	// the stack is built — e.g. with a netfab.FaultTransport for chaos
+	// testing real TCP nodes. If the returned transport has a Close
+	// method, Node.Close calls it before closing the TCP transport.
+	WrapTransport func(netfab.Transport) netfab.Transport
+}
+
+// NodeStats aggregates the per-layer counters of one node: transport,
+// view-synchronous layer, dynamic-view layer, and totally-ordered
+// broadcast.
+type NodeStats struct {
+	Net netfab.Stats
+	VS  vsg.Stats
+	DVS dvsg.Stats
+	TOB tob.Stats
 }
 
 // Node is one standalone process of a TCP-connected group.
 type Node struct {
 	id        ProcID
-	transport *netfab.TCPTransport
+	tcp       *netfab.TCPTransport
+	transport netfab.Transport // tcp, possibly wrapped (see WrapTransport)
 	vsg       *vsg.Node
 	dvs       *dvsg.Layer
 	tob       *tob.Layer
@@ -102,13 +118,17 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	for id, addr := range cfg.Peers {
 		peers[ProcID(id)] = addr
 	}
-	transport, err := netfab.NewTCPTransport(netfab.TCPConfig{
+	tcp, err := netfab.NewTCPTransport(netfab.TCPConfig{
 		Self:   self,
 		Listen: cfg.Listen,
 		Peers:  peers,
 	})
 	if err != nil {
 		return nil, err
+	}
+	var transport netfab.Transport = tcp
+	if cfg.WrapTransport != nil {
+		transport = cfg.WrapTransport(tcp)
 	}
 
 	node := vsg.NewNode(vsg.Config{
@@ -133,14 +153,34 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	node.SetHandler(layer)
 	node.Start()
 
-	return &Node{id: self, transport: transport, vsg: node, dvs: layer, tob: app}, nil
+	return &Node{id: self, tcp: tcp, transport: transport, vsg: node, dvs: layer, tob: app}, nil
 }
 
 // ID returns the node's process id.
 func (n *Node) ID() ProcID { return n.id }
 
 // Addr returns the actual TCP listen address.
-func (n *Node) Addr() string { return n.transport.Addr() }
+func (n *Node) Addr() string { return n.tcp.Addr() }
+
+// NetStats returns a snapshot of the TCP transport's counters, including
+// the per-peer breakdown.
+func (n *Node) NetStats() netfab.Stats { return n.tcp.Stats() }
+
+// StatsSnapshot returns the per-layer counters of this node. Transport and
+// vsg counters are always current; dvsg/tob counters are read through the
+// event loop and come back zero if the node has stopped.
+func (n *Node) StatsSnapshot() NodeStats {
+	s := NodeStats{Net: n.tcp.Stats(), VS: n.vsg.Stats()}
+	done := make(chan struct{})
+	if n.vsg.Do(func() {
+		s.DVS = n.dvs.Stats()
+		s.TOB = n.tob.Stats()
+		close(done)
+	}) {
+		<-done
+	}
+	return s
+}
 
 // Broadcast submits a payload for totally-ordered delivery.
 func (n *Node) Broadcast(payload string) bool {
@@ -185,8 +225,12 @@ func (n *Node) Established() bool {
 	return <-ch
 }
 
-// Close stops the node and its transport.
+// Close stops the node and its transport (including any wrapper installed
+// via WrapTransport).
 func (n *Node) Close() {
 	n.vsg.Stop()
-	n.transport.Close()
+	if closer, ok := n.transport.(interface{ Close() }); ok && n.transport != netfab.Transport(n.tcp) {
+		closer.Close()
+	}
+	n.tcp.Close()
 }
