@@ -1,18 +1,24 @@
 # Verification gate for every PR. `make check` is the tier-1 bar plus the
 # race detector, which gates the concurrent checking engine (worker-pool
-# seed fan-out, parallel BFS) against data races.
+# seed fan-out, parallel BFS) against data races, plus dvslint, which
+# machine-enforces the automaton discipline (see DESIGN.md §6.4).
 
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet lint test race bench
 
-check: build vet race
+check: build vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: fingerprint/clone completeness, model
+# determinism, shared-view mutation, fingerprint ordering.
+lint:
+	$(GO) run ./cmd/dvslint ./...
 
 test:
 	$(GO) test ./...

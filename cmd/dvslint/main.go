@@ -1,0 +1,68 @@
+// Command dvslint runs the project's domain-specific static-analysis suite
+// (internal/lint) over the given package patterns and reports every
+// violation of the automaton discipline: fingerprint completeness, deep
+// clones, model determinism, read-only Shared views, and canonical
+// fingerprint iteration order. See DESIGN.md §6.4.
+//
+// Usage:
+//
+//	go run ./cmd/dvslint [-list] [-json] [packages...]
+//
+// With no patterns it analyzes ./.... Exit status: 0 clean, 1 diagnostics
+// reported, 2 load/usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON")
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvslint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvslint:", err)
+		os.Exit(2)
+	}
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "dvslint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dvslint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

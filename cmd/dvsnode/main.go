@@ -34,10 +34,10 @@ func main() {
 
 func run() error {
 	var (
-		id     = flag.Int("id", 0, "this process's id")
-		n      = flag.Int("n", 3, "universe size")
-		listen = flag.String("listen", "127.0.0.1:7000", "listen address")
-		peers  = flag.String("peers", "", "comma-separated id=host:port pairs")
+		id      = flag.Int("id", 0, "this process's id")
+		n       = flag.Int("n", 3, "universe size")
+		listen  = flag.String("listen", "127.0.0.1:7000", "listen address")
+		peers   = flag.String("peers", "", "comma-separated id=host:port pairs")
 		static  = flag.Bool("static", false, "use static majority primaries instead of dynamic")
 		tick    = flag.Duration("tick", 20*time.Millisecond, "heartbeat tick")
 		metrics = flag.String("metrics", "", "serve per-layer stats over HTTP at this address (expvar at /debug/vars, JSON at /stats)")

@@ -24,11 +24,13 @@ func (p GCParam) String() string { return p.View.String() + "_" + p.P.String() }
 // and the external actions reuse the dvs package's names and parameter
 // types so implementation and specification traces compare directly.
 type Impl struct {
+	//lint:fpignore fixed at construction; identical across every state of one exploration
 	universe types.ProcSet
-	initial  types.View
-	procs    []types.ProcID // sorted universe, for deterministic enumeration
-	vs       *vsspec.VS
-	nodes    map[types.ProcID]*Node
+	//lint:fpignore fixed at construction; identical across every state of one exploration
+	initial types.View
+	procs   []types.ProcID // sorted universe, for deterministic enumeration
+	vs      *vsspec.VS
+	nodes   map[types.ProcID]*Node
 }
 
 var _ ioa.Automaton = (*Impl)(nil)

@@ -56,6 +56,7 @@ func (e MsgFrom) key() string { return e.M.MsgKey() + "@" + e.Q.String() }
 // process p. It is not a standalone ioa.Automaton: its vs-* actions
 // synchronize with the VS automaton inside the Impl composition.
 type Node struct {
+	//lint:fpignore identity reaches the digest through the fpPre prefix on every line
 	p     types.ProcID
 	fpPre string // fingerprint line prefix "n<p>.", precomputed
 

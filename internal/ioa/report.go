@@ -153,11 +153,11 @@ func seedFanOut(parallel, n int, fn func(i int) (CheckReport, error)) (CheckRepo
 	}
 
 	var (
-		next     atomic.Int64 // next index to claim
-		mu       sync.Mutex   // guards failIdx, failErr, total
-		failIdx  = n          // lowest failing index so far
-		failErr  error
-		wg       sync.WaitGroup
+		next    atomic.Int64 // next index to claim
+		mu      sync.Mutex   // guards failIdx, failErr, total
+		failIdx = n          // lowest failing index so far
+		failErr error
+		wg      sync.WaitGroup
 	)
 	next.Store(-1)
 	for w := 0; w < parallel; w++ {

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Clonecomplete returns the clonecomplete analyzer. For every method named
+// Clone on a named struct type it verifies that (a) every field of the
+// receiver's struct is assigned into the cloned value — via composite
+// literal keys, positional literals, x.f = ... statements, or a whole-struct
+// copy — and (b) no reference-carrying field (map/slice/pointer/chan, or a
+// struct containing one) is left sharing the receiver's backing storage.
+// Invariant checkers and environments mutate cloned automata; a shallow
+// field aliases every sibling state in the BFS frontier.
+//
+// The analysis follows same-package delegation (Clone methods that return a
+// constructor call are credited with the constructor's assignments), and a
+// local variable assigned from a call, make, or composite literal counts as
+// fresh storage. Deliberately shared fields carry //lint:clonesafe <reason>
+// on their declaration.
+func Clonecomplete() *Analyzer {
+	a := &Analyzer{
+		Name: "clonecomplete",
+		Doc:  "Clone methods must assign every field and deep-copy reference fields (escape: //lint:clonesafe)",
+	}
+	a.Run = func(pass *Pass) {
+		decls := funcDecls(pass.Package)
+		for obj, fd := range decls {
+			if obj.Name() != "Clone" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			named := receiverType(pass.Info, fd)
+			if named == nil {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			checkClone(pass, decls, obj, fd, named, st)
+		}
+	}
+	return a
+}
+
+// fieldFate tracks what a Clone path does with one receiver field.
+type fieldFate struct {
+	assigned bool // some assignment or literal key covers the field
+	deep     bool // at least one covering assignment is not a bare share
+}
+
+// checkClone inspects one Clone method plus every same-package function it
+// statically reaches (so delegation to constructors is understood).
+func checkClone(pass *Pass, decls map[types.Object]*ast.FuncDecl, cloneObj types.Object, fd *ast.FuncDecl, named *types.Named, st *types.Struct) {
+	fates := make(map[*types.Var]*fieldFate, st.NumFields())
+	fieldByName := make(map[string]*types.Var, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fates[f] = &fieldFate{}
+		fieldByName[f.Name()] = f
+	}
+
+	isRecvType := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		n, ok := t.(*types.Named)
+		return ok && n.Obj() == named.Obj()
+	}
+
+	for obj := range reachable(pass.Package, decls, []types.Object{cloneObj}) {
+		decl, ok := decls[obj]
+		if !ok || decl.Body == nil {
+			continue
+		}
+		scanCloneBody(pass, decl.Body, isRecvType, fieldByName, fates, st)
+	}
+
+	recvName := named.Obj().Name()
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		fate := fates[field]
+		if pass.Escaped(field.Pos(), "clonesafe") {
+			continue
+		}
+		switch {
+		case !fate.assigned:
+			pass.Reportf(fd.Pos(),
+				"%s.Clone does not copy field %s; the clone starts from a zero/stale value — copy it or annotate the field //lint:clonesafe <reason>",
+				recvName, field.Name())
+		case !fate.deep && isRefKind(field.Type()):
+			pass.Reportf(fd.Pos(),
+				"%s.Clone shallow-copies reference field %s (%s); mutations through the clone alias the original — deep-copy it or annotate //lint:clonesafe <reason>",
+				recvName, field.Name(), field.Type().String())
+		}
+	}
+}
+
+// scanCloneBody records field assignments found in one function body.
+func scanCloneBody(pass *Pass, body ast.Node, isRecvType func(types.Type) bool, fieldByName map[string]*types.Var, fates map[*types.Var]*fieldFate, st *types.Struct) {
+	info := pass.Info
+	fresh := freshLocals(info, body)
+
+	// shallowExpr reports whether assigning expr shares backing storage: a
+	// field selector (b.f = a.f) or a local that was never assigned fresh
+	// storage. Calls, literals, make/new, and fresh locals are deep.
+	shallowExpr := func(expr ast.Expr) bool {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+				return true
+			}
+			return false
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() {
+				return !fresh[v]
+			}
+			return false
+		}
+		return false
+	}
+
+	record := func(field *types.Var, rhs ast.Expr) {
+		fate := fates[field]
+		if fate == nil {
+			return
+		}
+		fate.assigned = true
+		if !shallowExpr(rhs) {
+			fate.deep = true
+		}
+	}
+
+	// wholeCopy marks every field assigned-but-shallow, the semantics of
+	// b := *a / *b = *a / b := a (value receiver): values copy, references
+	// alias until reassigned deep.
+	wholeCopy := func() {
+		for _, fate := range fates {
+			fate.assigned = true
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok || !isRecvType(tv.Type) {
+				return true
+			}
+			if len(n.Elts) > 0 {
+				if _, keyed := n.Elts[0].(*ast.KeyValueExpr); !keyed {
+					for i, elt := range n.Elts {
+						if i < st.NumFields() {
+							record(st.Field(i), elt)
+						}
+					}
+					return true
+				}
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if f := fieldByName[key.Name]; f != nil {
+						record(f, kv.Value)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					// b.f = rhs where b has the receiver's type.
+					v, ok := info.Uses[l.Sel].(*types.Var)
+					if !ok || !v.IsField() || fates[v] == nil {
+						continue
+					}
+					if tv, ok := info.Types[l.X]; ok && isRecvType(tv.Type) && rhs != nil {
+						record(v, rhs)
+					}
+				case *ast.StarExpr:
+					// *b = *a whole-struct copy.
+					if rhs == nil {
+						continue
+					}
+					if tv, ok := info.Types[l]; ok && isRecvType(tv.Type) {
+						if star, ok := ast.Unparen(rhs).(*ast.StarExpr); ok {
+							if rtv, ok := info.Types[star]; ok && isRecvType(rtv.Type) {
+								wholeCopy()
+							}
+						}
+					}
+				case *ast.Ident:
+					if rhs == nil {
+						continue
+					}
+					if star, ok := ast.Unparen(rhs).(*ast.StarExpr); ok {
+						// b := *a whole-struct copy into a fresh variable.
+						if rtv, ok := info.Types[star]; ok && isRecvType(rtv.Type) {
+							wholeCopy()
+						}
+					} else if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+						// b := a of the receiver's value type: whole copy.
+						if tv, ok := info.Types[id]; ok && isRecvType(tv.Type) {
+							if _, isPtr := tv.Type.(*types.Pointer); !isPtr {
+								wholeCopy()
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// freshLocals returns the local variables in body that are ever assigned
+// freshly-allocated storage: a call result (make, append, constructors,
+// Clone), a composite literal, or new.
+func freshLocals(info *types.Info, body ast.Node) map[*types.Var]bool {
+	fresh := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var obj types.Object
+			if d := info.Defs[id]; d != nil {
+				obj = d
+			} else {
+				obj = info.Uses[id]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.CallExpr:
+				fresh[v] = true
+			case *ast.CompositeLit:
+				fresh[v] = true
+			case *ast.UnaryExpr:
+				if _, isLit := rhs.X.(*ast.CompositeLit); isLit && rhs.Op.String() == "&" {
+					fresh[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,13 @@
+package lint
+
+// DefaultAnalyzers returns the full dvslint suite configured for this
+// repository, in the order diagnostics should be grouped when positions tie.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		Fpcomplete(),
+		Clonecomplete(),
+		Modelpure(DefaultModelpureConfig()),
+		Sharedmut(),
+		Fporder(),
+	}
+}

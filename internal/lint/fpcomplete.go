@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// fingerprintMethodNames are the roots of the fingerprint path: ioa.Automaton
+// implementations (Fingerprint), streamed value renderers (WriteFp), and the
+// per-node composite contributors (AddFingerprint).
+var fingerprintMethodNames = map[string]bool{
+	"Fingerprint":    true,
+	"WriteFp":        true,
+	"AddFingerprint": true,
+}
+
+// Fpcomplete returns the fpcomplete analyzer: for every struct type with a
+// fingerprint method, each field must be read somewhere on the fingerprint
+// path (the method itself plus every same-package function it statically
+// reaches). A field the fingerprint cannot see silently merges distinct
+// states in the seen-set, voiding exhaustive-exploration claims, so missing
+// fields are errors; genuinely derived or configuration fields carry a
+// //lint:fpignore <reason> on their declaration.
+func Fpcomplete() *Analyzer {
+	a := &Analyzer{
+		Name: "fpcomplete",
+		Doc:  "every struct field must reach its type's fingerprint method (or carry //lint:fpignore)",
+	}
+	a.Run = func(pass *Pass) {
+		decls := funcDecls(pass.Package)
+
+		// Group fingerprint methods by their receiver's named struct type.
+		roots := make(map[*types.Named][]types.Object)
+		for obj, fd := range decls {
+			if fd.Recv == nil || !fingerprintMethodNames[fd.Name.Name] {
+				continue
+			}
+			named := receiverType(pass.Info, fd)
+			if named == nil {
+				continue
+			}
+			if _, ok := named.Underlying().(*types.Struct); !ok {
+				continue
+			}
+			roots[named] = append(roots[named], obj)
+		}
+
+		for named, methods := range roots {
+			st := named.Underlying().(*types.Struct)
+			read := fieldsRead(pass, decls, methods)
+			// Deterministic order over types sharing a file is handled by
+			// the driver's position sort; fields are reported in order.
+			for i := 0; i < st.NumFields(); i++ {
+				field := st.Field(i)
+				if read[field] {
+					continue
+				}
+				if pass.Escaped(field.Pos(), "fpignore") {
+					continue
+				}
+				pass.Reportf(field.Pos(),
+					"field %s.%s is never read on the fingerprint path (%s); distinct states will merge — fingerprint it or annotate //lint:fpignore <reason>",
+					named.Obj().Name(), field.Name(), methodNames(methods))
+			}
+		}
+	}
+	return a
+}
+
+// fieldsRead walks every function reachable from the fingerprint roots and
+// records which struct fields are read, both by direct selection (s.f) and
+// through promoted selections of embedded fields.
+func fieldsRead(pass *Pass, decls map[types.Object]*ast.FuncDecl, methods []types.Object) map[*types.Var]bool {
+	read := make(map[*types.Var]bool)
+	for obj := range reachable(pass.Package, decls, methods) {
+		fd, ok := decls[obj]
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if v, ok := pass.Info.Uses[n].(*types.Var); ok && v.IsField() {
+					read[v] = true
+				}
+			case *ast.SelectorExpr:
+				// Promoted selections traverse embedded fields that never
+				// appear as idents; credit every field on the path.
+				if sel, ok := pass.Info.Selections[n]; ok {
+					t := sel.Recv()
+					for _, idx := range sel.Index() {
+						if ptr, ok := t.Underlying().(*types.Pointer); ok {
+							t = ptr.Elem()
+						}
+						st, ok := t.Underlying().(*types.Struct)
+						if !ok || idx >= st.NumFields() {
+							// The final index of a method selection names the
+							// method, not a field.
+							break
+						}
+						f := st.Field(idx)
+						read[f] = true
+						t = f.Type()
+					}
+				}
+			}
+			return true
+		})
+	}
+	return read
+}
+
+func methodNames(methods []types.Object) string {
+	names := make([]string, 0, len(methods))
+	for _, m := range methods {
+		names = append(names, m.Name())
+	}
+	sort.Strings(names)
+	return strings.Join(names, "/")
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Fporder returns the fporder analyzer. The Fingerprinter folds finished
+// Begin/End lines into a commutative digest, so ranging over a map and
+// emitting one whole line per entry is canonical by construction. What is
+// NOT canonical is writing value bytes into an already-open line from inside
+// a map range: the open line's FNV state is order-sensitive, so map
+// iteration order leaks straight into the fingerprint and equal states hash
+// differently across runs (the bug class ProcSet.WriteFp's insertion sort
+// exists to prevent).
+//
+// The analyzer flags any `for range` over a map whose body writes to a
+// fingerprint sink (a Fingerprinter or FpWriter value) without opening a
+// line (Begin/Add/AddInt) inside the same body — directly or through a
+// same-package helper. Loops whose per-entry writes are provably
+// order-insensitive can carry //lint:fporder <reason>.
+func Fporder() *Analyzer {
+	a := &Analyzer{
+		Name: "fporder",
+		Doc:  "map ranges must not write into an open fingerprint line (escape: //lint:fporder)",
+	}
+	a.Run = func(pass *Pass) {
+		decls := funcDecls(pass.Package)
+		sums := fpCallSummaries(pass, decls)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				writes, opens := bodyFpEffects(pass, sums, rng.Body)
+				if writes && !opens && !pass.Escaped(rng.Pos(), "fporder") {
+					pass.Reportf(rng.Pos(),
+						"map range writes into an open fingerprint line: iteration order leaks into the digest — emit whole Begin/End lines per entry, iterate sorted keys, or annotate //lint:fporder <reason>")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// lineOpeners are sink methods that start (or atomically emit) a line;
+// a body containing one emits whole lines and is commutative-safe.
+var lineOpeners = map[string]bool{"Begin": true, "Add": true, "AddInt": true}
+
+// sinkWriters are sink methods that append bytes to the open line.
+var sinkWriters = map[string]bool{
+	"Str": true, "Byte": true, "Int": true, "Uint": true, "WriteFp": true,
+}
+
+// isFpSinkType reports whether t is (a pointer to) a fingerprint sink: a
+// named type called Fingerprinter or an interface named FpWriter, in any
+// package. Name-based detection keeps the analyzer independent of the ioa
+// package so its own testdata can model the contract.
+func isFpSinkType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Fingerprinter" || name == "FpWriter"
+}
+
+// fpEffects summarizes whether a function writes sink bytes / opens lines.
+type fpEffects struct{ writes, opens bool }
+
+// fpCallSummaries computes, for every function in the package, whether it
+// (transitively) writes to or opens lines on a fingerprint sink — so that
+// helpers like writeEntriesFp/beginProcViewFp are understood at call sites.
+func fpCallSummaries(pass *Pass, decls map[types.Object]*ast.FuncDecl) map[types.Object]fpEffects {
+	sums := make(map[types.Object]fpEffects, len(decls))
+	// Fixed point: direct effects first, then propagate through calls.
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range decls {
+			if fd.Body == nil {
+				continue
+			}
+			cur := sums[obj]
+			writes, opens := directFpEffects(pass, sums, fd.Body)
+			next := fpEffects{cur.writes || writes, cur.opens || opens}
+			if next != cur {
+				sums[obj] = next
+				changed = true
+			}
+		}
+	}
+	return sums
+}
+
+// directFpEffects scans one body for sink-method calls and calls to
+// summarized same-package functions.
+func directFpEffects(pass *Pass, sums map[types.Object]fpEffects, body ast.Node) (writes, opens bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if recvTV, ok := pass.Info.Types[sel.X]; ok && isFpSinkType(recvTV.Type) {
+				if sinkWriters[sel.Sel.Name] {
+					writes = true
+				}
+				if lineOpeners[sel.Sel.Name] {
+					opens = true
+				}
+				return true
+			}
+		}
+		// WriteFp-style calls pass the sink as an argument; helper functions
+		// contribute their computed summaries.
+		obj := callee(pass.Info, call)
+		sinkArg := false
+		for _, arg := range call.Args {
+			if tv, ok := pass.Info.Types[arg]; ok && isFpSinkType(tv.Type) {
+				sinkArg = true
+				break
+			}
+		}
+		if obj != nil {
+			if s, ok := sums[obj]; ok {
+				writes = writes || s.writes
+				opens = opens || s.opens
+				return true
+			}
+			// Method named WriteFp taking the sink: writes by contract.
+			if sinkArg && obj.Name() == "WriteFp" {
+				writes = true
+				return true
+			}
+		}
+		if sinkArg {
+			// Unknown callee receiving the sink (cross-package helper,
+			// interface method): assume it writes without opening — the
+			// conservative direction for this check.
+			writes = true
+		}
+		return true
+	})
+	return writes, opens
+}
+
+// bodyFpEffects reports whether a range body writes to / opens lines on a
+// sink, reusing the per-function summaries for same-package helpers.
+func bodyFpEffects(pass *Pass, sums map[types.Object]fpEffects, body ast.Node) (writes, opens bool) {
+	return directFpEffects(pass, sums, body)
+}

@@ -1,0 +1,136 @@
+// Package linttest is a golden-case harness for the dvslint analyzers,
+// modeled on golang.org/x/tools' analysistest but self-contained. Test
+// packages live under a testdata directory that is its own Go module (so
+// the main build never sees them), and expectations are written as
+//
+//	code under test // want "regexp" "second regexp"
+//
+// comments: every diagnostic reported on that line must match one of the
+// regexps, every regexp must be matched by exactly one diagnostic, and any
+// diagnostic on a line without a matching expectation fails the test.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// expectation is one unmatched want-regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// Run loads the given patterns (relative to dir, typically "testdata") and
+// checks the analyzer's diagnostics against the // want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded for %v", patterns)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					ws, err := parseWants(c)
+					if err != nil {
+						t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, w := range ws {
+						w.file = pos.Filename
+						w.line = pos.Line
+						wants = append(wants, w)
+					}
+				}
+			}
+		}
+	}
+
+	diags := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.re == nil || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.re = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			t.Errorf("%s:%d: no diagnostic matched %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps from a // want comment. The marker
+// may also be embedded later in a comment ("//lint:x // want ..."), so that
+// expectations can sit on the same line as a directive under test.
+func parseWants(c *ast.Comment) ([]*expectation, error) {
+	var text string
+	if t, ok := strings.CutPrefix(c.Text, "// want "); ok {
+		text = t
+	} else if i := strings.Index(c.Text, "// want "); i >= 0 {
+		text = c.Text[i+len("// want "):]
+	} else {
+		return nil, nil
+	}
+	var ws []*expectation
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			return nil, fmt.Errorf("malformed want comment near %q", rest)
+		}
+		q, err := nextQuoted(rest)
+		if err != nil {
+			return nil, err
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %s: %v", q, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, fmt.Errorf("compiling want regexp %s: %v", q, err)
+		}
+		ws = append(ws, &expectation{re: re, raw: q})
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return ws, nil
+}
+
+// nextQuoted returns the leading quoted string literal of s.
+func nextQuoted(s string) (string, error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && quote == '"':
+			i++
+		case s[i] == quote:
+			return s[:i+1], nil
+		}
+	}
+	return "", fmt.Errorf("unterminated quote in want comment: %s", s)
+}

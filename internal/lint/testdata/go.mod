@@ -1,0 +1,3 @@
+module linttest
+
+go 1.22

@@ -1,0 +1,79 @@
+// Package fpcomplete holds golden cases for the fpcomplete analyzer.
+package fpcomplete
+
+// W is a minimal fingerprint sink; fpcomplete keys on method names
+// (WriteFp/Fingerprint/AddFingerprint), not on the sink's type.
+type W struct{}
+
+// Int writes one int.
+func (W) Int(int) {}
+
+// Str writes one string.
+func (W) Str(string) {}
+
+// Good streams every field.
+type Good struct {
+	A int
+	B int
+}
+
+// WriteFp covers A and B.
+func (g Good) WriteFp(w W) {
+	w.Int(g.A)
+	w.Int(g.B)
+}
+
+// ViaHelper reads one field through a same-package helper; the call-graph
+// walk must credit it.
+type ViaHelper struct {
+	A int
+	B int
+}
+
+// Fingerprint covers B directly and A via writeA.
+func (v ViaHelper) Fingerprint(w W) {
+	v.writeA(w)
+	w.Int(v.B)
+}
+
+func (v ViaHelper) writeA(w W) { w.Int(v.A) }
+
+// Bad misses field B on the fingerprint path.
+type Bad struct {
+	A int
+	B int // want "field Bad.B is never read on the fingerprint path"
+}
+
+// WriteFp forgets B.
+func (b Bad) WriteFp(w W) {
+	w.Int(b.A)
+}
+
+// Ignored documents a derived field with a justified escape.
+type Ignored struct {
+	A int
+	//lint:fpignore recomputed from A on demand, never part of state identity
+	sum int
+}
+
+// WriteFp covers A; sum is escaped.
+func (i Ignored) WriteFp(w W) { w.Int(i.A) }
+
+// BadEscape has a reasonless escape: it must NOT suppress the finding, and
+// the directive itself is flagged.
+type BadEscape struct {
+	A int
+	B int //lint:fpignore // want "directive needs a reason" "field BadEscape.B is never read"
+}
+
+// WriteFp forgets B.
+func (b BadEscape) WriteFp(w W) { w.Int(b.A) }
+
+// Typo'd directives are flagged rather than silently ignored.
+type TypoDirective struct {
+	A int
+	B int //lint:fpignored oops // want "unknown lint directive" "field TypoDirective.B is never read"
+}
+
+// WriteFp forgets B.
+func (t TypoDirective) WriteFp(w W) { w.Int(t.A) }

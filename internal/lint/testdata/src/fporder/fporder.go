@@ -1,0 +1,115 @@
+// Package fporder holds golden cases for the fporder analyzer. Fingerprinter
+// here is a local stand-in; the analyzer keys on the type name and on the
+// Begin/End/Str/... method contract, not on the ioa package.
+package fporder
+
+import "sort"
+
+// Fingerprinter mimics the commutative line-folding digest.
+type Fingerprinter struct{ open bool }
+
+// Begin opens a line.
+func (f *Fingerprinter) Begin(key string) { f.open = true }
+
+// End folds the open line into the digest.
+func (f *Fingerprinter) End() { f.open = false }
+
+// Str appends to the open line.
+func (f *Fingerprinter) Str(s string) {}
+
+// Byte appends to the open line.
+func (f *Fingerprinter) Byte(b byte) {}
+
+// Int appends to the open line.
+func (f *Fingerprinter) Int(i int) {}
+
+// Add atomically emits a whole line.
+func (f *Fingerprinter) Add(s string) {}
+
+// Val is a fingerprintable element.
+type Val struct{ N int }
+
+// WriteFp streams the value into an open line.
+func (v Val) WriteFp(f *Fingerprinter) { f.Int(v.N) }
+
+// WholeLines emits one complete line per entry: commutative, clean.
+func WholeLines(f *Fingerprinter, m map[string]int) {
+	for k, v := range m {
+		f.Begin(k)
+		f.Int(v)
+		f.End()
+	}
+}
+
+// OpenLineLeak writes entry bytes into one open line: order leaks.
+func OpenLineLeak(f *Fingerprinter, m map[string]int) {
+	f.Begin("m")
+	for k, v := range m { // want "map range writes into an open fingerprint line"
+		f.Str(k)
+		f.Int(v)
+	}
+	f.End()
+}
+
+// SortedKeys canonicalizes the order before writing: clean.
+func SortedKeys(f *Fingerprinter, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	f.Begin("m")
+	for _, k := range keys {
+		f.Str(k)
+		f.Int(m[k])
+	}
+	f.End()
+}
+
+// HelperOpener emits whole lines through a same-package helper: the summary
+// walk must see that beginEntry opens lines. Clean.
+func HelperOpener(f *Fingerprinter, m map[string]Val) {
+	for k, v := range m {
+		beginEntry(f, k, v)
+	}
+}
+
+func beginEntry(f *Fingerprinter, k string, v Val) {
+	f.Begin(k)
+	v.WriteFp(f)
+	f.End()
+}
+
+// HelperWriter writes into the open line through a helper that never opens.
+func HelperWriter(f *Fingerprinter, m map[string]Val) {
+	f.Begin("m")
+	for k, v := range m { // want "map range writes into an open fingerprint line"
+		writeEntry(f, k, v)
+	}
+	f.End()
+}
+
+func writeEntry(f *Fingerprinter, k string, v Val) {
+	f.Str(k)
+	v.WriteFp(f)
+}
+
+// WriteFpLeak streams elements into the open line via their WriteFp method.
+func WriteFpLeak(f *Fingerprinter, m map[string]Val) {
+	f.Begin("m")
+	for _, v := range m { // want "map range writes into an open fingerprint line"
+		v.WriteFp(f)
+	}
+	f.End()
+}
+
+// Commutative is an escaped loop whose per-entry writes provably commute
+// (each iteration XORs one byte into an accumulator-style sink position).
+func Commutative(f *Fingerprinter, m map[string]int) {
+	f.Begin("sum")
+	//lint:fporder per-entry bytes are folded through a commutative accumulator
+	for _, v := range m {
+		f.Int(v)
+	}
+	f.End()
+}

@@ -1,0 +1,9 @@
+package modelpure
+
+import "time"
+
+// Elapsed lives in an AllowTimeFiles file: wall-clock reads are permitted
+// because report timing never feeds transitions or fingerprints.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,23 @@
+// Package modelpurext is NOT configured as a pure package: the clock is fair
+// game here, but the global-math/rand ban still applies module-wide.
+package modelpurext
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp may read the clock outside the model packages.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Jitter still must not use the global source.
+func Jitter(n int) int {
+	return rand.Intn(n) // want `global math/rand.Intn`
+}
+
+// SeededJitter is the approved pattern.
+func SeededJitter(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}

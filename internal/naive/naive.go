@@ -100,11 +100,13 @@ func (n *Node) clone() *Node {
 // core.Impl's external shape (minus communication, which the strawman does
 // not need to go wrong).
 type Impl struct {
+	//lint:fpignore fixed at construction; identical across every state of one exploration
 	universe types.ProcSet
-	initial  types.View
-	procs    []types.ProcID
-	vs       *vsspec.VS
-	nodes    map[types.ProcID]*Node
+	//lint:fpignore fixed at construction; identical across every state of one exploration
+	initial types.View
+	procs   []types.ProcID
+	vs      *vsspec.VS
+	nodes   map[types.ProcID]*Node
 }
 
 var _ ioa.Automaton = (*Impl)(nil)

@@ -13,12 +13,12 @@ import (
 // of each link. The enqueue-level invariant Sent == Delivered + Dropped
 // holds per peer as well as for the transport totals.
 type PeerStats struct {
-	Sent      uint64 // send attempts addressed to this peer
-	Delivered uint64 // accepted for delivery (enqueued locally)
-	Dropped   uint64 // rejected at enqueue: full queue, partition, crash, loss
-	Redials   uint64 // failed connection attempts by the writer (TCP only)
+	Sent        uint64 // send attempts addressed to this peer
+	Delivered   uint64 // accepted for delivery (enqueued locally)
+	Dropped     uint64 // rejected at enqueue: full queue, partition, crash, loss
+	Redials     uint64 // failed connection attempts by the writer (TCP only)
 	WriterDrops uint64 // payloads abandoned after enqueue (encode/dial give-up)
-	QueueDepth int    // snapshot of the outgoing queue depth (TCP only)
+	QueueDepth  int    // snapshot of the outgoing queue depth (TCP only)
 }
 
 // Stats are cumulative transport counters. Sent == Delivered + Dropped by

@@ -127,8 +127,10 @@ type procView struct {
 
 // DVS is the specification automaton state of Figure 2.
 type DVS struct {
+	//lint:fpignore fixed at construction; identical across every state of one exploration
 	universe types.ProcSet
-	initial  types.View
+	//lint:fpignore fixed at construction; identical across every state of one exploration
+	initial types.View
 
 	created    map[types.ViewID]types.View
 	current    map[types.ProcID]types.ViewID // absent = ⊥
@@ -139,8 +141,10 @@ type DVS struct {
 	next       map[procView]int // absent = 1
 	nextSafe   map[procView]int // absent = 1
 	rcvd       map[procView]int // absent = 1; amended spec only
-	literal    bool             // Figure 2 exactly as printed
-	drained    bool             // amended + view-synchronous drain on newview
+	//lint:fpignore mode flag fixed at construction, never toggled by a transition
+	literal bool // Figure 2 exactly as printed
+	//lint:fpignore mode flag fixed at construction, never toggled by a transition
+	drained bool // amended + view-synchronous drain on newview
 }
 
 var _ ioa.Automaton = (*DVS)(nil)

@@ -66,6 +66,7 @@ func (e Entry) key() string { return e.A + "@" + e.P.String() }
 
 // TO is the specification automaton.
 type TO struct {
+	//lint:fpignore fixed at construction; identical across every state of one exploration
 	universe types.ProcSet
 	pending  map[types.ProcID][]string
 	queue    []Entry

@@ -94,8 +94,10 @@ type procView struct {
 
 // VS is the specification automaton state of Figure 1.
 type VS struct {
+	//lint:fpignore fixed at construction; identical across every state of one exploration
 	universe types.ProcSet
-	initial  types.View
+	//lint:fpignore fixed at construction; identical across every state of one exploration
+	initial types.View
 
 	created  map[types.ViewID]types.View
 	current  map[types.ProcID]types.ViewID // current-viewid; absent key = ⊥

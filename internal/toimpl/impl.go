@@ -59,12 +59,15 @@ type Config struct {
 // external signature is that of the TO service: bcast(a)_p inputs and
 // brcv(a)_{q,p} outputs.
 type Impl struct {
+	//lint:fpignore fixed at construction; identical across every state of one exploration
 	universe types.ProcSet
-	initial  types.View
-	procs    []types.ProcID
-	cfg      Config
-	dvs      *dvs.DVS
-	nodes    map[types.ProcID]*Node
+	//lint:fpignore fixed at construction; identical across every state of one exploration
+	initial types.View
+	procs   []types.ProcID
+	//lint:fpignore mode configuration fixed at construction, never mutated by transitions
+	cfg   Config
+	dvs   *dvs.DVS
+	nodes map[types.ProcID]*Node
 }
 
 var _ ioa.Automaton = (*Impl)(nil)

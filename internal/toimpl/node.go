@@ -89,9 +89,11 @@ var (
 
 // Node is the state of the DVS-TO-TO_p automaton of Figure 5.
 type Node struct {
-	p       types.ProcID
-	fpPre   string // fingerprint line prefix "t<p>.", precomputed
-	literal bool   // exactly Figure 5's safe-exchange handling
+	//lint:fpignore identity reaches the digest through the fpPre prefix on every line
+	p     types.ProcID
+	fpPre string // fingerprint line prefix "t<p>.", precomputed
+	//lint:fpignore mode flag fixed at construction, never toggled by a transition
+	literal bool // exactly Figure 5's safe-exchange handling
 
 	current     types.View
 	currentOK   bool
@@ -551,6 +553,15 @@ func (n *Node) AddFingerprint(f *ioa.Fingerprinter) {
 			f.Begin("est.")
 			g.WriteFp(f)
 			f.Str("=1")
+			f.End()
+		}
+	}
+	for g, ord := range n.buildOrder {
+		if len(ord) > 0 {
+			f.Begin("bo.")
+			g.WriteFp(f)
+			f.Byte('=')
+			writeLabelsFp(f, ord)
 			f.End()
 		}
 	}

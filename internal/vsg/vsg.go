@@ -70,12 +70,12 @@ type Handler interface {
 // Stats are cumulative per-node counters of the view-synchronous layer.
 // They are safe to read from any goroutine at any time.
 type Stats struct {
-	ViewsInstalled uint64 // views installed (initial view included)
-	Heartbeats     uint64 // heartbeats sent
-	Retransmits    uint64 // messages resent by the tick-based reliability
-	Submissions    uint64 // payloads submitted via SendInLoop
-	Delivered      uint64 // ordered messages delivered in-view
-	LatencySamples uint64 // own submissions whose delivery latency was measured
+	ViewsInstalled uint64        // views installed (initial view included)
+	Heartbeats     uint64        // heartbeats sent
+	Retransmits    uint64        // messages resent by the tick-based reliability
+	Submissions    uint64        // payloads submitted via SendInLoop
+	Delivered      uint64        // ordered messages delivered in-view
+	LatencySamples uint64        // own submissions whose delivery latency was measured
 	LatencyTotal   time.Duration // cumulative submit-to-self-delivery latency
 }
 

@@ -1,21 +1,48 @@
 #!/bin/sh
-# Verification gate: build, vet, and the full test suite under the race
-# detector. Run before every commit touching the concurrent checking engine.
-set -eux
-go build ./...
-go vet ./...
-go test -race ./...
+# Verification gate: build, vet, dvslint, and the full test suite under the
+# race detector, then the serial-vs-parallel exploration smoke. Run before
+# every commit touching the concurrent checking engine.
+#
+# Usage:
+#   sh scripts/check.sh         # full gate
+#   sh scripts/check.sh smoke   # only the serial-vs-parallel exploration
+#                               # smoke (CI runs the other gates as separate
+#                               # steps so each failure is its own log)
+set -eu
 
-# Benchmark smoke: the parallel BFS must report exactly the serial step and
+mode="${1:-all}"
+
+if [ "$mode" = "all" ]; then
+	go build ./...
+	go vet ./...
+	go run ./cmd/dvslint ./...
+	go test -race ./...
+fi
+
+# Exploration smoke: the parallel BFS must report exactly the serial step and
 # state counts for the exhaustive exploration check (the allocation tail of
 # the report is timing-dependent and deliberately not compared).
-serial=$(go run ./cmd/dvscheck -check explore -parallel 1 -v | sed -n 's/.* \([0-9][0-9]* steps, [0-9][0-9]* states\).*/\1/p')
-par=$(go run ./cmd/dvscheck -check explore -parallel 4 -v | sed -n 's/.* \([0-9][0-9]* steps, [0-9][0-9]* states\).*/\1/p')
-test -n "$serial"
-test "$serial" = "$par"
+extract_counts() {
+	sed -n 's/.* \([0-9][0-9]* steps, [0-9][0-9]* states\).*/\1/p'
+}
+serial="$(go run ./cmd/dvscheck -check explore -parallel 1 -v | extract_counts)"
+par="$(go run ./cmd/dvscheck -check explore -parallel 4 -v | extract_counts)"
+if [ -z "$serial" ]; then
+	echo "check.sh: could not extract 'N steps, M states' from dvscheck -parallel 1 output" >&2
+	exit 1
+fi
+if [ "$serial" != "$par" ]; then
+	echo "check.sh: serial and parallel exploration diverged — the parallel BFS lost or duplicated states" >&2
+	echo "check.sh:   serial:   ${serial}" >&2
+	echo "check.sh:   parallel: ${par:-<no counts extracted>}" >&2
+	exit 1
+fi
+echo "check.sh: explore smoke OK (${serial})"
 
-# Transport hardening gate: rerun the TCP connection-lifecycle, fault
-# injection, and chaos-soak tests in isolation under the race detector
-# (they also run in the full suite above; isolation gives the goroutine
-# leak checks a clean baseline).
-go test -race -count=1 -run 'TestTCP|TestFault|TestChaos' ./internal/net .
+if [ "$mode" = "all" ]; then
+	# Transport hardening gate: rerun the TCP connection-lifecycle, fault
+	# injection, and chaos-soak tests in isolation under the race detector
+	# (they also run in the full suite above; isolation gives the goroutine
+	# leak checks a clean baseline).
+	go test -race -count=1 -run 'TestTCP|TestFault|TestChaos' ./internal/net .
+fi
