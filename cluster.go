@@ -3,7 +3,9 @@ package dvs
 import (
 	"errors"
 	"fmt"
+	"sync"
 
+	"repro/internal/conform"
 	"repro/internal/core"
 	"repro/internal/dvsg"
 	netfab "repro/internal/net"
@@ -23,6 +25,7 @@ type Cluster struct {
 	initial  types.View
 	fabric   *netfab.Fabric
 	procs    map[ProcID]*Process
+	close    sync.Once
 }
 
 // Process is the application-facing handle of one cluster member.
@@ -31,6 +34,7 @@ type Process struct {
 	vsg *vsg.Node
 	dvs *dvsg.Layer
 	tob *tob.Layer
+	rec *conform.Recorder // nil unless Config.Record
 }
 
 // NewCluster builds and starts a cluster.
@@ -40,6 +44,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = ModeDynamic
+	}
+	if cfg.Record && cfg.Mode != ModeDynamic {
+		return nil, errors.New("dvs: Config.Record requires ModeDynamic")
 	}
 	universe := types.RangeProcSet(cfg.Processes)
 	p0 := types.NewProcSet()
@@ -85,7 +92,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		app.Bind(layer)
 		node.SetHandler(layer)
 
-		c.procs[id] = &Process{id: id, vsg: node, dvs: layer, tob: app}
+		var rec *conform.Recorder
+		if cfg.Record {
+			rec = conform.NewRecorder(id, initial, initial.Contains(id), !cfg.DisableRegistration, true)
+			layer.SetObserver(rec.ObserveDVS)
+			app.SetObserver(rec.ObserveTO)
+		}
+
+		c.procs[id] = &Process{id: id, vsg: node, dvs: layer, tob: app, rec: rec}
 	}
 	for _, id := range universe.Sorted() {
 		c.procs[id].vsg.Start()
@@ -130,12 +144,31 @@ func (c *Cluster) Crash(i int) { c.fabric.Crash(ProcID(i)) }
 // NetStats returns the cumulative fabric counters.
 func (c *Cluster) NetStats() netfab.Stats { return c.fabric.Stats() }
 
-// Close stops every process and disconnects the fabric.
+// Close stops every process and disconnects the fabric. Close is
+// idempotent, so scenarios can close explicitly (to harvest trace logs at a
+// consistent cut) under a deferred Close.
 func (c *Cluster) Close() {
-	c.fabric.Close()
-	for _, p := range c.procs {
-		p.vsg.Stop()
+	c.close.Do(func() {
+		c.fabric.Close()
+		for _, p := range c.procs {
+			p.vsg.Stop()
+		}
+	})
+}
+
+// TraceLogs returns the recorded per-node protocol traces, in process-id
+// order, or nil if the cluster was not built with Config.Record. It must be
+// called after Close: only then do the logs form the consistent cut the
+// conformance replayer's cross-node invariants require.
+func (c *Cluster) TraceLogs() []TraceLog {
+	if !c.cfg.Record {
+		return nil
 	}
+	out := make([]TraceLog, 0, len(c.procs))
+	for _, id := range c.universe.Sorted() {
+		out = append(out, c.procs[id].rec.Log())
+	}
+	return out
 }
 
 // ID returns the process id.

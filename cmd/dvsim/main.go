@@ -1,12 +1,18 @@
 // Command dvsim runs the runtime-stack experiment scenarios from the shell
-// and prints the result rows recorded in EXPERIMENTS.md.
+// and prints the result rows recorded in EXPERIMENTS.md. It can also record
+// the protocol-core traces of a run and replay them through the
+// machine-checked cores (-record / -replay), turning any scenario into a
+// trace-conformance check.
 //
 // Usage:
 //
 //	dvsim -scenario availability|cascade|throughput|recovery|ablation [flags]
+//	dvsim -scenario cascade -record trace.gob   # run, record, verify, write
+//	dvsim -replay trace.gob                     # re-check a recorded trace
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,25 +38,42 @@ func run() error {
 		duration = flag.Duration("duration", 500*time.Millisecond, "pump duration (throughput)")
 		period   = flag.Duration("period", 150*time.Millisecond, "churn/round period")
 		seed     = flag.Int64("seed", 1, "seed")
+		record   = flag.String("record", "", "record protocol traces, verify conformance, and write them to this file (dynamic-mode runs only)")
+		replay   = flag.String("replay", "", "replay a trace file through the protocol cores and check conformance (ignores -scenario)")
 	)
 	flag.Parse()
 
+	if *replay != "" {
+		logs, err := dvs.ReadTrace(*replay)
+		if err != nil {
+			return err
+		}
+		return report(dvs.ReplayTrace(logs))
+	}
+	rec := *record != ""
+
+	var trace []dvs.TraceLog
 	switch *scenario {
 	case "availability":
 		for _, mode := range []dvs.Mode{dvs.ModeDynamic, dvs.ModeStatic} {
 			res, err := sim.Availability(sim.AvailabilityConfig{
 				Active: *procs, Spares: *spares, Mode: mode,
 				Replacements: *rounds, ChurnPeriod: *period, Seed: *seed,
+				Record: rec && mode == dvs.ModeDynamic,
 			})
 			if err != nil {
 				return err
 			}
 			fmt.Println(res)
 			fmt.Printf("  net: %s\n", res.Run)
+			if res.Trace != nil {
+				trace = res.Trace
+			}
 		}
 	case "cascade":
 		res, err := sim.PartitionCascade(sim.CascadeConfig{
 			Processes: *procs, Rounds: *rounds, RoundPeriod: *period, Seed: *seed,
+			Record: rec,
 		})
 		if err != nil {
 			return fmt.Errorf("%w (result %s)", err, res)
@@ -60,36 +83,67 @@ func run() error {
 		for _, v := range res.Primaries {
 			fmt.Printf("  primary %s\n", v)
 		}
+		trace = res.Trace
 	case "throughput":
 		res, err := sim.Throughput(sim.ThroughputConfig{
-			Processes: *procs, Duration: *duration, Seed: *seed,
+			Processes: *procs, Duration: *duration, Seed: *seed, Record: rec,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 		fmt.Printf("  net: %s\n", res.Run)
+		trace = res.Trace
 	case "recovery":
-		res, err := sim.Recovery(sim.RecoveryConfig{Processes: *procs, Seed: *seed})
+		res, err := sim.Recovery(sim.RecoveryConfig{Processes: *procs, Seed: *seed, Record: rec})
 		if err != nil {
 			return fmt.Errorf("%w (result %s)", err, res)
 		}
 		fmt.Println(res)
 		fmt.Printf("  net: %s\n", res.Run)
+		trace = res.Trace
 	case "ablation":
 		for _, disable := range []bool{false, true} {
 			res, err := sim.RegisterAblation(sim.AblationConfig{
 				Processes: *procs, Rounds: *rounds, RoundPeriod: *period,
 				DisableReg: disable, Seed: *seed,
+				Record: rec && !disable,
 			})
 			if err != nil {
 				return err
 			}
 			fmt.Println(res)
 			fmt.Printf("  net: %s\n", res.Run)
+			if res.Trace != nil {
+				trace = res.Trace
+			}
 		}
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
+
+	if rec {
+		if trace == nil {
+			return errors.New("scenario produced no trace")
+		}
+		if err := dvs.WriteTrace(*record, trace); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d node trace(s) to %s\n", len(trace), *record)
+		return report(dvs.ReplayTrace(trace))
+	}
 	return nil
+}
+
+// report prints the conformance replay outcome and returns its error (nil
+// when the trace replays cleanly and satisfies every invariant).
+func report(rep *dvs.ConformanceReport) error {
+	fmt.Printf("conformance: %s\n", rep)
+	for _, d := range rep.Divergences {
+		fmt.Printf("  divergence: %s\n", d)
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+	return rep.Err()
 }

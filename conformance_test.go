@@ -1,0 +1,97 @@
+package dvs
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestConformanceClusterReplay is the end-to-end trace-conformance check on
+// the in-memory stack: a recording cluster runs through broadcasts,
+// partitions and heals; after Close the per-node logs are replayed through
+// the protocol cores and must re-derive every effect exactly, and the
+// reconstructed final cut must satisfy the paper's invariants.
+func TestConformanceClusterReplay(t *testing.T) {
+	cl, err := NewCluster(Config{Processes: 5, Seed: 7, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	time.Sleep(50 * time.Millisecond)
+
+	for i := 0; i < 20; i++ {
+		cl.Process(i % 5).Broadcast("m" + strconv.Itoa(i))
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	cl.Partition([]int{0, 1, 2}, []int{3, 4})
+	time.Sleep(150 * time.Millisecond)
+	for i := 20; i < 30; i++ {
+		cl.Process(0).Broadcast("m" + strconv.Itoa(i))
+	}
+	time.Sleep(100 * time.Millisecond)
+	cl.Heal()
+	time.Sleep(300 * time.Millisecond)
+
+	cl.Close()
+	logs := cl.TraceLogs()
+	if len(logs) != 5 {
+		t.Fatalf("TraceLogs returned %d logs, want 5", len(logs))
+	}
+	steps := 0
+	for _, lg := range logs {
+		steps += len(lg.DVS) + len(lg.TO)
+	}
+	if steps == 0 {
+		t.Fatal("no macro-steps recorded")
+	}
+
+	rep := ReplayTrace(logs)
+	if err := rep.Err(); err != nil {
+		for _, d := range rep.Divergences {
+			t.Logf("divergence: %s", d)
+		}
+		for _, v := range rep.Violations {
+			t.Logf("violation: %s", v)
+		}
+		t.Fatalf("conformance replay failed: %v (%s)", err, rep)
+	}
+	t.Logf("conformance: %s", rep)
+}
+
+// TestConformanceTraceFileRoundTrip checks the record-to-file / replay-from-
+// file path the dvsim -record/-replay flags use.
+func TestConformanceTraceFileRoundTrip(t *testing.T) {
+	cl, err := NewCluster(Config{Processes: 3, Seed: 11, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		cl.Process(i % 3).Broadcast("x" + strconv.Itoa(i))
+	}
+	time.Sleep(150 * time.Millisecond)
+	cl.Close()
+
+	path := t.TempDir() + "/trace.gob"
+	if err := WriteTrace(path, cl.TraceLogs()); err != nil {
+		t.Fatalf("write trace: %v", err)
+	}
+	logs, err := ReadTrace(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	if rep := ReplayTrace(logs); rep.Err() != nil {
+		t.Fatalf("replay from file: %v", rep.Err())
+	}
+}
+
+// TestRecordRequiresDynamic pins the configuration contract: the replayer
+// re-executes the paper's automata, so recording the static baseline is
+// rejected up front rather than failing at replay time.
+func TestRecordRequiresDynamic(t *testing.T) {
+	if _, err := NewCluster(Config{Processes: 3, Mode: ModeStatic, Record: true}); err == nil {
+		t.Fatal("NewCluster accepted Record with ModeStatic")
+	}
+}

@@ -35,6 +35,7 @@ package dvs
 import (
 	"time"
 
+	"repro/internal/conform"
 	"repro/internal/tob"
 	"repro/internal/types"
 )
@@ -102,4 +103,33 @@ type Config struct {
 	TickInterval   time.Duration
 	SuspectTimeout time.Duration
 	ProposeRetry   time.Duration
+	// Record enables trace recording: every macro-step of the two protocol
+	// cores (input event plus emitted effects) is logged per node. Harvest
+	// with Cluster.TraceLogs after Close and check with ReplayTrace.
+	// Recording requires ModeDynamic — the conformance replayer re-executes
+	// the paper's automata, not the static baseline.
+	Record bool
 }
+
+// TraceLog is the recorded protocol trace of one node: the core
+// construction parameters plus every macro-step of the VS-TO-DVS and
+// DVS-TO-TO cores, in execution order. See internal/conform.
+type TraceLog = conform.NodeLog
+
+// ConformanceReport is the outcome of replaying trace logs through the
+// protocol cores: per-step divergences plus invariant violations on the
+// reconstructed final cut.
+type ConformanceReport = conform.Report
+
+// ReplayTrace re-executes recorded node traces through the machine-checked
+// protocol cores and evaluates the paper's invariants (4.1–4.2, 5.1–5.6,
+// 6.1–6.3, confirmed-prefix agreement) over the reconstructed final cut.
+// The logs must cover every process of the run and be harvested after all
+// nodes stopped.
+func ReplayTrace(logs []TraceLog) *ConformanceReport { return conform.Replay(logs) }
+
+// WriteTrace writes trace logs to a file (gob encoding).
+func WriteTrace(path string, logs []TraceLog) error { return conform.WriteFile(path, logs) }
+
+// ReadTrace reads trace logs written by WriteTrace.
+func ReadTrace(path string) ([]TraceLog, error) { return conform.ReadFile(path) }

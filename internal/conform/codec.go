@@ -1,0 +1,69 @@
+package conform
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/protocol/dvscore"
+	"repro/internal/protocol/tocore"
+	"repro/internal/types"
+)
+
+// Logs are serialized with gob: the record types hold events and effects as
+// interface values, so every concrete type that can appear in a log is
+// registered here.
+func init() {
+	for _, v := range []any{
+		dvscore.EvVSNewView{}, dvscore.EvVSRecv{}, dvscore.EvVSSafe{},
+		dvscore.EvClientSend{}, dvscore.EvClientRegister{},
+		dvscore.FxSendVS{}, dvscore.FxDeliver{}, dvscore.FxSafeInd{},
+		dvscore.FxNewPrimary{}, dvscore.FxGC{},
+		tocore.EvBroadcast{}, tocore.EvNewView{}, tocore.EvRecv{}, tocore.EvSafe{},
+		tocore.FxLabel{}, tocore.FxSend{}, tocore.FxConfirm{},
+		tocore.FxDeliver{}, tocore.FxRegister{},
+		dvscore.InfoMsg{}, dvscore.RegisteredMsg{},
+		tocore.LabelMsg{}, tocore.SummaryMsg{},
+		types.ClientMsg(""),
+	} {
+		gob.Register(v)
+	}
+}
+
+// Encode writes the logs to w.
+func Encode(w io.Writer, logs []NodeLog) error {
+	return gob.NewEncoder(w).Encode(logs)
+}
+
+// Decode reads logs from r.
+func Decode(r io.Reader) ([]NodeLog, error) {
+	var logs []NodeLog
+	if err := gob.NewDecoder(r).Decode(&logs); err != nil {
+		return nil, fmt.Errorf("conform: decode trace: %w", err)
+	}
+	return logs, nil
+}
+
+// WriteFile writes the logs to path.
+func WriteFile(path string, logs []NodeLog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, logs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads logs from path.
+func ReadFile(path string) ([]NodeLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,185 @@
+// Package conform is the trace-conformance harness that closes the loop
+// between the machine-checked protocol cores and the live runtime.
+//
+// The runtime shells (internal/dvsg, internal/tob) drive the pure cores
+// (internal/protocol/dvscore, internal/protocol/tocore) through an explicit
+// input-event / output-effect interface, and every macro-step is observable:
+// the shell hands the recorder the input event and the exact effect sequence
+// the core emitted. Because shells run steps to completion, each recorded
+// step saw a quiescent core, so a per-node log is a complete, deterministic
+// account of that node's protocol state evolution — independent of the
+// unverified layers below it (vsg, membership, transport, the network).
+//
+// Replay re-executes each log through the same core code and checks two
+// things:
+//
+//   - Per-node determinism: the replayed effect sequence of every step must
+//     equal the recorded one. A divergence means the core was influenced by
+//     something outside its event stream (shared-state mutation, map
+//     iteration nondeterminism, version skew between recorder and replayer).
+//
+//   - Global safety: the replayed final states form a consistent cut (logs
+//     must be harvested after every node has stopped), over which the
+//     paper's invariants are evaluated — 5.1–5.6 on the DVS implementation
+//     cut, 4.1–4.2 on the abstracted DVS specification state, and 6.1–6.3
+//     plus confirmed-prefix agreement on the TO cut. This is the refinement
+//     check of the layers the exhaustive checker cannot reach: if vsg or
+//     the transport violated view synchrony, the cores would be driven into
+//     states the invariants reject.
+package conform
+
+import (
+	"sync"
+
+	"repro/internal/protocol/dvscore"
+	"repro/internal/protocol/tocore"
+	"repro/internal/types"
+)
+
+// DVSRecord is one macro-step of the VS-TO-DVS core: the input event and
+// the effect sequence it emitted.
+type DVSRecord struct {
+	Ev dvscore.Event
+	Fx []dvscore.Effect
+}
+
+// TORecord is one macro-step of the DVS-TO-TO core.
+type TORecord struct {
+	Ev tocore.Event
+	Fx []tocore.Effect
+}
+
+// NodeLog is the complete protocol trace of one runtime node: the core
+// construction parameters plus every macro-step of both layers, in
+// execution order.
+type NodeLog struct {
+	P        types.ProcID
+	Initial  types.View
+	InP0     bool
+	Register bool // REGISTER mechanism enabled (tob layer)
+	GC       bool // eager garbage collection enabled (dvsg layer)
+	DVS      []DVSRecord
+	TO       []TORecord
+}
+
+// Recorder accumulates one node's log. Observe callbacks run on the node's
+// event loop; Log may be called from any goroutine, but yields a consistent
+// cut only after the node has stopped.
+type Recorder struct {
+	mu  sync.Mutex
+	log NodeLog
+}
+
+// NewRecorder starts a log for the node with the given core construction
+// parameters.
+func NewRecorder(p types.ProcID, initial types.View, inP0, register, gc bool) *Recorder {
+	return &Recorder{log: NodeLog{
+		P: p, Initial: initial.Clone(), InP0: inP0, Register: register, GC: gc,
+	}}
+}
+
+// ObserveDVS records one VS-TO-DVS macro-step; it is installed as the dvsg
+// layer's Observer. Events and effects are deep-copied: the runtime keeps
+// mutating the views and messages they reference.
+func (r *Recorder) ObserveDVS(ev dvscore.Event, fx []dvscore.Effect) {
+	rec := DVSRecord{Ev: cloneDVSEvent(ev), Fx: make([]dvscore.Effect, len(fx))}
+	for i, f := range fx {
+		rec.Fx[i] = cloneDVSEffect(f)
+	}
+	r.mu.Lock()
+	r.log.DVS = append(r.log.DVS, rec)
+	r.mu.Unlock()
+}
+
+// ObserveTO records one DVS-TO-TO macro-step; it is installed as the tob
+// layer's Observer.
+func (r *Recorder) ObserveTO(ev tocore.Event, fx []tocore.Effect) {
+	rec := TORecord{Ev: cloneTOEvent(ev), Fx: make([]tocore.Effect, len(fx))}
+	for i, f := range fx {
+		rec.Fx[i] = cloneTOEffect(f)
+	}
+	r.mu.Lock()
+	r.log.TO = append(r.log.TO, rec)
+	r.mu.Unlock()
+}
+
+// Log returns a snapshot of the accumulated log. The records are shared
+// with the recorder (they are never mutated after append), the slices are
+// copied.
+func (r *Recorder) Log() NodeLog {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.log
+	out.DVS = append([]DVSRecord(nil), r.log.DVS...)
+	out.TO = append([]TORecord(nil), r.log.TO...)
+	return out
+}
+
+// cloneMsg deep-copies the mutable message types; the rest (ClientMsg,
+// RegisteredMsg, LabelMsg and any test payloads) are immutable values.
+func cloneMsg(m types.Msg) types.Msg {
+	switch mm := m.(type) {
+	case dvscore.InfoMsg:
+		return mm.Clone()
+	case tocore.SummaryMsg:
+		return tocore.SummaryMsg{X: mm.X.Clone()}
+	default:
+		return m
+	}
+}
+
+func cloneDVSEvent(ev dvscore.Event) dvscore.Event {
+	switch e := ev.(type) {
+	case dvscore.EvVSNewView:
+		return dvscore.EvVSNewView{View: e.View.Clone()}
+	case dvscore.EvVSRecv:
+		return dvscore.EvVSRecv{M: cloneMsg(e.M), From: e.From}
+	case dvscore.EvVSSafe:
+		return dvscore.EvVSSafe{M: cloneMsg(e.M), From: e.From}
+	case dvscore.EvClientSend:
+		return dvscore.EvClientSend{M: cloneMsg(e.M)}
+	default:
+		return ev
+	}
+}
+
+func cloneDVSEffect(fx dvscore.Effect) dvscore.Effect {
+	switch f := fx.(type) {
+	case dvscore.FxSendVS:
+		return dvscore.FxSendVS{M: cloneMsg(f.M)}
+	case dvscore.FxDeliver:
+		return dvscore.FxDeliver{M: cloneMsg(f.M), From: f.From}
+	case dvscore.FxSafeInd:
+		return dvscore.FxSafeInd{M: cloneMsg(f.M), From: f.From}
+	case dvscore.FxNewPrimary:
+		return dvscore.FxNewPrimary{View: f.View.Clone()}
+	case dvscore.FxGC:
+		return dvscore.FxGC{View: f.View.Clone()}
+	default:
+		return fx
+	}
+}
+
+func cloneTOEvent(ev tocore.Event) tocore.Event {
+	switch e := ev.(type) {
+	case tocore.EvNewView:
+		return tocore.EvNewView{View: e.View.Clone()}
+	case tocore.EvRecv:
+		return tocore.EvRecv{M: cloneMsg(e.M), From: e.From}
+	case tocore.EvSafe:
+		return tocore.EvSafe{M: cloneMsg(e.M), From: e.From}
+	default:
+		return ev
+	}
+}
+
+func cloneTOEffect(fx tocore.Effect) tocore.Effect {
+	switch f := fx.(type) {
+	case tocore.FxSend:
+		return tocore.FxSend{M: cloneMsg(f.M)}
+	case tocore.FxRegister:
+		return tocore.FxRegister{View: f.View.Clone()}
+	default:
+		return fx
+	}
+}

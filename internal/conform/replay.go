@@ -1,0 +1,324 @@
+package conform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/protocol/dvscore"
+	"repro/internal/protocol/tocore"
+	"repro/internal/spec/dvs"
+	"repro/internal/types"
+)
+
+// Divergence reports one replayed macro-step whose effect sequence differs
+// from the recorded one.
+type Divergence struct {
+	P     types.ProcID
+	Layer string // "dvs" or "to"
+	Index int    // record index within that node's layer log
+	Event string // rendered input event
+	Want  string // recorded effects, rendered
+	Got   string // replayed effects, rendered
+}
+
+// String renders the divergence.
+func (d Divergence) String() string {
+	return fmt.Sprintf("node %s %s step %d (%s): recorded [%s], replayed [%s]",
+		d.P, d.Layer, d.Index, d.Event, d.Want, d.Got)
+}
+
+// Violation is one failed invariant check over the replayed final cut.
+type Violation struct {
+	Name string
+	Err  error
+}
+
+// String renders the violation.
+func (v Violation) String() string { return v.Name + ": " + v.Err.Error() }
+
+// Report is the outcome of replaying a set of node logs.
+type Report struct {
+	Nodes       int
+	DVSSteps    int
+	TOSteps     int
+	Checks      int // invariant checks evaluated on the final cut
+	Divergences []Divergence
+	Violations  []Violation
+}
+
+// OK reports whether the replay was divergence- and violation-free.
+func (r *Report) OK() bool { return len(r.Divergences) == 0 && len(r.Violations) == 0 }
+
+// Err returns nil when OK, else an error summarizing the first findings.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	var parts []string
+	if n := len(r.Divergences); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d divergence(s), first: %s", n, r.Divergences[0]))
+	}
+	if n := len(r.Violations); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d invariant violation(s), first: %s", n, r.Violations[0]))
+	}
+	return fmt.Errorf("conformance: %s", strings.Join(parts, "; "))
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("nodes=%d dvs_steps=%d to_steps=%d checks=%d divergences=%d violations=%d",
+		r.Nodes, r.DVSSteps, r.TOSteps, r.Checks, len(r.Divergences), len(r.Violations))
+}
+
+// Replay re-executes the recorded logs through the protocol cores and
+// evaluates the paper's invariants over the reconstructed final cut. The
+// logs must cover every process of the run and must have been harvested
+// after all nodes stopped — otherwise the cut is not consistent and the
+// cross-node invariants can report false violations.
+func Replay(logs []NodeLog) *Report {
+	rep := &Report{Nodes: len(logs)}
+	if len(logs) == 0 {
+		return rep
+	}
+	sorted := append([]NodeLog(nil), logs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].P < sorted[j].P })
+
+	procs := make([]types.ProcID, 0, len(sorted))
+	dvsNodes := make(map[types.ProcID]*dvscore.Node, len(sorted))
+	toNodes := make(map[types.ProcID]*tocore.Node, len(sorted))
+
+	for _, lg := range sorted {
+		procs = append(procs, lg.P)
+
+		dn := dvscore.NewNode(lg.P, lg.Initial, lg.InP0)
+		for i, rec := range lg.DVS {
+			var out dvscore.Outbox
+			dvscore.Step(dn, rec.Ev, lg.GC, &out)
+			rep.DVSSteps++
+			if want, got := renderDVSEffects(rec.Fx), renderDVSEffects(out.Effects); want != got {
+				rep.Divergences = append(rep.Divergences, Divergence{
+					P: lg.P, Layer: "dvs", Index: i,
+					Event: renderDVSEvent(rec.Ev), Want: want, Got: got,
+				})
+			}
+		}
+		dvsNodes[lg.P] = dn
+
+		tn := tocore.NewNode(lg.P, lg.Initial, lg.InP0, false)
+		for i, rec := range lg.TO {
+			var out tocore.Outbox
+			err := tocore.Step(tn, rec.Ev, lg.Register, &out)
+			rep.TOSteps++
+			want, got := renderTOEffects(rec.Fx), renderTOEffects(out.Effects)
+			if err != nil {
+				got = "error: " + err.Error()
+			}
+			if want != got {
+				rep.Divergences = append(rep.Divergences, Divergence{
+					P: lg.P, Layer: "to", Index: i,
+					Event: renderTOEvent(rec.Ev), Want: want, Got: got,
+				})
+			}
+		}
+		toNodes[lg.P] = tn
+	}
+
+	check := func(name string, f func() error) {
+		rep.Checks++
+		if err := f(); err != nil {
+			rep.Violations = append(rep.Violations, Violation{Name: name, Err: err})
+		}
+	}
+
+	// DVS implementation invariants 5.1–5.6 over the replayed node states.
+	// With no VS oracle, Created is left nil and the formulas fall back to
+	// the views recoverable from the node states (see dvscore.System).
+	dsys := dvscore.System{Procs: procs, Nodes: dvsNodes}
+	check("DVSIMPL-5.1", dsys.CheckInvariant51)
+	check("DVSIMPL-5.2", dsys.CheckInvariant52)
+	check("DVSIMPL-5.3", dsys.CheckInvariant53)
+	check("DVSIMPL-5.4", dsys.CheckInvariant54)
+	check("DVSIMPL-5.5", dsys.CheckInvariant55)
+	check("DVSIMPL-5.6", dsys.CheckInvariant56)
+
+	// DVS specification invariants 4.1–4.2 over the abstracted state: the
+	// refinement mapping of Figure 4 applied to the quiescent cut (all
+	// queues empty, so only views, attempts, registrations and client-cur
+	// survive the purge).
+	spec := abstractSpec(procs, sorted[0].Initial, dvsNodes)
+	check("DVS-4.1", func() error { return dvs.CheckInvariant41(spec) })
+	check("DVS-4.2", func() error { return dvs.CheckInvariant42(spec) })
+
+	// TO invariants 6.1–6.3 plus confirmed-prefix agreement, with the view
+	// oracles reconstructed from the replayed DVS states and no in-transit
+	// summaries (the cut is quiescent).
+	created, attempted := viewOracles(procs, dvsNodes)
+	tsys := tocore.System{
+		Procs:     procs,
+		Nodes:     toNodes,
+		Created:   created,
+		Attempted: attempted,
+	}
+	check("TOIMPL-6.1", tsys.CheckInvariant61)
+	check("TOIMPL-6.2", tsys.CheckInvariant62)
+	check("TOIMPL-6.3", tsys.CheckInvariant63)
+	check("TOIMPL-confirmed-consistent", tsys.CheckConfirmedConsistent)
+
+	return rep
+}
+
+// abstractSpec applies the refinement mapping F of Figure 4 to the replayed
+// cut: created = ∪_p attempted_p, attempted[g] = the attempting processes,
+// registered[g] = {p | reg[g]_p}, current-viewid[p] = client-cur.id_p. The
+// message components (queues, pending, indices) are empty: the cut is taken
+// after the run, when the purged channels hold nothing.
+func abstractSpec(procs []types.ProcID, initial types.View, nodes map[types.ProcID]*dvscore.Node) *dvs.DVS {
+	universe := types.NewProcSet()
+	for _, p := range procs {
+		universe.Add(p)
+	}
+	st := dvs.State{
+		Universe:   universe,
+		Initial:    initial,
+		Current:    make(map[types.ProcID]types.ViewID),
+		Attempted:  make(map[types.ViewID]types.ProcSet),
+		Registered: make(map[types.ViewID]types.ProcSet),
+		Drained:    true,
+	}
+	byID := make(map[types.ViewID]types.View)
+	for _, p := range procs {
+		n := nodes[p]
+		for _, v := range n.AttemptedShared() {
+			byID[v.ID] = v
+			set, ok := st.Attempted[v.ID]
+			if !ok {
+				set = types.NewProcSet()
+				st.Attempted[v.ID] = set
+			}
+			set.Add(p)
+		}
+		if cc, ok := n.ClientCur(); ok {
+			st.Current[p] = cc.ID
+		}
+		for _, g := range n.RegisteredIDs() {
+			set, ok := st.Registered[g]
+			if !ok {
+				set = types.NewProcSet()
+				st.Registered[g] = set
+			}
+			set.Add(p)
+		}
+	}
+	for _, v := range byID {
+		st.Created = append(st.Created, v)
+	}
+	return dvs.FromState(st)
+}
+
+// viewOracles reconstructs the created set and per-view attempted sets the
+// TO invariants quantify over from the replayed DVS states.
+func viewOracles(procs []types.ProcID, nodes map[types.ProcID]*dvscore.Node) ([]types.View, func(types.ViewID) types.ProcSet) {
+	byID := make(map[types.ViewID]types.View)
+	att := make(map[types.ViewID]types.ProcSet)
+	for _, p := range procs {
+		for _, v := range nodes[p].AttemptedShared() {
+			byID[v.ID] = v
+			set, ok := att[v.ID]
+			if !ok {
+				set = types.NewProcSet()
+				att[v.ID] = set
+			}
+			set.Add(p)
+		}
+	}
+	created := make([]types.View, 0, len(byID))
+	for _, v := range byID {
+		created = append(created, v)
+	}
+	types.SortViews(created)
+	return created, func(g types.ViewID) types.ProcSet {
+		if s, ok := att[g]; ok {
+			return s
+		}
+		return types.NewProcSet()
+	}
+}
+
+// Rendering: canonical strings for events and effects, used both for
+// divergence comparison and for messages. MsgKey/String are the same
+// canonical forms the model checker fingerprints.
+
+func renderDVSEvent(ev dvscore.Event) string {
+	switch e := ev.(type) {
+	case dvscore.EvVSNewView:
+		return "vs-newview " + e.View.String()
+	case dvscore.EvVSRecv:
+		return "vs-gprcv " + e.M.MsgKey() + " from " + e.From.String()
+	case dvscore.EvVSSafe:
+		return "vs-safe " + e.M.MsgKey() + " from " + e.From.String()
+	case dvscore.EvClientSend:
+		return "dvs-gpsnd " + e.M.MsgKey()
+	case dvscore.EvClientRegister:
+		return "dvs-register"
+	default:
+		return fmt.Sprintf("event? %T", ev)
+	}
+}
+
+func renderDVSEffects(fx []dvscore.Effect) string {
+	parts := make([]string, len(fx))
+	for i, f := range fx {
+		switch f := f.(type) {
+		case dvscore.FxSendVS:
+			parts[i] = "send " + f.M.MsgKey()
+		case dvscore.FxDeliver:
+			parts[i] = "deliver " + f.M.MsgKey() + " from " + f.From.String()
+		case dvscore.FxSafeInd:
+			parts[i] = "safe " + f.M.MsgKey() + " from " + f.From.String()
+		case dvscore.FxNewPrimary:
+			parts[i] = "newview " + f.View.String()
+		case dvscore.FxGC:
+			parts[i] = "gc " + f.View.String()
+		default:
+			parts[i] = fmt.Sprintf("effect? %T", f)
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+func renderTOEvent(ev tocore.Event) string {
+	switch e := ev.(type) {
+	case tocore.EvBroadcast:
+		return "bcast " + e.A
+	case tocore.EvNewView:
+		return "dvs-newview " + e.View.String()
+	case tocore.EvRecv:
+		return "dvs-gprcv " + e.M.MsgKey() + " from " + e.From.String()
+	case tocore.EvSafe:
+		return "dvs-safe " + e.M.MsgKey() + " from " + e.From.String()
+	default:
+		return fmt.Sprintf("event? %T", ev)
+	}
+}
+
+func renderTOEffects(fx []tocore.Effect) string {
+	parts := make([]string, len(fx))
+	for i, f := range fx {
+		switch f := f.(type) {
+		case tocore.FxLabel:
+			parts[i] = "label " + f.A
+		case tocore.FxSend:
+			parts[i] = "send " + f.M.MsgKey()
+		case tocore.FxConfirm:
+			parts[i] = "confirm"
+		case tocore.FxDeliver:
+			parts[i] = "deliver " + f.A + "@" + f.Origin.String()
+		case tocore.FxRegister:
+			parts[i] = "register " + f.View.String()
+		default:
+			parts[i] = fmt.Sprintf("effect? %T", f)
+		}
+	}
+	return strings.Join(parts, "; ")
+}

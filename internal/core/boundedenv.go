@@ -87,7 +87,7 @@ func countClientMsgs(im *Impl) int {
 		}
 		for _, p := range im.procs {
 			total += countClient(im.vs.PendingShared(p, g))
-			total += countClient(im.nodes[p].msgsToVS[g])
+			total += countClient(im.nodes[p].MsgsToVSShared(g))
 		}
 	}
 	return total

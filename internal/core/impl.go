@@ -134,72 +134,6 @@ func (im *Impl) TotReg() []types.View {
 	return out
 }
 
-// InTotReg reports whether some view in TotReg has id strictly between lo
-// and hi.
-func (im *Impl) hasTotRegBetween(lo, hi types.ViewID) bool {
-	for _, x := range im.TotReg() {
-		if lo.Less(x.ID) && x.ID.Less(hi) {
-			return true
-		}
-	}
-	return false
-}
-
-// attShared is Att without cloning memberships; the views are read-only.
-// CreatedShared is sorted by id, so the result is too.
-func (im *Impl) attShared() []types.View {
-	var out []types.View
-	for _, v := range im.vs.CreatedShared() {
-		for p := range v.Members {
-			if im.nodes[p].HasAttempted(v.ID) {
-				out = append(out, v)
-				break
-			}
-		}
-	}
-	return out
-}
-
-// totRegShared is TotReg without cloning memberships; read-only, sorted.
-func (im *Impl) totRegShared() []types.View {
-	var out []types.View
-	for _, v := range im.vs.CreatedShared() {
-		all := true
-		for p := range v.Members {
-			if !im.nodes[p].Reg(v.ID) {
-				all = false
-				break
-			}
-		}
-		if all {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-// totRegIDs returns the ids of the totally registered views, sorted.
-func (im *Impl) totRegIDs() []types.ViewID {
-	tot := im.totRegShared()
-	out := make([]types.ViewID, len(tot))
-	for i, v := range tot {
-		out[i] = v.ID
-	}
-	return out
-}
-
-// hasIDBetween reports whether the sorted id list has an element strictly
-// between lo and hi.
-func hasIDBetween(ids []types.ViewID, lo, hi types.ViewID) bool {
-	for _, x := range ids {
-		if !lo.Less(x) {
-			continue
-		}
-		return x.Less(hi)
-	}
-	return false
-}
-
 // Enabled implements ioa.Automaton. The enumeration covers:
 //
 //   - the inner VS automaton's locally controlled actions (hidden in the

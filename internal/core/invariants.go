@@ -4,267 +4,55 @@ import (
 	"fmt"
 
 	"repro/internal/ioa"
-	"repro/internal/types"
+	"repro/internal/protocol/dvscore"
 )
 
-// This file mechanizes Invariants 5.1–5.6 of the paper as executable checks
-// over reachable DVS-IMPL states.
-//
-// A note on Invariants 5.2.3 and 5.3.1: the paper's printed statements are
-// slightly stronger than what the algorithm maintains.
-//
-//   - 5.2.3 as printed says every view in use_p = {act_p} ∪ amb_p has id
-//     ≤ client-cur.id_p. But p updates act/amb upon *receiving* info
-//     messages in its VS-current view cur_p, which may run ahead of
-//     client-cur_p; p can therefore learn of views attempted by others with
-//     ids strictly between client-cur.id_p and cur.id_p. The property the
-//     proofs actually use at dvs-newview(v)_p steps is w.id < v.id = cur.id,
-//     which follows from the amended bound w.id ≤ cur.id_p together with
-//     Invariant 5.2.6 (info contents have ids < the view they were sent in).
-//     CheckInvariant52Literal checks the printed bound; CheckInvariant52
-//     checks the amended bound. Tests demonstrate the printed bound is
-//     violated on reachable states while the amended one holds.
-//
-//   - 5.3.1 as printed omits the premise w.id < g: after p attempts the view
-//     v with v.id = g itself, v ∈ attempted_p but v is (correctly) not in
-//     the info p sent for g. We check 5.3.1 with the w.id < g premise, which
-//     is exactly the instance the proof of Invariant 5.4 uses.
+// Invariants 5.1–5.6 are mechanized once, in internal/protocol/dvscore
+// (System), and shared with the runtime trace-conformance replayer. This
+// file adapts them to DVS-IMPL states: the system cut is the composition's
+// node map plus the VS specification's created set. See dvscore/system.go
+// for the formulas and for the notes on the amended forms of 5.2.3 and
+// 5.3.1.
+
+// system returns the invariant-checking cut of the composition. The nodes
+// and created views are shared, not cloned: the checks are read-only.
+func (im *Impl) system() dvscore.System {
+	return dvscore.System{Procs: im.procs, Nodes: im.nodes, Created: im.vs.CreatedShared()}
+}
 
 // CheckInvariant51 checks Invariant 5.1: if v ∈ attempted_p and q ∈ v.set
 // then cur.id_q ≥ v.id.
-func CheckInvariant51(im *Impl) error {
-	for _, p := range im.procs {
-		for _, v := range im.nodes[p].attempted {
-			for q := range v.Members {
-				nq := im.nodes[q]
-				if !nq.curOK || nq.cur.ID.Less(v.ID) {
-					return fmt.Errorf("p=%s attempted %s but cur_%s < v.id", p, v, q)
-				}
-			}
-		}
-	}
-	return nil
-}
+func CheckInvariant51(im *Impl) error { return im.system().CheckInvariant51() }
 
 // CheckInvariant52 checks parts 1, 2, 4, 5, 6 of Invariant 5.2 as printed,
 // and part 3 in the amended form w ∈ use_p ⇒ w.id ≤ cur.id_p.
-func CheckInvariant52(im *Impl) error {
-	totIDs := im.totRegIDs()
-	totReg := make(map[types.ViewID]struct{}, len(totIDs))
-	for _, id := range totIDs {
-		totReg[id] = struct{}{}
-	}
-	created := im.vs.CreatedShared()
-	for _, p := range im.procs {
-		n := im.nodes[p]
-		act := n.act
-		// (1) act_p ∈ TotReg.
-		if _, ok := totReg[act.ID]; !ok {
-			return fmt.Errorf("5.2(1): act_%s = %s not totally registered", p, act)
-		}
-		// (2) w ∈ amb_p ⇒ act.id_p < w.id.
-		for _, w := range n.amb {
-			if !act.ID.Less(w.ID) {
-				return fmt.Errorf("5.2(2): amb_%s contains %s with id ≤ act.id %s", p, w, act.ID)
-			}
-		}
-		// (3 amended) w ∈ use_p = {act} ∪ amb ⇒ w.id ≤ cur.id_p (when
-		// cur ≠ ⊥; when cur = ⊥, use_p = {v0}).
-		if n.curOK {
-			cur := n.cur
-			if cur.ID.Less(act.ID) {
-				return fmt.Errorf("5.2(3 amended): use_%s contains %s with id > cur.id %s", p, act, cur.ID)
-			}
-			for _, w := range n.amb {
-				if cur.ID.Less(w.ID) {
-					return fmt.Errorf("5.2(3 amended): use_%s contains %s with id > cur.id %s", p, w, cur.ID)
-				}
-			}
-		} else {
-			if !act.ID.IsZero() {
-				return fmt.Errorf("5.2(3 amended): use_%s contains %s with cur = ⊥", p, act)
-			}
-			for _, w := range n.amb {
-				if !w.ID.IsZero() {
-					return fmt.Errorf("5.2(3 amended): use_%s contains %s with cur = ⊥", p, w)
-				}
-			}
-		}
-		// (4,5,6) info-sent constraints.
-		for _, v := range created {
-			info, ok := n.infoSent[v.ID]
-			if !ok {
-				continue
-			}
-			if _, reg := totReg[info.Act.ID]; !reg {
-				return fmt.Errorf("5.2(4): info-sent[%s]_%s has act %s not totally registered", v.ID, p, info.Act)
-			}
-			for _, w := range info.Amb {
-				if !info.Act.ID.Less(w.ID) {
-					return fmt.Errorf("5.2(5): info-sent[%s]_%s has amb view %s with id ≤ act.id", v.ID, p, w)
-				}
-			}
-			if !info.Act.ID.Less(v.ID) {
-				return fmt.Errorf("5.2(6): info-sent[%s]_%s contains %s with id ≥ g", v.ID, p, info.Act)
-			}
-			for _, w := range info.Amb {
-				if !w.ID.Less(v.ID) {
-					return fmt.Errorf("5.2(6): info-sent[%s]_%s contains %s with id ≥ g", v.ID, p, w)
-				}
-			}
-		}
-	}
-	return nil
-}
+func CheckInvariant52(im *Impl) error { return im.system().CheckInvariant52() }
 
 // CheckInvariant52Part3Literal checks part 3 of Invariant 5.2 exactly as
-// printed in the paper: if client-cur_p ≠ ⊥ and w ∈ {act_p} ∪ amb_p then
-// w.id ≤ client-cur.id_p. See the file comment: this printed bound is
-// falsifiable on reachable states; it is provided so tests can demonstrate
-// the discrepancy.
+// printed in the paper; this bound is falsifiable on reachable states and is
+// provided so tests can demonstrate the discrepancy.
 func CheckInvariant52Part3Literal(im *Impl) error {
-	for _, p := range im.procs {
-		n := im.nodes[p]
-		cc, ok := n.ClientCur()
-		if !ok {
-			continue
-		}
-		for _, w := range n.Use() {
-			if cc.ID.Less(w.ID) {
-				return fmt.Errorf("5.2(3 literal): use_%s contains %s with id > client-cur.id %s", p, w, cc.ID)
-			}
-		}
-	}
-	return nil
+	return im.system().CheckInvariant52Part3Literal()
 }
 
-// CheckInvariant53 checks Invariant 5.3:
-//
-//	(1) if info-sent[g]_p = ⟨x, X⟩ and w ∈ attempted_p with w.id < g, then
-//	    w ∈ {x} ∪ X or w.id < x.id;
-//	(2) if info-rcvd[q, g]_p = ⟨x, X⟩ and w ∈ {x} ∪ X, then w ∈ use_p or
-//	    w.id < act.id_p.
-func CheckInvariant53(im *Impl) error {
-	created := im.vs.CreatedShared()
-	for _, p := range im.procs {
-		n := im.nodes[p]
-		actID := n.act.ID
-		for _, v := range created {
-			g := v.ID
-			if info, ok := n.infoSent[g]; ok {
-				for _, w := range n.attempted {
-					if !w.ID.Less(g) {
-						continue
-					}
-					if viewIn(w, info.Act, info.Amb) || w.ID.Less(info.Act.ID) {
-						continue
-					}
-					return fmt.Errorf("5.3(1): p=%s info-sent[%s] omits attempted %s", p, g, w)
-				}
-			}
-			for _, q := range im.procs {
-				info, ok := n.infoRcvd[procViewKey{q, g}]
-				if !ok {
-					continue
-				}
-				if !n.inUse(info.Act.ID) && !info.Act.ID.Less(actID) {
-					return fmt.Errorf("5.3(2): p=%s info-rcvd[%s,%s] view %s neither in use nor below act", p, q, g, info.Act)
-				}
-				for _, w := range info.Amb {
-					if n.inUse(w.ID) || w.ID.Less(actID) {
-						continue
-					}
-					return fmt.Errorf("5.3(2): p=%s info-rcvd[%s,%s] view %s neither in use nor below act", p, q, g, w)
-				}
-			}
-		}
-	}
-	return nil
-}
+// CheckInvariant53 checks Invariant 5.3 (with the w.id < g premise in part
+// 1; see dvscore/system.go).
+func CheckInvariant53(im *Impl) error { return im.system().CheckInvariant53() }
 
 // CheckInvariant54 checks Invariant 5.4: if v ∈ attempted_p, q ∈ v.set,
 // w ∈ attempted_q, w.id < v.id, and no x ∈ TotReg has w.id < x.id < v.id,
 // then |v.set ∩ w.set| > |w.set|/2.
-func CheckInvariant54(im *Impl) error {
-	totIDs := im.totRegIDs()
-	for _, p := range im.procs {
-		for _, v := range im.nodes[p].attempted {
-			for q := range v.Members {
-				for _, w := range im.nodes[q].attempted {
-					if !w.ID.Less(v.ID) {
-						continue
-					}
-					if hasIDBetween(totIDs, w.ID, v.ID) {
-						continue
-					}
-					if !v.Members.MajorityOf(w.Members) {
-						return fmt.Errorf("5.4: v=%s (att by %s), w=%s (att by %s ∈ v.set): no majority intersection", v, p, w, q)
-					}
-				}
-			}
-		}
-	}
-	return nil
-}
+func CheckInvariant54(im *Impl) error { return im.system().CheckInvariant54() }
 
 // CheckInvariant55 checks Invariant 5.5: if v ∈ Att, w ∈ TotReg, w.id <
 // v.id, and no x ∈ TotReg has w.id < x.id < v.id, then |v.set ∩ w.set| >
 // |w.set|/2.
-func CheckInvariant55(im *Impl) error {
-	att := im.attShared()
-	totReg := im.totRegShared()
-	for _, v := range att {
-		// totReg is sorted by id, so in descending order the first w below v
-		// is itself totally registered: every earlier w' has w strictly
-		// between w' and v, so only this w needs checking.
-		for j := len(totReg) - 1; j >= 0; j-- {
-			w := totReg[j]
-			if !w.ID.Less(v.ID) {
-				continue
-			}
-			if !v.Members.MajorityOf(w.Members) {
-				return fmt.Errorf("5.5: v=%s, w=%s ∈ TotReg: no majority intersection", v, w)
-			}
-			break
-		}
-	}
-	return nil
-}
+func CheckInvariant55(im *Impl) error { return im.system().CheckInvariant55() }
 
 // CheckInvariant56 checks Invariant 5.6 (the corollary used in the
 // refinement proof): if v, w ∈ Att, w.id < v.id, and no x ∈ TotReg has
 // w.id < x.id < v.id, then v.set ∩ w.set ≠ {}.
-func CheckInvariant56(im *Impl) error {
-	att := im.attShared()
-	totIDs := im.totRegIDs()
-	for i := 1; i < len(att); i++ {
-		v := att[i]
-		// att is sorted by id; scanning w downward, once a totally
-		// registered id separates w from v it separates every lower w too.
-		for j := i - 1; j >= 0; j-- {
-			w := att[j]
-			if hasIDBetween(totIDs, w.ID, v.ID) {
-				break
-			}
-			if !v.Members.Intersects(w.Members) {
-				return fmt.Errorf("5.6: attempted views %s and %s disjoint with no intervening totally registered view", w, v)
-			}
-		}
-	}
-	return nil
-}
-
-func viewIn(w, act types.View, amb []types.View) bool {
-	if w.ID == act.ID {
-		return true
-	}
-	for _, x := range amb {
-		if w.ID == x.ID {
-			return true
-		}
-	}
-	return false
-}
+func CheckInvariant56(im *Impl) error { return im.system().CheckInvariant56() }
 
 // Invariants returns Invariants 5.1–5.6 (with 5.2.3 in amended form) as ioa
 // invariants over *Impl states.

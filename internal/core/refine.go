@@ -58,7 +58,7 @@ func (r *Refinement) Abstract(a ioa.Automaton) (ioa.Automaton, error) {
 	// Shared (read-only) views are fine throughout: FromState deep-copies.
 	createdIDs := make(map[types.ViewID]types.View)
 	for _, p := range im.procs {
-		for _, v := range im.nodes[p].attemptedShared() {
+		for _, v := range im.nodes[p].AttemptedShared() {
 			createdIDs[v.ID] = v
 			set, ok := st.Attempted[v.ID]
 			if !ok {
@@ -109,7 +109,7 @@ func (r *Refinement) Abstract(a ioa.Automaton) (ioa.Automaton, error) {
 			n := im.nodes[p]
 			// t.pending[p,g] = purge(s.pending[p,g]) + purge(s.msgs-to-vs[g]_p).
 			pend := Purge(im.vs.PendingShared(p, g))
-			pend = append(pend, Purge(n.msgsToVS[g])...)
+			pend = append(pend, Purge(n.MsgsToVSShared(g))...)
 			if len(pend) > 0 {
 				if st.Pending[p] == nil {
 					st.Pending[p] = make(map[types.ViewID][]types.Msg)
@@ -128,7 +128,7 @@ func (r *Refinement) Abstract(a ioa.Automaton) (ioa.Automaton, error) {
 				st.Rcvd[p][g] = tRcvd
 			}
 			// t.next[p,g] = s.next[p,g] - purgesize(queue(1..next-1)) - |msgs-from-vs[g]_p|.
-			tNext := tRcvd - len(n.msgsFromVS[g])
+			tNext := tRcvd - n.MsgsFromVSLen(g)
 			if tNext != 1 {
 				if st.Next[p] == nil {
 					st.Next[p] = make(map[types.ViewID]int)
@@ -137,7 +137,7 @@ func (r *Refinement) Abstract(a ioa.Automaton) (ioa.Automaton, error) {
 			}
 			// t.next-safe analogous with safe-from-vs.
 			ns := im.vs.NextSafe(p, g)
-			tNS := ns - purgeSizeEntries(vsQueue[:ns-1]) - len(n.safeFromVS[g])
+			tNS := ns - purgeSizeEntries(vsQueue[:ns-1]) - n.SafeFromVSLen(g)
 			if tNS != 1 {
 				if st.NextSafe[p] == nil {
 					st.NextSafe[p] = make(map[types.ViewID]int)

@@ -1,45 +1,35 @@
-// Package dvsg is the runtime realization of the DVS service: it drives a
-// primary-view filter — by default the *verified* VS-TO-DVS automaton from
-// internal/core, exactly the code checked against the DVS specification —
-// on top of the view-synchronous layer (internal/vsg).
+// Package dvsg is the runtime realization of the DVS service: a thin shell
+// that drives the shared protocol core (internal/protocol/dvscore) — by
+// default the *verified* VS-TO-DVS automaton, exactly the code checked
+// against the DVS specification — on top of the view-synchronous layer
+// (internal/vsg).
 //
-// The layer is a pure state machine invoked from the vsg event loop. After
-// every upcall it drains the filter's enabled locally-controlled actions in
-// a fixed order that realizes the view-synchronous drain contract: all
-// client deliveries and safe indications of the current client view are
-// handed up before a new primary view is announced.
+// The shell contains no protocol state transitions. It translates vsg
+// upcalls and client downcalls into dvscore Events, invokes dvscore.Step
+// (one atomic macro-step: apply the event, then drain the enabled
+// locally-controlled actions in the core's fixed order), and applies the
+// emitted Effects: messages go down to vsg, deliveries and view
+// announcements go up to the handler.
+//
+// Steps run to completion: the view-synchronous layer can synchronously
+// re-enter the shell while an effect is being applied (a leader's own
+// submission is ordered and delivered inline), so re-entrant events are
+// queued and processed after the current step's effects have all been
+// applied. Every event therefore observes a quiescent core, which is what
+// makes the recorded (event, effects) logs exactly replayable by the
+// conformance checker (internal/conform).
 package dvsg
 
 import (
-	"repro/internal/core"
+	"repro/internal/protocol/dvscore"
 	"repro/internal/types"
 	"repro/internal/vsg"
 )
 
-// Filter is the primary-view decision state machine: the exact method set of
-// the VS-TO-DVS automaton (core.Node) that the layer drives. The static
-// baseline (internal/staticp) implements the same interface.
-type Filter interface {
-	OnVSNewView(v types.View)
-	OnVSGpRcv(m types.Msg, q types.ProcID)
-	OnVSSafe(m types.Msg, q types.ProcID)
-	OnDVSGpSnd(m types.Msg)
-	OnDVSRegister()
-	VSGpSndHead() (types.Msg, bool)
-	TakeVSGpSndHead(m types.Msg) error
-	DVSNewViewEnabled() (types.View, bool)
-	PerformDVSNewView(v types.View) error
-	DVSGpRcvHead() (core.MsgFrom, bool)
-	TakeDVSGpRcvHead(e core.MsgFrom) error
-	DVSSafeHead() (core.MsgFrom, bool)
-	TakeDVSSafeHead(e core.MsgFrom) error
-	GCCandidates() []types.View
-	PerformGC(v types.View) error
-	ClientCur() (types.View, bool)
-	Amb() []types.View
-}
-
-var _ Filter = (*core.Node)(nil)
+// Filter is the primary-view decision state machine the shell drives: the
+// exact method set of the VS-TO-DVS automaton. The static baseline
+// (internal/staticp) implements the same interface.
+type Filter = dvscore.Filter
 
 // Handler receives the DVS upcalls (primary views, client messages, safe
 // indications). Handlers are invoked from the vsg event loop.
@@ -48,6 +38,12 @@ type Handler interface {
 	OnDVSRecv(m types.Msg, from types.ProcID)
 	OnDVSSafe(m types.Msg, from types.ProcID)
 }
+
+// Observer receives every macro-step of the core, in execution order: the
+// input event and the effects it emitted. The conformance recorder is an
+// Observer. Called from the event loop; the effects slice must not be
+// mutated.
+type Observer func(ev dvscore.Event, effects []dvscore.Effect)
 
 // Stats are cumulative per-node dvsg counters.
 type Stats struct {
@@ -63,11 +59,18 @@ type Stats struct {
 
 // Layer drives a Filter over a vsg.Node.
 type Layer struct {
-	filter  Filter
-	node    *vsg.Node
-	handler Handler
-	gc      bool
-	stats   Stats
+	filter   Filter
+	node     *vsg.Node
+	handler  Handler
+	gc       bool
+	stats    Stats
+	observer Observer
+
+	// Run-to-completion event queue: events arriving while a step is in
+	// flight (synchronous re-entry from vsg) are deferred until the current
+	// step's effects have been applied.
+	stepping bool
+	queue    []dvscore.Event
 }
 
 // New builds the layer around the given filter. Garbage collection of
@@ -84,6 +87,10 @@ var _ vsg.Handler = (*Layer)(nil)
 // node starts.
 func (l *Layer) Bind(node *vsg.Node) { l.node = node }
 
+// SetObserver installs the macro-step observer. It must be called before
+// the node starts.
+func (l *Layer) SetObserver(o Observer) { l.observer = o }
+
 // Stats returns a snapshot of the counters. It must be read from the event
 // loop (via Node.Do) or after the node has stopped.
 func (l *Layer) Stats() Stats { return l.stats }
@@ -97,8 +104,7 @@ func (l *Layer) AmbCount() int { return len(l.filter.Amb()) }
 // OnNewView implements vsg.Handler.
 func (l *Layer) OnNewView(v types.View) {
 	l.stats.VSViews++
-	l.filter.OnVSNewView(v)
-	l.drain()
+	l.dispatch(dvscore.EvVSNewView{View: v})
 }
 
 // OnRecv implements vsg.Handler.
@@ -107,8 +113,7 @@ func (l *Layer) OnRecv(payload any, from types.ProcID) {
 	if !ok {
 		return
 	}
-	l.filter.OnVSGpRcv(m, from)
-	l.drain()
+	l.dispatch(dvscore.EvVSRecv{M: m, From: from})
 }
 
 // OnSafe implements vsg.Handler.
@@ -117,16 +122,14 @@ func (l *Layer) OnSafe(payload any, from types.ProcID) {
 	if !ok {
 		return
 	}
-	l.filter.OnVSSafe(m, from)
-	l.drain()
+	l.dispatch(dvscore.EvVSSafe{M: m, From: from})
 }
 
 // Send submits a client message for delivery in the current primary view.
 // It must be called from the event loop.
 func (l *Layer) Send(m types.Msg) {
 	l.stats.SendsDown++
-	l.filter.OnDVSGpSnd(m)
-	l.drain()
+	l.dispatch(dvscore.EvClientSend{M: m})
 }
 
 // Register tells the service the application has gathered the information
@@ -134,72 +137,53 @@ func (l *Layer) Send(m types.Msg) {
 // the event loop.
 func (l *Layer) Register() {
 	l.stats.RegistersOut++
-	l.filter.OnDVSRegister()
-	l.drain()
+	l.dispatch(dvscore.EvClientRegister{})
 }
 
-// drain fires the filter's enabled locally-controlled actions until
-// quiescent: outgoing messages first, then client deliveries and safe
-// indications of the current client view, then (only once those are
-// drained) a new primary announcement, then garbage collection.
-func (l *Layer) drain() {
-	for {
-		progress := false
-		for {
-			m, ok := l.filter.VSGpSndHead()
-			if !ok {
-				break
-			}
-			if err := l.filter.TakeVSGpSndHead(m); err != nil {
-				break
-			}
-			l.node.SendInLoop(m)
-			progress = true
-		}
-		for {
-			e, ok := l.filter.DVSGpRcvHead()
-			if !ok {
-				break
-			}
-			if err := l.filter.TakeDVSGpRcvHead(e); err != nil {
-				break
-			}
+// dispatch runs one core macro-step for ev, or queues it if a step is
+// already in flight, then drains the queue. Queued events are processed in
+// arrival order, so the delivery and view streams handed up preserve the
+// core's emission order even under synchronous re-entry.
+func (l *Layer) dispatch(ev dvscore.Event) {
+	if l.stepping {
+		l.queue = append(l.queue, ev)
+		return
+	}
+	l.stepping = true
+	l.step(ev)
+	for len(l.queue) > 0 {
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		l.step(next)
+	}
+	l.stepping = false
+}
+
+// step performs one atomic macro-step and applies its effects.
+func (l *Layer) step(ev dvscore.Event) {
+	var out dvscore.Outbox
+	dvscore.Step(l.filter, ev, l.gc, &out)
+	if l.observer != nil {
+		l.observer(ev, out.Effects)
+	}
+	for _, fx := range out.Effects {
+		switch fx := fx.(type) {
+		case dvscore.FxSendVS:
+			l.node.SendInLoop(fx.M)
+		case dvscore.FxDeliver:
 			l.stats.DeliveriesUp++
-			l.handler.OnDVSRecv(e.M, e.Q)
-			progress = true
-		}
-		for {
-			e, ok := l.filter.DVSSafeHead()
-			if !ok {
-				break
-			}
-			if err := l.filter.TakeDVSSafeHead(e); err != nil {
-				break
-			}
+			l.handler.OnDVSRecv(fx.M, fx.From)
+		case dvscore.FxSafeInd:
 			l.stats.SafesUp++
-			l.handler.OnDVSSafe(e.M, e.Q)
-			progress = true
+			l.handler.OnDVSSafe(fx.M, fx.From)
+		case dvscore.FxNewPrimary:
+			l.stats.Primaries++
+			l.handler.OnDVSNewView(fx.View)
+		case dvscore.FxGC:
+			l.stats.GCs++
 		}
-		if v, ok := l.filter.DVSNewViewEnabled(); ok {
-			if err := l.filter.PerformDVSNewView(v); err == nil {
-				l.stats.Primaries++
-				l.handler.OnDVSNewView(v)
-				progress = true
-			}
-		}
-		if l.gc {
-			for _, v := range l.filter.GCCandidates() {
-				if err := l.filter.PerformGC(v); err == nil {
-					l.stats.GCs++
-					progress = true
-				}
-			}
-		}
-		if n := len(l.filter.Amb()); n > l.stats.MaxAmb {
-			l.stats.MaxAmb = n
-		}
-		if !progress {
-			return
-		}
+	}
+	if n := len(l.filter.Amb()); n > l.stats.MaxAmb {
+		l.stats.MaxAmb = n
 	}
 }

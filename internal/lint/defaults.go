@@ -11,3 +11,44 @@ func DefaultAnalyzers() []*Analyzer {
 		Fporder(),
 	}
 }
+
+// DefaultModelpureConfig scopes the determinism check to this repository's
+// model packages, with the documented timing-field allowances. Every package
+// listed here feeds either the model checker's seed-replay or the trace
+// conformance replayer, so all of it must be free of wall clocks,
+// environment reads, and global randomness.
+func DefaultModelpureConfig() ModelpureConfig {
+	return ModelpureConfig{
+		PurePkgs: []string{
+			"repro/internal/spec",
+			"repro/internal/core",
+			"repro/internal/toimpl",
+			// The extracted protocol cores single-source the checked automata
+			// and the live runtime: both the explorer and the trace replayer
+			// re-execute them, so determinism is load-bearing twice over.
+			"repro/internal/protocol/dvscore",
+			"repro/internal/protocol/tocore",
+			// The conformance recorder/replayer must re-derive recorded
+			// effects bit-for-bit from the event stream alone.
+			"repro/internal/conform",
+			"repro/internal/ioa",
+			"repro/internal/naive",
+			// The runtime shells around the cores: thin translation layers
+			// with no protocol state of their own, kept to the same
+			// determinism standard so macro-steps replay exactly.
+			"repro/internal/dvsg",
+			"repro/internal/tob",
+			"repro/internal/staticp",
+			"repro/internal/member",
+			"repro/internal/types",
+			"repro/internal/quorum",
+		},
+		AllowTimeFiles: []string{
+			"internal/ioa/report.go",
+			"internal/ioa/explore.go",
+			"internal/ioa/refine.go",
+			"internal/ioa/rng.go",
+		},
+		GlobalRandEverywhere: true,
+	}
+}

@@ -24,32 +24,6 @@ type ModelpureConfig struct {
 	GlobalRandEverywhere bool
 }
 
-// DefaultModelpureConfig scopes the check to this repository's model
-// packages, with the documented timing-field allowances.
-func DefaultModelpureConfig() ModelpureConfig {
-	return ModelpureConfig{
-		PurePkgs: []string{
-			"repro/internal/spec",
-			"repro/internal/core",
-			"repro/internal/toimpl",
-			"repro/internal/ioa",
-			"repro/internal/naive",
-			"repro/internal/tob",
-			"repro/internal/staticp",
-			"repro/internal/member",
-			"repro/internal/types",
-			"repro/internal/quorum",
-		},
-		AllowTimeFiles: []string{
-			"internal/ioa/report.go",
-			"internal/ioa/explore.go",
-			"internal/ioa/refine.go",
-			"internal/ioa/rng.go",
-		},
-		GlobalRandEverywhere: true,
-	}
-}
-
 // bannedTime / bannedOS are the nondeterminism sources forbidden in pure
 // packages. Conversions and constants (time.Second) remain fine.
 var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}

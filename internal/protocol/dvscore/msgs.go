@@ -1,9 +1,4 @@
-// Package core implements the paper's primary contribution: the VS-TO-DVS
-// automaton of Figure 3, the composed system DVS-IMPL (all VS-TO-DVS_p
-// automata plus the VS service, with VS actions hidden), executable checkers
-// for Invariants 5.1–5.6, and the refinement F of Figure 4 from DVS-IMPL to
-// the DVS specification (Theorem 5.9).
-package core
+package dvscore
 
 import (
 	"strings"

@@ -1,7 +1,24 @@
-package core
+// Package dvscore is the deterministic, side-effect-free protocol core of
+// the paper's primary contribution: the VS-TO-DVS_p automaton of Figure 3 as
+// a pure state machine. The same code is driven by two consumers — the
+// exhaustive checker (internal/core composes it with the VS specification
+// into DVS-IMPL and explores it against Invariants 5.1–5.6 and the Figure 4
+// refinement) and the live runtime (internal/dvsg translates view-synchronous
+// upcalls into Events and applies the Effects that Step emits). There is no
+// second hand-written implementation: what the checker verifies is what runs
+// over TCP.
+//
+// The package has three surfaces: the fine-grained transition methods on
+// Node (one per Figure 3 action, used by the explorer where every
+// interleaving matters), the macro-step Step/Drain functions over the Filter
+// interface (the runtime's drain policy, emitting Effects into an Outbox),
+// and the System invariant formulas 5.1–5.6 shared by the model checker and
+// the trace-conformance replayer (internal/conform).
+package dvscore
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ioa"
 	"repro/internal/types"
@@ -127,10 +144,10 @@ func (n *Node) Use() []types.View {
 // Attempted returns the history variable attempted_p, sorted by id.
 func (n *Node) Attempted() []types.View { return sortedViews(n.attempted) }
 
-// attemptedShared returns attempted_p sorted by id without cloning
+// AttemptedShared returns attempted_p sorted by id without cloning
 // memberships; the views are read-only. The per-step abstraction function
 // uses it: its output is deep-copied by dvs.FromState anyway.
-func (n *Node) attemptedShared() []types.View {
+func (n *Node) AttemptedShared() []types.View {
 	out := make([]types.View, 0, len(n.attempted))
 	for _, v := range n.attempted {
 		out = append(out, v)
@@ -184,6 +201,30 @@ func (n *Node) SafeFromVS(g types.ViewID) []MsgFrom {
 	return types.CloneSeq(n.safeFromVS[g])
 }
 
+// MsgsToVSShared returns msgs-to-vs[g] without copying; the slice and its
+// messages are read-only. The refinement's abstraction function and the
+// bounded environment use it on their per-state hot paths.
+func (n *Node) MsgsToVSShared(g types.ViewID) []types.Msg { return n.msgsToVS[g] }
+
+// MsgsFromVSLen returns |msgs-from-vs[g]|.
+func (n *Node) MsgsFromVSLen(g types.ViewID) int { return len(n.msgsFromVS[g]) }
+
+// SafeFromVSLen returns |safe-from-vs[g]|.
+func (n *Node) SafeFromVSLen(g types.ViewID) int { return len(n.safeFromVS[g]) }
+
+// RegisteredIDs returns the ids g with reg[g]_p, sorted. The conformance
+// replayer uses it to rebuild the DVS-level registered sets.
+func (n *Node) RegisteredIDs() []types.ViewID {
+	out := make([]types.ViewID, 0, len(n.reg))
+	for g, b := range n.reg {
+		if b {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
 func sortedViews(m map[types.ViewID]types.View) []types.View {
 	out := make([]types.View, 0, len(m))
 	for _, v := range m {
@@ -197,7 +238,17 @@ func sortedViews(m map[types.ViewID]types.View) []types.View {
 
 // OnVSNewView handles input vs-newview(v)_p: install cur := v and enqueue an
 // ⟨"info", act, amb⟩ message for the new view.
+//
+// Installs that do not advance cur are ignored. The VS specification
+// delivers strictly monotone views per process, so in the checked
+// composition this guard never fires; at runtime it absorbs the bootstrap
+// re-delivery of the initial view (already reflected in the core's initial
+// state) and keeps a faulty view-synchronous layer from driving the core
+// outside the state space the invariants were verified on.
 func (n *Node) OnVSNewView(v types.View) {
+	if n.curOK && !n.cur.ID.Less(v.ID) {
+		return
+	}
 	n.cur, n.curOK = v.Clone(), true
 	info := Info{Act: n.act.Clone(), Amb: sortedViews(n.amb)}
 	n.msgsToVS[v.ID] = append(n.msgsToVS[v.ID], NewInfoMsg(info.Act, info.Amb))

@@ -1,9 +1,14 @@
-// Package toimpl implements the application algorithm of Section 6: the
-// DVS-TO-TO_p automaton of Figure 5 (a variant of the totally-ordered
-// broadcast algorithm of Amir/Dolev/Keidar/Melliar-Smith/Moser adapted to
-// the dynamic view service), the composed system TO-IMPL (all DVS-TO-TO_p
-// automata plus the DVS specification, with DVS actions hidden), and
-// executable checkers for Invariants 6.1–6.3.
+// Package tocore is the deterministic, side-effect-free protocol core of
+// the application algorithm of Section 6: the DVS-TO-TO_p automaton of
+// Figure 5 (a variant of the totally-ordered broadcast algorithm of
+// Amir/Dolev/Keidar/Melliar-Smith/Moser adapted to the dynamic view
+// service) as a pure state machine. The same code is driven by two
+// consumers — the exhaustive checker (internal/toimpl composes it with the
+// DVS specification into TO-IMPL and explores it against Invariants
+// 6.1–6.3) and the live runtime (internal/tob translates DVS upcalls into
+// Events and applies the Effects that Step emits). The System invariant
+// formulas are likewise shared with the trace-conformance replayer
+// (internal/conform).
 //
 // Figure 5's DVS-SAFE(summary) handler marks the exchanged labels safe as
 // soon as safe indications for all members' summaries have arrived. Over the
@@ -15,7 +20,7 @@
 // handler can fire with a partial gotstate. Nodes therefore support two
 // modes: Literal (exactly Figure 5) and the default repaired mode, which
 // defers marking the exchange safe until the view has been established.
-package toimpl
+package tocore
 
 import (
 	"fmt"
@@ -579,3 +584,29 @@ func writeLabelsFp(f *ioa.Fingerprinter, ls []types.Label) {
 
 // DelayLen returns the number of buffered client commands awaiting labels.
 func (n *Node) DelayLen() int { return len(n.delay) }
+
+// SelfLabeledCount counts the labels in the content relation that this node
+// created itself; labels with origin p never leave content, so the count is
+// monotone along every execution path (bounded environments rely on this).
+func (n *Node) SelfLabeledCount() int {
+	c := 0
+	for l := range n.content {
+		if l.Origin == n.p {
+			c++
+		}
+	}
+	return c
+}
+
+// GotStateShared returns the recovery summaries received in the current
+// exchange without copying; the map and its summaries are read-only. The
+// invariant checkers use it once per inspected state.
+func (n *Node) GotStateShared() types.GotState { return n.gotstate }
+
+// BuildOrderShared returns the order computed when view g was established
+// (history variable) without copying; nil if never established.
+func (n *Node) BuildOrderShared(g types.ViewID) []types.Label { return n.buildOrder[g] }
+
+// ConfirmedShared returns the confirmed prefix order(1..nextconfirm-1)
+// without copying; the slice is read-only.
+func (n *Node) ConfirmedShared() []types.Label { return n.order[:n.nextConfirm-1] }

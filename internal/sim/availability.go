@@ -22,6 +22,9 @@ type AvailabilityConfig struct {
 	ChurnPeriod  time.Duration // time between replacements
 	SamplePeriod time.Duration // availability sampling interval
 	Seed         int64
+	// Record enables protocol-trace recording (dynamic mode only); the
+	// harvested logs land in AvailabilityResult.Trace.
+	Record bool
 }
 
 func (c *AvailabilityConfig) fill() {
@@ -51,6 +54,7 @@ type AvailabilityResult struct {
 	PrimariesSeen  int
 	FinalAvailable bool // primary exists after the last replacement settles
 	Run            RunStats
+	Trace          []dvs.TraceLog // recorded protocol trace (Config.Record)
 }
 
 // Fraction is the availability fraction.
@@ -82,6 +86,7 @@ func Availability(cfg AvailabilityConfig) (AvailabilityResult, error) {
 		Initial:   initial,
 		Mode:      cfg.Mode,
 		Seed:      cfg.Seed,
+		Record:    cfg.Record,
 	})
 	if err != nil {
 		return AvailabilityResult{}, err
@@ -124,6 +129,7 @@ func Availability(cfg AvailabilityConfig) (AvailabilityResult, error) {
 	res.FinalAvailable = available(cl, active, primaries)
 	res.PrimariesSeen = len(primaries)
 	res.Run = captureRunStats(cl)
+	res.Trace = harvestTrace(cl, cfg.Record)
 	return res, nil
 }
 

@@ -18,6 +18,7 @@ type CascadeConfig struct {
 	Rounds      int
 	RoundPeriod time.Duration
 	Seed        int64
+	Record      bool // record protocol traces (dynamic mode only)
 }
 
 func (c *CascadeConfig) fill() {
@@ -41,6 +42,7 @@ type CascadeResult struct {
 	Primaries []dvs.View // unique primaries, in id order
 	ChainOK   bool
 	Run       RunStats
+	Trace     []dvs.TraceLog // recorded protocol trace (Config.Record)
 }
 
 // String renders one result row.
@@ -51,7 +53,7 @@ func (r CascadeResult) String() string {
 // PartitionCascade runs the scenario.
 func PartitionCascade(cfg CascadeConfig) (CascadeResult, error) {
 	cfg.fill()
-	cl, err := dvs.NewCluster(dvs.Config{Processes: cfg.Processes, Mode: cfg.Mode, Seed: cfg.Seed})
+	cl, err := dvs.NewCluster(dvs.Config{Processes: cfg.Processes, Mode: cfg.Mode, Seed: cfg.Seed, Record: cfg.Record})
 	if err != nil {
 		return CascadeResult{}, err
 	}
@@ -97,6 +99,7 @@ func PartitionCascade(cfg CascadeConfig) (CascadeResult, error) {
 	res.ChainOK = err == nil
 	sortViews(res.Primaries)
 	res.Run = captureRunStats(cl)
+	res.Trace = harvestTrace(cl, cfg.Record)
 	return res, err
 }
 
@@ -114,6 +117,7 @@ type ThroughputConfig struct {
 	Senders   int
 	Duration  time.Duration
 	Seed      int64
+	Record    bool // record protocol traces
 }
 
 func (c *ThroughputConfig) fill() {
@@ -137,6 +141,7 @@ type ThroughputResult struct {
 	Elapsed    time.Duration
 	Consistent bool
 	Run        RunStats
+	Trace      []dvs.TraceLog // recorded protocol trace (Config.Record)
 }
 
 // PerSecond is the delivery rate observed at one process.
@@ -157,7 +162,7 @@ func (r ThroughputResult) String() string {
 // totally-ordered delivery rate, verifying cross-process consistency.
 func Throughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	cfg.fill()
-	cl, err := dvs.NewCluster(dvs.Config{Processes: cfg.Processes, Seed: cfg.Seed})
+	cl, err := dvs.NewCluster(dvs.Config{Processes: cfg.Processes, Seed: cfg.Seed, Record: cfg.Record})
 	if err != nil {
 		return ThroughputResult{}, err
 	}
@@ -199,6 +204,7 @@ func Throughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	res.Delivered = len(delivered[0])
 	res.Consistent = CheckDeliverySequences(delivered) == nil
 	res.Run = captureRunStats(cl)
+	res.Trace = harvestTrace(cl, cfg.Record)
 	return res, nil
 }
 
@@ -207,6 +213,7 @@ type RecoveryConfig struct {
 	Processes int
 	Seed      int64
 	Timeout   time.Duration
+	Record    bool // record protocol traces
 }
 
 // RecoveryResult summarizes a recovery run.
@@ -218,6 +225,7 @@ type RecoveryResult struct {
 	RecoveredOK    bool
 	ConsistencyErr string
 	Run            RunStats
+	Trace          []dvs.TraceLog // recorded protocol trace (Config.Record)
 }
 
 // String renders one result row.
@@ -236,7 +244,7 @@ func Recovery(cfg RecoveryConfig) (RecoveryResult, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
-	cl, err := dvs.NewCluster(dvs.Config{Processes: cfg.Processes, Seed: cfg.Seed})
+	cl, err := dvs.NewCluster(dvs.Config{Processes: cfg.Processes, Seed: cfg.Seed, Record: cfg.Record})
 	if err != nil {
 		return RecoveryResult{}, err
 	}
@@ -302,6 +310,7 @@ func Recovery(cfg RecoveryConfig) (RecoveryResult, error) {
 	}
 	res.ExtraMessages = cl.NetStats().Delivered - before.Delivered
 	res.Run = captureRunStats(cl)
+	res.Trace = harvestTrace(cl, cfg.Record)
 	if err := CheckDeliverySequences(delivered); err != nil {
 		res.ConsistencyErr = err.Error()
 		return res, err
@@ -328,6 +337,7 @@ type AblationConfig struct {
 	RoundPeriod time.Duration
 	DisableReg  bool
 	Seed        int64
+	Record      bool // record protocol traces
 }
 
 // AblationResult summarizes the registration ablation.
@@ -337,6 +347,7 @@ type AblationResult struct {
 	GCs                  uint64
 	Primaries            uint64
 	Run                  RunStats
+	Trace                []dvs.TraceLog // recorded protocol trace (Config.Record)
 }
 
 // String renders one result row.
@@ -362,6 +373,7 @@ func RegisterAblation(cfg AblationConfig) (AblationResult, error) {
 		Processes:           cfg.Processes,
 		Seed:                cfg.Seed,
 		DisableRegistration: cfg.DisableReg,
+		Record:              cfg.Record,
 	})
 	if err != nil {
 		return AblationResult{}, err
@@ -398,5 +410,6 @@ func RegisterAblation(cfg AblationConfig) (AblationResult, error) {
 		}
 	}
 	res.Run = captureRunStats(cl)
+	res.Trace = harvestTrace(cl, cfg.Record)
 	return res, nil
 }

@@ -1,17 +1,28 @@
 // Package tob is the runtime realization of the totally-ordered broadcast
-// application of Section 6: it drives the *verified* DVS-TO-TO automaton
-// from internal/toimpl — the same code checked against the TO specification
-// — on top of the dynamic-view layer (internal/dvsg).
+// application of Section 6: a thin shell that drives the shared protocol
+// core (internal/protocol/tocore) — the *verified* DVS-TO-TO automaton,
+// exactly the code checked against the TO specification — on top of the
+// dynamic-view layer (internal/dvsg).
 //
-// The layer is a pure state machine invoked from the vsg event loop. After
-// every upcall it drains the automaton's enabled locally-controlled actions:
-// labeling buffered client messages, sending labeled messages and recovery
-// summaries through DVS, confirming safe labels, reporting deliveries to the
-// application, and registering established views with the DVS service.
+// The shell contains no protocol state transitions. It translates DVS
+// upcalls and client broadcasts into tocore Events, invokes tocore.Step
+// (one atomic macro-step: apply the event, then drain the enabled
+// locally-controlled actions in the core's fixed order), and applies the
+// emitted Effects: messages go down through DVS, ordered deliveries and
+// view events go up to the application channels.
+//
+// Steps run to completion: sending through DVS can synchronously re-enter
+// the shell (a leader's own submission is ordered, delivered, and acked
+// inline by the layers below), so re-entrant events are queued and
+// processed after the current step's effects have all been applied. Every
+// event therefore observes a quiescent core, which is what makes the
+// recorded (event, effects) logs exactly replayable by the conformance
+// checker (internal/conform).
 package tob
 
 import (
 	"repro/internal/dvsg"
+	"repro/internal/protocol/tocore"
 	"repro/internal/toimpl"
 	"repro/internal/types"
 )
@@ -29,6 +40,13 @@ type ViewEvent struct {
 	Established bool
 }
 
+// Observer receives every macro-step of the core, in execution order: the
+// input event and the effects it emitted. The conformance recorder is an
+// Observer. Called from the event loop; the effects slice must not be
+// mutated. Events the core rejects (unexpected message types) mutate no
+// state and are not observed.
+type Observer func(ev tocore.Event, effects []tocore.Effect)
+
 // Stats are cumulative per-node tob counters.
 type Stats struct {
 	Broadcasts     uint64
@@ -41,17 +59,24 @@ type Stats struct {
 	StateExchanges uint64 // recovery summaries sent (one per view needing state exchange)
 }
 
-// Layer drives a toimpl.Node over a dvsg.Layer.
+// Layer drives a tocore.Node over a dvsg.Layer.
 type Layer struct {
-	node  *toimpl.Node
-	dvs   *dvsg.Layer
-	stop  <-chan struct{}
-	stats Stats
+	node     *toimpl.Node
+	dvs      *dvsg.Layer
+	stop     <-chan struct{}
+	stats    Stats
+	observer Observer
 
 	deliveries chan Delivery
 	views      chan ViewEvent
 
 	register bool
+
+	// Run-to-completion event queue: events arriving while a step is in
+	// flight (synchronous re-entry from the layers below) are deferred until
+	// the current step's effects have been applied.
+	stepping bool
+	queue    []tocore.Event
 }
 
 // New builds the layer. register controls whether established views are
@@ -74,6 +99,10 @@ var _ dvsg.Handler = (*Layer)(nil)
 // the node starts.
 func (l *Layer) Bind(dvs *dvsg.Layer) { l.dvs = dvs }
 
+// SetObserver installs the macro-step observer. It must be called before
+// the node starts.
+func (l *Layer) SetObserver(o Observer) { l.observer = o }
+
 // Deliveries is the application-facing totally ordered stream. Consumers
 // must drain it; if it fills, further deliveries are dropped and counted.
 func (l *Layer) Deliveries() <-chan Delivery { return l.deliveries }
@@ -94,81 +123,77 @@ func (l *Layer) Node() *toimpl.Node { return l.node }
 // loop (via vsg.Node.Do).
 func (l *Layer) Broadcast(a string) {
 	l.stats.Broadcasts++
-	l.node.OnBCast(a)
-	l.drain()
+	l.dispatch(tocore.EvBroadcast{A: a})
 }
 
 // OnDVSNewView implements dvsg.Handler.
 func (l *Layer) OnDVSNewView(v types.View) {
-	l.node.OnDVSNewView(v)
-	l.pushView(ViewEvent{View: v.Clone()})
-	l.drain()
+	l.dispatch(tocore.EvNewView{View: v})
 }
 
 // OnDVSRecv implements dvsg.Handler.
 func (l *Layer) OnDVSRecv(m types.Msg, from types.ProcID) {
-	if err := l.node.OnDVSGpRcv(m, from); err != nil {
-		return
-	}
-	l.drain()
+	l.dispatch(tocore.EvRecv{M: m, From: from})
 }
 
 // OnDVSSafe implements dvsg.Handler.
 func (l *Layer) OnDVSSafe(m types.Msg, from types.ProcID) {
-	if err := l.node.OnDVSSafe(m, from); err != nil {
-		return
-	}
-	l.drain()
+	l.dispatch(tocore.EvSafe{M: m, From: from})
 }
 
-func (l *Layer) drain() {
-	for {
-		progress := false
-		if a, ok := l.node.LabelHead(); ok {
-			if err := l.node.PerformLabel(a); err == nil {
-				l.stats.Labeled++
-				progress = true
-			}
-		}
-		if m, ok := l.node.GpSndSummary(); ok {
-			if err := l.node.TakeGpSndSummary(m); err == nil {
+// dispatch runs one core macro-step for ev, or queues it if a step is
+// already in flight, then drains the queue. Queued events are processed in
+// arrival order, so the delivery and view streams handed up preserve the
+// core's emission order even under synchronous re-entry.
+func (l *Layer) dispatch(ev tocore.Event) {
+	if l.stepping {
+		l.queue = append(l.queue, ev)
+		return
+	}
+	l.stepping = true
+	l.step(ev)
+	for len(l.queue) > 0 {
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		l.step(next)
+	}
+	l.stepping = false
+}
+
+// step performs one atomic macro-step and applies its effects. A rejected
+// event (unexpected message type) mutates no state and is dropped, matching
+// the previous shell's behavior.
+func (l *Layer) step(ev tocore.Event) {
+	var out tocore.Outbox
+	if err := tocore.Step(l.node, ev, l.register, &out); err != nil {
+		return
+	}
+	if l.observer != nil {
+		l.observer(ev, out.Effects)
+	}
+	if nv, ok := ev.(tocore.EvNewView); ok {
+		l.pushView(ViewEvent{View: nv.View.Clone()})
+	}
+	for _, fx := range out.Effects {
+		switch fx := fx.(type) {
+		case tocore.FxLabel:
+			l.stats.Labeled++
+		case tocore.FxSend:
+			if _, isSummary := fx.M.(toimpl.SummaryMsg); isSummary {
 				l.stats.StateExchanges++
-				l.dvs.Send(m)
-				progress = true
-			}
-		}
-		if m, ok := l.node.GpSndLabel(); ok {
-			if err := l.node.TakeGpSndLabel(m); err == nil {
+			} else {
 				l.stats.LabelsSent++
-				l.dvs.Send(m)
-				progress = true
 			}
-		}
-		if l.node.ConfirmEnabled() {
-			if err := l.node.PerformConfirm(); err == nil {
-				l.stats.Confirmed++
-				progress = true
-			}
-		}
-		if a, origin, ok := l.node.BRcvNext(); ok {
-			if err := l.node.PerformBRcv(a, origin); err == nil {
-				l.stats.Delivered++
-				l.pushDelivery(Delivery{Payload: a, Origin: origin})
-				progress = true
-			}
-		}
-		if l.register && l.node.RegisterEnabled() {
-			if err := l.node.PerformRegister(); err == nil {
-				l.stats.Established++
-				if cur, ok := l.node.Current(); ok {
-					l.pushView(ViewEvent{View: cur.Clone(), Established: true})
-				}
-				l.dvs.Register()
-				progress = true
-			}
-		}
-		if !progress {
-			return
+			l.dvs.Send(fx.M)
+		case tocore.FxConfirm:
+			l.stats.Confirmed++
+		case tocore.FxDeliver:
+			l.stats.Delivered++
+			l.pushDelivery(Delivery{Payload: fx.A, Origin: fx.Origin})
+		case tocore.FxRegister:
+			l.stats.Established++
+			l.pushView(ViewEvent{View: fx.View, Established: true})
+			l.dvs.Register()
 		}
 	}
 }

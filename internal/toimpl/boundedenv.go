@@ -53,12 +53,8 @@ func countClientCommands(im *Impl) int {
 	total := 0
 	for _, p := range im.procs {
 		n := im.nodes[p]
-		total += len(n.delay)
-		for l := range n.content {
-			if l.Origin == p {
-				total++
-			}
-		}
+		total += n.DelayLen()
+		total += n.SelfLabeledCount()
 	}
 	return total
 }

@@ -4,8 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/ioa"
+	"repro/internal/protocol/tocore"
 	"repro/internal/types"
 )
+
+// Invariants 6.1–6.3 and the confirmed-prefix agreement property are
+// mechanized once, in internal/protocol/tocore (System), and shared with
+// the runtime trace-conformance replayer. This file adapts them to TO-IMPL
+// states: the system cut is the composition's node map plus the DVS
+// specification's created/attempted oracles and the summaries still in
+// transit inside the service.
 
 // AllState returns the derived variable allstate of Section 6.2: every
 // summary present anywhere in the system state — recorded in some node's
@@ -17,34 +25,17 @@ func (im *Impl) AllState() []types.Summary {
 			out = append(out, x)
 		}
 	}
-	for _, v := range im.dvs.Created() {
-		g := v.ID
-		for _, e := range im.dvs.Queue(g) {
-			if sm, ok := e.M.(SummaryMsg); ok {
-				out = append(out, sm.X.Clone())
-			}
-		}
-		for _, p := range im.procs {
-			for _, m := range im.dvs.Pending(p, g) {
-				if sm, ok := m.(SummaryMsg); ok {
-					out = append(out, sm.X.Clone())
-				}
-			}
-		}
+	for _, x := range im.transitSummariesShared() {
+		out = append(out, x.Clone())
 	}
 	return out
 }
 
-// allStateShared is AllState without the defensive copies; the summaries are
-// read-only. The invariant checkers run once per explored state, so they use
-// this form.
-func (im *Impl) allStateShared() []types.Summary {
+// transitSummariesShared lists the summaries in the system state outside
+// the nodes — pending in the DVS service or ordered in a DVS per-view
+// queue — without defensive copies; the summaries are read-only.
+func (im *Impl) transitSummariesShared() []types.Summary {
 	var out []types.Summary
-	for _, p := range im.procs {
-		for _, x := range im.nodes[p].gotstate {
-			out = append(out, x)
-		}
-	}
 	for _, v := range im.dvs.CreatedShared() {
 		g := v.ID
 		for _, e := range im.dvs.QueueShared(g) {
@@ -63,124 +54,37 @@ func (im *Impl) allStateShared() []types.Summary {
 	return out
 }
 
+// system returns the invariant-checking cut of the composition. The nodes,
+// views, and summaries are shared, not cloned: the checks are read-only.
+func (im *Impl) system() tocore.System {
+	return tocore.System{
+		Procs:     im.procs,
+		Nodes:     im.nodes,
+		Created:   im.dvs.CreatedShared(),
+		Attempted: im.dvs.AttemptedShared,
+		Extra:     im.transitSummariesShared(),
+	}
+}
+
 // CheckInvariant61 checks Invariant 6.1: for every x ∈ allstate there is a
 // created view w with x.high = w.id that was attempted by all its members.
-func CheckInvariant61(im *Impl) error {
-	createdShared := im.dvs.CreatedShared()
-	created := make(map[types.ViewID]types.View, len(createdShared))
-	for _, v := range createdShared {
-		created[v.ID] = v
-	}
-	for _, x := range im.allStateShared() {
-		w, ok := created[x.High]
-		if !ok {
-			return fmt.Errorf("6.1: summary high %s names no created view", x.High)
-		}
-		att := im.dvs.AttemptedShared(w.ID)
-		if !w.Members.Subset(att) {
-			return fmt.Errorf("6.1: view %s (high of a summary) attempted only by %s", w, att)
-		}
-	}
-	return nil
-}
+func CheckInvariant61(im *Impl) error { return im.system().CheckInvariant61() }
 
 // CheckInvariant62 checks Invariant 6.2: if v ∈ created and some summary has
 // high > v.id, then some member of v has moved past v.
-func CheckInvariant62(im *Impl) error {
-	var maxHigh types.ViewID
-	hasSummary := false
-	for _, x := range im.allStateShared() {
-		hasSummary = true
-		if maxHigh.Less(x.High) {
-			maxHigh = x.High
-		}
-	}
-	if !hasSummary {
-		return nil
-	}
-	for _, v := range im.dvs.CreatedShared() {
-		if !v.ID.Less(maxHigh) {
-			continue
-		}
-		ok := false
-		for p := range v.Members {
-			if cur, has := im.nodes[p].Current(); has && v.ID.Less(cur.ID) {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return fmt.Errorf("6.2: view %s precedes an established summary (high %s) but no member moved past it", v, maxHigh)
-		}
-	}
-	return nil
-}
+func CheckInvariant62(im *Impl) error { return im.system().CheckInvariant62() }
 
-// CheckInvariant63 checks Invariant 6.3, instantiated at its strongest σ:
-// for every created view v, let S = {p ∈ v.set : current.id_p > v.id}. If
-// every p ∈ S has established v and their buildorders are consistent, take
-// σ* = the longest common prefix of {buildorder[p, v.id] : p ∈ S}; then
-// every summary x with x.high > v.id must have σ* ≤ x.ord. If some p ∈ S has
-// not established v, the hypothesis only holds for σ = λ and the instance is
-// vacuous. If S is empty the hypothesis holds for every σ, so no summary may
-// have high > v.id at all.
-func CheckInvariant63(im *Impl) error {
-	allstate := im.allStateShared()
-	for _, v := range im.dvs.CreatedShared() {
-		var sigma []types.Label
-		vacuous := false
-		sMembers := 0
-		first := true
-		for p := range v.Members {
-			cur, has := im.nodes[p].Current()
-			if !has || !v.ID.Less(cur.ID) {
-				continue
-			}
-			sMembers++
-			if !im.nodes[p].Established(v.ID) {
-				vacuous = true
-				break
-			}
-			bo := im.nodes[p].buildOrder[v.ID]
-			if first {
-				sigma = bo
-				first = false
-			} else {
-				sigma = types.CommonPrefix(sigma, bo)
-			}
-		}
-		if vacuous {
-			continue
-		}
-		for _, x := range allstate {
-			if !v.ID.Less(x.High) {
-				continue
-			}
-			if sMembers == 0 {
-				return fmt.Errorf("6.3: summary with high %s exists but no member of %s moved past it", x.High, v)
-			}
-			if !types.IsPrefix(sigma, x.Ord) {
-				return fmt.Errorf("6.3: common established prefix of view %s is not a prefix of a summary with high %s", v, x.High)
-			}
-		}
-	}
-	return nil
-}
+// CheckInvariant63 checks Invariant 6.3, instantiated at its strongest σ;
+// see tocore/system.go for the instantiation.
+func CheckInvariant63(im *Impl) error { return im.system().CheckInvariant63() }
 
 // CheckConfirmedConsistent is the end-to-end agreement property the
 // invariants exist to support: the confirmed label prefixes of all nodes are
 // pairwise consistent (one is a prefix of the other), and so are the
-// reported prefixes.
+// reported prefixes. It reads node state only, so the cut omits the
+// DVS-level oracles and the (allocation-heavy) in-transit summary scan.
 func CheckConfirmedConsistent(im *Impl) error {
-	confirmed := make([][]types.Label, 0, len(im.procs))
-	for _, p := range im.procs {
-		n := im.nodes[p]
-		confirmed = append(confirmed, n.order[:n.nextConfirm-1])
-	}
-	if !types.Consistent(confirmed...) {
-		return fmt.Errorf("confirmed orders inconsistent across nodes")
-	}
-	return nil
+	return tocore.System{Procs: im.procs, Nodes: im.nodes}.CheckConfirmedConsistent()
 }
 
 // Invariants returns Invariants 6.1–6.3 plus the confirmed-prefix agreement

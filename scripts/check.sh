@@ -8,9 +8,42 @@
 #   sh scripts/check.sh smoke   # only the serial-vs-parallel exploration
 #                               # smoke (CI runs the other gates as separate
 #                               # steps so each failure is its own log)
+#   sh scripts/check.sh bench   # only the benchmark-snapshot gate: run
+#                               # `make bench` and fail unless it leaves a
+#                               # parseable, non-empty BENCH_checks.json
 set -eu
 
 mode="${1:-all}"
+
+# bench_guard runs `make bench` and fails loudly when the snapshot it is
+# supposed to leave behind (BENCH_checks.json) is missing, empty, not valid
+# JSON, or contains no benchmark records. A silently-empty snapshot would
+# make every later perf comparison in EXPERIMENTS.md vacuous, so this is a
+# hard failure, not a warning.
+bench_guard() {
+	out=BENCH_checks.json
+	rm -f "$out"
+	make bench
+	if [ ! -s "$out" ]; then
+		echo "check.sh: make bench left $out missing or empty — the benchmark run produced no snapshot" >&2
+		exit 1
+	fi
+	if command -v python3 >/dev/null 2>&1; then
+		if ! python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); sys.exit(0 if d.get("benchmarks") else 1)' "$out"; then
+			echo "check.sh: $out is not parseable JSON with a non-empty \"benchmarks\" array — bench output format changed or the run emitted garbage" >&2
+			exit 1
+		fi
+	elif ! grep -q '"name":' "$out"; then
+		echo "check.sh: $out contains no benchmark records (no \"name\": fields) — bench output format changed or the run emitted garbage" >&2
+		exit 1
+	fi
+	echo "check.sh: bench snapshot OK ($(grep -c '"name":' "$out") records in $out)"
+}
+
+if [ "$mode" = "bench" ]; then
+	bench_guard
+	exit 0
+fi
 
 if [ "$mode" = "all" ]; then
 	go build ./...
@@ -45,4 +78,6 @@ if [ "$mode" = "all" ]; then
 	# (they also run in the full suite above; isolation gives the goroutine
 	# leak checks a clean baseline).
 	go test -race -count=1 -run 'TestTCP|TestFault|TestChaos' ./internal/net .
+
+	bench_guard
 fi

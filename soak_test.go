@@ -22,7 +22,7 @@ func TestSoakRandomizedNemesis(t *testing.T) {
 		t.Skip("soak")
 	}
 	const n = 6
-	cl, err := NewCluster(Config{Processes: n, Seed: 77})
+	cl, err := NewCluster(Config{Processes: n, Seed: 77, Record: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,6 +151,25 @@ func TestSoakRandomizedNemesis(t *testing.T) {
 	}
 	t.Logf("soak: %d broadcasts, %d delivered at live p%d, %d primaries, %d crashed",
 		len(broadcast), len(delivered[live]), live, len(views), len(crashed))
+
+	// Trace conformance over the whole nemesis run: once every process has
+	// stopped, the recorded macro-steps must replay exactly through the
+	// protocol cores and the reconstructed cut must satisfy the paper's
+	// invariants. Crashed processes simply contribute shorter logs — their
+	// cut point is the crash, which is consistent because every message they
+	// received was recorded as sent in some peer's (longer) log.
+	cl.Close()
+	rep := ReplayTrace(cl.TraceLogs())
+	if err := rep.Err(); err != nil {
+		for _, d := range rep.Divergences {
+			t.Errorf("divergence: %s", d)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("trace conformance under nemesis: %v (%s)", err, rep)
+	}
+	t.Logf("conformance: %s", rep)
 }
 
 func toInts(ps []int) []int { return append([]int(nil), ps...) }

@@ -60,6 +60,7 @@ func TestChaosTCPFaultSoak(t *testing.T) {
 			Listen:       addrs[i],
 			Peers:        peers,
 			TickInterval: 5 * time.Millisecond,
+			Record:       true,
 			WrapTransport: func(tr netfab.Transport) netfab.Transport {
 				faults[i] = netfab.NewFaultTransport(tr, plan)
 				return faults[i]
@@ -196,6 +197,31 @@ func TestChaosTCPFaultSoak(t *testing.T) {
 	// Zero leaked goroutines after Close.
 	closed = true
 	closeAll()
+
+	// Trace conformance: with every node stopped, the per-node logs form a
+	// consistent cut. Replaying them through the protocol cores must
+	// re-derive every recorded effect, and the reconstructed final states
+	// must satisfy the paper's invariants — the refinement check of the
+	// unverified transport and view-synchronous layers under fault injection.
+	logs := make([]TraceLog, 0, n)
+	for i := 0; i < n; i++ {
+		lg, ok := nodes[i].TraceLog()
+		if !ok {
+			t.Fatalf("node %d was not recording", i)
+		}
+		logs = append(logs, lg)
+	}
+	rep := ReplayTrace(logs)
+	if err := rep.Err(); err != nil {
+		for _, d := range rep.Divergences {
+			t.Errorf("divergence: %s", d)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("trace conformance under chaos: %v (%s)", err, rep)
+	}
+	t.Logf("conformance: %s", rep)
 	leakDeadline := time.Now().Add(10 * time.Second)
 	for {
 		runtime.GC()

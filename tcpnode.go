@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/conform"
 	"repro/internal/core"
 	"repro/internal/dvsg"
 	"repro/internal/member"
@@ -61,6 +62,10 @@ type NodeConfig struct {
 	// testing real TCP nodes. If the returned transport has a Close
 	// method, Node.Close calls it before closing the TCP transport.
 	WrapTransport func(netfab.Transport) netfab.Transport
+	// Record enables trace recording of the node's protocol cores; harvest
+	// with Node.TraceLog after Close and check with ReplayTrace together
+	// with the other nodes' logs. Requires ModeDynamic.
+	Record bool
 }
 
 // NodeStats aggregates the per-layer counters of one node: transport,
@@ -81,6 +86,7 @@ type Node struct {
 	vsg       *vsg.Node
 	dvs       *dvsg.Layer
 	tob       *tob.Layer
+	rec       *conform.Recorder // nil unless NodeConfig.Record
 }
 
 // StartNode launches a standalone process.
@@ -93,6 +99,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = ModeDynamic
+	}
+	if cfg.Record && cfg.Mode != ModeDynamic {
+		return nil, errors.New("dvs: NodeConfig.Record requires ModeDynamic")
 	}
 	if cfg.TickInterval <= 0 {
 		cfg.TickInterval = 20 * time.Millisecond
@@ -151,9 +160,16 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	layer.Bind(node)
 	app.Bind(layer)
 	node.SetHandler(layer)
+
+	var rec *conform.Recorder
+	if cfg.Record {
+		rec = conform.NewRecorder(self, initial, initial.Contains(self), !cfg.DisableRegistration, true)
+		layer.SetObserver(rec.ObserveDVS)
+		app.SetObserver(rec.ObserveTO)
+	}
 	node.Start()
 
-	return &Node{id: self, tcp: tcp, transport: transport, vsg: node, dvs: layer, tob: app}, nil
+	return &Node{id: self, tcp: tcp, transport: transport, vsg: node, dvs: layer, tob: app, rec: rec}, nil
 }
 
 // ID returns the node's process id.
@@ -223,6 +239,17 @@ func (n *Node) Established() bool {
 		return false
 	}
 	return <-ch
+}
+
+// TraceLog returns this node's recorded protocol trace, and whether the
+// node was recording. It must be called after Close (and after every peer
+// has stopped) for the combined logs to form the consistent cut ReplayTrace
+// requires.
+func (n *Node) TraceLog() (TraceLog, bool) {
+	if n.rec == nil {
+		return TraceLog{}, false
+	}
+	return n.rec.Log(), true
 }
 
 // Close stops the node and its transport (including any wrapper installed
