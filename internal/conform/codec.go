@@ -25,7 +25,7 @@ func init() {
 		tocore.FxDeliver{}, tocore.FxRegister{},
 		dvscore.InfoMsg{}, dvscore.RegisteredMsg{},
 		tocore.LabelMsg{}, tocore.SummaryMsg{},
-		types.ClientMsg(""),
+		types.ClientMsg(""), types.Batch{},
 	} {
 		gob.Register(v)
 	}

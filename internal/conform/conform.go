@@ -117,12 +117,21 @@ func (r *Recorder) Log() NodeLog {
 
 // cloneMsg deep-copies the mutable message types; the rest (ClientMsg,
 // RegisteredMsg, LabelMsg and any test payloads) are immutable values.
+// Batches are cloned recursively: the runtime reuses neither the slice nor
+// the mutable members once handed down, but the recorder must not rely on
+// that.
 func cloneMsg(m types.Msg) types.Msg {
 	switch mm := m.(type) {
 	case dvscore.InfoMsg:
 		return mm.Clone()
 	case tocore.SummaryMsg:
 		return tocore.SummaryMsg{X: mm.X.Clone()}
+	case types.Batch:
+		out := types.Batch{Msgs: make([]types.Msg, len(mm.Msgs))}
+		for i, inner := range mm.Msgs {
+			out.Msgs[i] = cloneMsg(inner)
+		}
+		return out
 	default:
 		return m
 	}

@@ -45,7 +45,19 @@ type Handler interface {
 // mutated.
 type Observer func(ev dvscore.Event, effects []dvscore.Effect)
 
-// Stats are cumulative per-node dvsg counters.
+// WireBatch groups the FxSendVS messages drained from one macro-step into a
+// single view-synchronous submission. It exists only on the wire between
+// dvsg shells: a received WireBatch is expanded back into one EvVSRecv (or
+// EvVSSafe) per member before the core sees it, so the VS-TO-DVS event
+// stream is identical to an unbatched execution. Unlike types.Batch (the
+// tob-level unit, which flows through this core as one opaque client
+// message), WireBatch is not a types.Msg and can never enter a core.
+type WireBatch struct{ Msgs []types.Msg }
+
+// Stats are cumulative per-node dvsg counters. WireFrames/WirePayloads are
+// the frames-vs-payloads distinction of the send path down to vsg:
+// WirePayloads counts FxSendVS effects, WireFrames the vsg submissions that
+// carried them.
 type Stats struct {
 	VSViews      uint64 // views delivered by the view-synchronous layer
 	Primaries    uint64 // views accepted as primary (dvs-newview)
@@ -55,6 +67,9 @@ type Stats struct {
 	SendsDown    uint64 // client messages submitted through the filter
 	DeliveriesUp uint64 // client messages delivered to the handler
 	SafesUp      uint64 // safe indications delivered to the handler
+	WireFrames   uint64 // vsg submissions (batches plus unbatched singletons)
+	WirePayloads uint64 // individual core messages carried by those submissions
+	WireBatchIn  uint64 // received vsg payloads that were WireBatches
 }
 
 // Layer drives a Filter over a vsg.Node.
@@ -71,6 +86,16 @@ type Layer struct {
 	// step's effects have been applied.
 	stepping bool
 	queue    []dvscore.Event
+
+	// Send coalescing: FxSendVS effects accumulate here during a dispatch
+	// and go down to vsg as one WireBatch at the end. Pending messages are
+	// discarded on a VS view change — vsg tags submissions with its current
+	// view, and a message the core emitted in the old view must not be
+	// carried by the new one (the discard is the message loss the VS
+	// specification permits at view boundaries; the core re-exchanges its
+	// state in the new view).
+	pendingVS []types.Msg
+	flushing  bool
 }
 
 // New builds the layer around the given filter. Garbage collection of
@@ -101,14 +126,27 @@ func (l *Layer) ClientCur() (types.View, bool) { return l.filter.ClientCur() }
 // AmbCount returns the current number of ambiguous views in the filter.
 func (l *Layer) AmbCount() int { return len(l.filter.Amb()) }
 
+// Defer schedules f onto a later iteration of the vsg event loop without
+// blocking; it reports false when the loop is stopped or its queue is full.
+// The tob shell uses it to defer batch flushes behind already-queued work.
+func (l *Layer) Defer(f func()) bool { return l.node.Defer(f) }
+
 // OnNewView implements vsg.Handler.
 func (l *Layer) OnNewView(v types.View) {
 	l.stats.VSViews++
 	l.dispatch(dvscore.EvVSNewView{View: v})
 }
 
-// OnRecv implements vsg.Handler.
+// OnRecv implements vsg.Handler. WireBatches are expanded here, before the
+// core sees them: one EvVSRecv per member, in batch order.
 func (l *Layer) OnRecv(payload any, from types.ProcID) {
+	if b, ok := payload.(WireBatch); ok {
+		l.stats.WireBatchIn++
+		for _, m := range b.Msgs {
+			l.dispatch(dvscore.EvVSRecv{M: m, From: from})
+		}
+		return
+	}
 	m, ok := payload.(types.Msg)
 	if !ok {
 		return
@@ -116,8 +154,15 @@ func (l *Layer) OnRecv(payload any, from types.ProcID) {
 	l.dispatch(dvscore.EvVSRecv{M: m, From: from})
 }
 
-// OnSafe implements vsg.Handler.
+// OnSafe implements vsg.Handler. A safe indication for a WireBatch means
+// every member message is safe, in batch order.
 func (l *Layer) OnSafe(payload any, from types.ProcID) {
+	if b, ok := payload.(WireBatch); ok {
+		for _, m := range b.Msgs {
+			l.dispatch(dvscore.EvVSSafe{M: m, From: from})
+		}
+		return
+	}
 	m, ok := payload.(types.Msg)
 	if !ok {
 		return
@@ -157,10 +202,41 @@ func (l *Layer) dispatch(ev dvscore.Event) {
 		l.step(next)
 	}
 	l.stepping = false
+	l.flushVS()
+}
+
+// flushVS submits the coalesced FxSendVS messages of the finished dispatch
+// to vsg. Submitting can synchronously re-enter the shell (a leader's own
+// submission is ordered and delivered inline) and emit further sends; the
+// loop coalesces those too, and the flushing guard stops the re-entrant
+// dispatch from flushing recursively.
+func (l *Layer) flushVS() {
+	if l.flushing {
+		return
+	}
+	l.flushing = true
+	defer func() { l.flushing = false }()
+	for len(l.pendingVS) > 0 {
+		var payload any
+		k := len(l.pendingVS)
+		if k == 1 {
+			payload = l.pendingVS[0]
+		} else {
+			payload = WireBatch{Msgs: append([]types.Msg(nil), l.pendingVS...)}
+		}
+		l.pendingVS = l.pendingVS[:0]
+		l.stats.WireFrames++
+		l.stats.WirePayloads += uint64(k)
+		l.node.SendInLoop(payload)
+	}
 }
 
 // step performs one atomic macro-step and applies its effects.
 func (l *Layer) step(ev dvscore.Event) {
+	if _, isView := ev.(dvscore.EvVSNewView); isView && len(l.pendingVS) > 0 {
+		// See the pendingVS field comment: unsent messages die with the view.
+		l.pendingVS = l.pendingVS[:0]
+	}
 	var out dvscore.Outbox
 	dvscore.Step(l.filter, ev, l.gc, &out)
 	if l.observer != nil {
@@ -169,7 +245,7 @@ func (l *Layer) step(ev dvscore.Event) {
 	for _, fx := range out.Effects {
 		switch fx := fx.(type) {
 		case dvscore.FxSendVS:
-			l.node.SendInLoop(fx.M)
+			l.pendingVS = append(l.pendingVS, fx.M)
 		case dvscore.FxDeliver:
 			l.stats.DeliveriesUp++
 			l.handler.OnDVSRecv(fx.M, fx.From)

@@ -157,7 +157,14 @@ func (a *Agreement) Tick(now time.Time, alive types.ProcSet) (sends []Send, inst
 	if !stable || alive.Len() == 0 {
 		return nil, nil
 	}
-	if a.hasView && a.current.Members.Equal(alive) {
+	// Re-propose when the perceived component differs from the current view,
+	// or when a strictly newer view identifier has been observed anywhere: a
+	// member that transiently suspected everyone installs a singleton view
+	// with a higher sequence number, and monotony then blocks it from ever
+	// rejoining a view it already overtook. Its gossip carries the higher
+	// identifier back to the leader, and only a fresh proposal with a yet
+	// higher identifier can reunite the component.
+	if a.hasView && a.current.Members.Equal(alive) && a.maxSeq == a.current.ID.Seq {
 		return nil, nil
 	}
 	if leader := alive.Sorted()[0]; leader != a.self {

@@ -13,12 +13,14 @@ import (
 // of each link. The enqueue-level invariant Sent == Delivered + Dropped
 // holds per peer as well as for the transport totals.
 type PeerStats struct {
-	Sent        uint64 // send attempts addressed to this peer
-	Delivered   uint64 // accepted for delivery (enqueued locally)
-	Dropped     uint64 // rejected at enqueue: full queue, partition, crash, loss
-	Redials     uint64 // failed connection attempts by the writer (TCP only)
-	WriterDrops uint64 // payloads abandoned after enqueue (encode/dial give-up)
-	QueueDepth  int    // snapshot of the outgoing queue depth (TCP only)
+	Sent          uint64 // send attempts addressed to this peer
+	Delivered     uint64 // accepted for delivery (enqueued locally)
+	Dropped       uint64 // rejected at enqueue: full queue, partition, crash, loss
+	Redials       uint64 // failed connection attempts by the writer (TCP only)
+	WriterDrops   uint64 // payloads abandoned after enqueue (encode/dial give-up)
+	WriterFrames  uint64 // frames written to the connection (TCP only)
+	WriterFlushes uint64 // buffered-write flushes; WriterFrames/WriterFlushes is the mean batch size (TCP only)
+	QueueDepth    int    // snapshot of the outgoing queue depth (TCP only)
 }
 
 // Stats are cumulative transport counters. Sent == Delivered + Dropped by
@@ -30,11 +32,13 @@ type Stats struct {
 	Delivered uint64 // enqueued to a reachable inbox or outgoing queue
 	Dropped   uint64 // lost to partition, crash, loss injection, or overflow
 
-	Misrouted    uint64 // sends rejected because from != local endpoint (subset of Dropped)
-	RecvDropped  uint64 // receiver-side drops: frames lost to inbox overflow
-	AcceptErrors uint64 // listener Accept failures (TCP only)
-	Redials      uint64 // failed connection attempts across all peers (TCP only)
-	WriterDrops  uint64 // post-enqueue writer give-ups across all peers (TCP only)
+	Misrouted     uint64 // sends rejected because from != local endpoint (subset of Dropped)
+	RecvDropped   uint64 // receiver-side drops: frames lost to inbox overflow
+	AcceptErrors  uint64 // listener Accept failures (TCP only)
+	Redials       uint64 // failed connection attempts across all peers (TCP only)
+	WriterDrops   uint64 // post-enqueue writer give-ups across all peers (TCP only)
+	WriterFrames  uint64 // frames written across all peers (TCP only)
+	WriterFlushes uint64 // buffered-write flushes across all peers (TCP only)
 
 	// Peers holds the per-peer breakdown, keyed by destination. Nil when the
 	// transport has recorded no per-peer traffic.
@@ -72,6 +76,9 @@ func (s Stats) String() string {
 	}
 	if s.WriterDrops > 0 {
 		fmt.Fprintf(&b, " writer_drops=%d", s.WriterDrops)
+	}
+	if s.WriterFlushes > 0 {
+		fmt.Fprintf(&b, " writer_frames=%d writer_flushes=%d", s.WriterFrames, s.WriterFlushes)
 	}
 	if s.AcceptErrors > 0 {
 		fmt.Fprintf(&b, " accept_errors=%d", s.AcceptErrors)
@@ -160,10 +167,23 @@ func (b *statsBook) redial(to types.ProcID) {
 	b.mu.Unlock()
 }
 
-func (b *statsBook) writerDrop(to types.ProcID) {
+// writerDrop records n payloads abandoned by the writer after its
+// connection attempts ran out (batched writers give up whole batches).
+func (b *statsBook) writerDrop(to types.ProcID, n uint64) {
 	b.mu.Lock()
-	b.base.WriterDrops++
-	b.peer(to).WriterDrops++
+	b.base.WriterDrops += n
+	b.peer(to).WriterDrops += n
+	b.mu.Unlock()
+}
+
+// writerFlush records one successful buffered write carrying n frames.
+func (b *statsBook) writerFlush(to types.ProcID, n uint64) {
+	b.mu.Lock()
+	b.base.WriterFrames += n
+	b.base.WriterFlushes++
+	ps := b.peer(to)
+	ps.WriterFrames += n
+	ps.WriterFlushes++
 	b.mu.Unlock()
 }
 

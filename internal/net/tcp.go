@@ -1,6 +1,7 @@
 package net
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"math/rand"
@@ -308,14 +309,33 @@ func (t *TCPTransport) reader(conn net.Conn) {
 	}
 }
 
-// writer owns the persistent outgoing connection to one peer. Dial failures
-// back off exponentially with jitter; each payload is abandoned (and
-// counted) after PayloadAttempts connection attempts, so a dead peer drains
-// the queue instead of wedging it. Writes carry a deadline so a stalled
-// peer with a full TCP buffer cannot block the writer forever.
+// maxWriteBatch is the most payloads one writer wakeup drains from its
+// queue into a single buffered write; writerBufSize is the per-connection
+// write buffer. One flush (usually one syscall) then carries the whole
+// batch, instead of one gob stream write per payload.
+const (
+	maxWriteBatch = 64
+	writerBufSize = 64 << 10
+)
+
+// writer owns the persistent outgoing connection to one peer. Each wakeup
+// drains up to maxWriteBatch queued payloads, encodes them into the
+// connection's buffered writer, and flushes once. Dial failures back off
+// exponentially with jitter; a batch is abandoned (every payload counted)
+// after PayloadAttempts connection attempts, so a dead peer drains the
+// queue instead of wedging it. Writes carry a deadline so a stalled peer
+// with a full TCP buffer cannot block the writer forever.
+//
+// On any encode or flush error the connection is closed and the buffered
+// writer and encoder are abandoned with it — a fresh pair is built on the
+// next dial, so no stale frame prefix can leak into a redialed connection —
+// and the whole batch is retried. Retrying can duplicate frames the peer
+// already received (the error may have struck after a partial flush); the
+// stack above is duplicate-tolerant by design.
 func (t *TCPTransport) writer(p *tcpPeer) {
 	defer t.wg.Done()
 	var conn net.Conn
+	var bw *bufio.Writer
 	var enc *gob.Encoder
 	defer func() {
 		if conn != nil {
@@ -324,12 +344,23 @@ func (t *TCPTransport) writer(p *tcpPeer) {
 	}()
 	rng := rand.New(rand.NewSource(int64(p.id)*0x9e3779b9 + 1))
 	backoff := t.cfg.RedialBackoff
+	batch := make([]Payload, 0, maxWriteBatch)
 	for {
-		var payload Payload
+		batch = batch[:0]
 		select {
 		case <-t.stop:
 			return
-		case payload = <-p.out:
+		case payload := <-p.out:
+			batch = append(batch, payload)
+		}
+	drain:
+		for len(batch) < maxWriteBatch {
+			select {
+			case payload := <-p.out:
+				batch = append(batch, payload)
+			default:
+				break drain
+			}
 		}
 		sent := false
 		for attempt := 0; attempt < t.cfg.PayloadAttempts; attempt++ {
@@ -349,19 +380,31 @@ func (t *TCPTransport) writer(p *tcpPeer) {
 				}
 				backoff = t.cfg.RedialBackoff
 				conn = c
-				enc = gob.NewEncoder(conn)
+				bw = bufio.NewWriterSize(conn, writerBufSize)
+				enc = gob.NewEncoder(bw)
 			}
 			conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
-			if err := enc.Encode(frame{From: t.cfg.Self, Payload: payload}); err != nil {
+			ok := true
+			for _, payload := range batch {
+				if err := enc.Encode(frame{From: t.cfg.Self, Payload: payload}); err != nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ok = bw.Flush() == nil
+			}
+			if !ok {
 				conn.Close()
-				conn, enc = nil, nil
-				continue // redial and retry this payload
+				conn, bw, enc = nil, nil, nil
+				continue // redial and retry the whole batch
 			}
 			sent = true
+			t.book.writerFlush(p.id, uint64(len(batch)))
 			break
 		}
 		if !sent {
-			t.book.writerDrop(p.id)
+			t.book.writerDrop(p.id, uint64(len(batch)))
 		}
 	}
 }

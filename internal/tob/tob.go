@@ -47,7 +47,10 @@ type ViewEvent struct {
 // state and are not observed.
 type Observer func(ev tocore.Event, effects []tocore.Effect)
 
-// Stats are cumulative per-node tob counters.
+// Stats are cumulative per-node tob counters. The frames-vs-payloads pairs
+// (BatchesOut/PayloadsOut, BatchesIn/PayloadsIn) make the effect of shell
+// batching observable: PayloadsOut counts individual label/summary messages
+// the core emitted, BatchesOut counts the DVS sends that carried them.
 type Stats struct {
 	Broadcasts     uint64
 	Labeled        uint64
@@ -55,9 +58,21 @@ type Stats struct {
 	Delivered      uint64
 	Established    uint64
 	DroppedUp      uint64 // deliveries dropped because the application lagged
+	DroppedViews   uint64 // view events dropped because the application lagged
 	LabelsSent     uint64 // labeled client messages sent through DVS
 	StateExchanges uint64 // recovery summaries sent (one per view needing state exchange)
+	BatchesOut     uint64 // DVS sends (frames): batches plus unbatched singletons
+	PayloadsOut    uint64 // individual messages carried by those sends
+	BatchesIn      uint64 // received DVS frames that were batches
+	PayloadsIn     uint64 // individual messages expanded from received batches
+	FlushDiscards  uint64 // pending payloads discarded at a view change
 }
+
+// maxBatch bounds the number of label/summary messages coalesced into one
+// DVS send. Large enough to amortize per-frame cost across a loaded queue,
+// small enough to keep individual frames (and the head-of-line latency they
+// impose) bounded.
+const maxBatch = 64
 
 // Layer drives a tocore.Node over a dvsg.Layer.
 type Layer struct {
@@ -77,6 +92,19 @@ type Layer struct {
 	// the current step's effects have been applied.
 	stepping bool
 	queue    []tocore.Event
+
+	// Send batching: FxSend effects accumulate in pending instead of going
+	// through DVS one frame per message. A flush is deferred through the
+	// event-loop scheduler when possible, so every broadcast already queued
+	// behind the current one lands in the same batch; when the scheduler is
+	// unavailable the flush happens at the end of the dispatch. Pending
+	// messages are discarded (and counted) on a view change: a label popped
+	// but unsent stays in the core's content and is recovered by the new
+	// view's summary exchange, while sending it late — tagged with the new
+	// view at the VS layer — could double-order it at receivers.
+	pending        []types.Msg
+	flushScheduled bool
+	flushing       bool
 }
 
 // New builds the layer. register controls whether established views are
@@ -131,13 +159,30 @@ func (l *Layer) OnDVSNewView(v types.View) {
 	l.dispatch(tocore.EvNewView{View: v})
 }
 
-// OnDVSRecv implements dvsg.Handler.
+// OnDVSRecv implements dvsg.Handler. Batches are expanded here, before the
+// core sees them: one EvRecv per member, in batch order, so the core's event
+// stream is identical to an unbatched execution.
 func (l *Layer) OnDVSRecv(m types.Msg, from types.ProcID) {
+	if b, ok := m.(types.Batch); ok {
+		l.stats.BatchesIn++
+		l.stats.PayloadsIn += uint64(len(b.Msgs))
+		for _, inner := range b.Msgs {
+			l.dispatch(tocore.EvRecv{M: inner, From: from})
+		}
+		return
+	}
 	l.dispatch(tocore.EvRecv{M: m, From: from})
 }
 
-// OnDVSSafe implements dvsg.Handler.
+// OnDVSSafe implements dvsg.Handler. A safe indication for a batch means
+// every member message is safe, in batch order.
 func (l *Layer) OnDVSSafe(m types.Msg, from types.ProcID) {
+	if b, ok := m.(types.Batch); ok {
+		for _, inner := range b.Msgs {
+			l.dispatch(tocore.EvSafe{M: inner, From: from})
+		}
+		return
+	}
 	l.dispatch(tocore.EvSafe{M: m, From: from})
 }
 
@@ -158,12 +203,66 @@ func (l *Layer) dispatch(ev tocore.Event) {
 		l.step(next)
 	}
 	l.stepping = false
+	l.maybeFlush()
+}
+
+// maybeFlush arranges for the pending sends to go out: preferably on a later
+// event-loop iteration (so adjacent queued events contribute to the same
+// batch), synchronously as a fallback.
+func (l *Layer) maybeFlush() {
+	if len(l.pending) == 0 || l.flushScheduled || l.flushing {
+		return
+	}
+	if l.dvs != nil && l.dvs.Defer(l.flush) {
+		l.flushScheduled = true
+		return
+	}
+	l.flush()
+}
+
+// flush drains the pending sends through DVS in maxBatch-sized frames.
+// Sending can synchronously re-enter the shell (a leader's own labels come
+// back ordered inline) and append further pending sends; the loop coalesces
+// those too, and the flushing guard stops maybeFlush from recursing.
+func (l *Layer) flush() {
+	l.flushScheduled = false
+	if l.flushing {
+		return
+	}
+	l.flushing = true
+	defer func() { l.flushing = false }()
+	for len(l.pending) > 0 {
+		k := len(l.pending)
+		if k > maxBatch {
+			k = maxBatch
+		}
+		var m types.Msg
+		if k == 1 {
+			m = l.pending[0]
+		} else {
+			m = types.Batch{Msgs: append([]types.Msg(nil), l.pending[:k]...)}
+		}
+		l.pending = l.pending[k:]
+		if len(l.pending) == 0 {
+			l.pending = nil
+		}
+		l.stats.BatchesOut++
+		l.stats.PayloadsOut += uint64(k)
+		l.dvs.Send(m)
+	}
 }
 
 // step performs one atomic macro-step and applies its effects. A rejected
 // event (unexpected message type) mutates no state and is dropped, matching
 // the previous shell's behavior.
 func (l *Layer) step(ev tocore.Event) {
+	if _, isView := ev.(tocore.EvNewView); isView && len(l.pending) > 0 {
+		// Unsent messages belong to the view that just died. See the pending
+		// field comment: discarding is the VS-permitted loss; a late send
+		// would leak old-view labels into the new view.
+		l.stats.FlushDiscards += uint64(len(l.pending))
+		l.pending = nil
+	}
 	var out tocore.Outbox
 	if err := tocore.Step(l.node, ev, l.register, &out); err != nil {
 		return
@@ -184,7 +283,7 @@ func (l *Layer) step(ev tocore.Event) {
 			} else {
 				l.stats.LabelsSent++
 			}
-			l.dvs.Send(fx.M)
+			l.pending = append(l.pending, fx.M)
 		case tocore.FxConfirm:
 			l.stats.Confirmed++
 		case tocore.FxDeliver:
@@ -211,5 +310,8 @@ func (l *Layer) pushView(e ViewEvent) {
 	select {
 	case l.views <- e:
 	default:
+		// Best effort by contract, but the loss is counted so a lagging
+		// consumer shows up in the stats rather than as silent absence.
+		l.stats.DroppedViews++
 	}
 }

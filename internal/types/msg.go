@@ -16,6 +16,35 @@ func (m ClientMsg) MsgKey() string { return "c:" + string(m) }
 // String renders the message.
 func (m ClientMsg) String() string { return string(m) }
 
+// Batch groups several client messages into one wire unit. The tob shell
+// coalesces the label/summary messages drained from adjacent macro-steps
+// into a Batch before handing them to DVS, and expands a received Batch
+// back into individual messages before they reach the protocol core — so
+// the verified cores never see the type. A Batch is deliberately NOT a
+// ServiceMsg: the VS-TO-DVS automaton treats client messages opaquely
+// (queued, sent, delivered and safe-indicated as single units), which is
+// exactly the transparency batching needs.
+type Batch struct{ Msgs []Msg }
+
+// MsgKey implements Msg: the concatenation of the member keys, so batches
+// fingerprint and render canonically wherever single messages do.
+func (b Batch) MsgKey() string {
+	n := len("batch[]")
+	for _, m := range b.Msgs {
+		n += len(m.MsgKey()) + 1
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, "batch["...)
+	for i, m := range b.Msgs {
+		if i > 0 {
+			buf = append(buf, '|')
+		}
+		buf = append(buf, m.MsgKey()...)
+	}
+	buf = append(buf, ']')
+	return string(buf)
+}
+
 // ServiceMsg marks messages that are internal to a group-communication
 // layer (e.g. the "info" and "registered" messages of VS-TO-DVS) and hence
 // not members of M_c.

@@ -31,20 +31,26 @@ type (
 	// Data carries a payload from a member to the view leader. SenderSeq
 	// numbers the sender's submissions within the view, so the leader can
 	// de-duplicate retransmissions and restore per-sender FIFO order after
-	// losses.
+	// losses. AckSeq piggybacks the sender's cumulative delivery
+	// acknowledgment, sparing a dedicated Ack frame whenever data is
+	// flowing anyway.
 	Data struct {
 		ViewID    types.ViewID
 		SenderSeq int
+		AckSeq    int
 		Payload   any
 	}
 	// Ordered carries a sequenced payload from the leader to the members.
 	// SenderSeq echoes the sender's submission number so senders can stop
-	// retransmitting.
+	// retransmitting. Safe piggybacks the leader's current safe point, so
+	// in steady state safe indications ride the ordered stream instead of
+	// waiting for a dedicated SafePoint frame.
 	Ordered struct {
 		ViewID    types.ViewID
 		Seq       int
 		Sender    types.ProcID
 		SenderSeq int
+		Safe      int
 		Payload   any
 	}
 	// Ack cumulatively acknowledges delivery through Seq.
@@ -97,7 +103,11 @@ type Config struct {
 
 	// TickInterval drives heartbeats and proposal retries (default 2ms).
 	TickInterval time.Duration
-	// SuspectTimeout is the failure-detection window (default 5 ticks).
+	// SuspectTimeout is the failure-detection window (default 25 ticks).
+	// The default is deliberately generous: heartbeats share the event loop
+	// and the inboxes with data traffic, so under load a heartbeat can
+	// easily arrive several ticks late, and a twitchy detector turns a busy
+	// group into view-change thrash.
 	SuspectTimeout time.Duration
 	// ProposeRetry is the view-proposal retry period (default 10 ticks).
 	ProposeRetry time.Duration
@@ -108,7 +118,7 @@ func (c *Config) fill() {
 		c.TickInterval = 2 * time.Millisecond
 	}
 	if c.SuspectTimeout <= 0 {
-		c.SuspectTimeout = 5 * c.TickInterval
+		c.SuspectTimeout = 25 * c.TickInterval
 	}
 	if c.ProposeRetry <= 0 {
 		c.ProposeRetry = 10 * c.TickInterval
@@ -117,17 +127,23 @@ func (c *Config) fill() {
 
 // Node is one process of the view-synchronous layer.
 type Node struct {
-	cfg     Config
-	self    types.ProcID
-	fabric  netfab.Transport
-	handler Handler
+	cfg      Config
+	self     types.ProcID
+	universe []types.ProcID // cfg.Universe, sorted once
+	fabric   netfab.Transport
+	handler  Handler
 
 	detector  *member.Detector
 	agreement *member.Agreement
 
-	// Sequencer / delivery state for the current view.
+	// Sequencer / delivery state for the current view. members and leaderID
+	// cache the sorted membership of the installed view: the hot paths
+	// (ordering, acking, retransmission) would otherwise re-sort the member
+	// set on every message.
 	view        types.View
 	hasView     bool
+	members     []types.ProcID
+	leaderID    types.ProcID
 	leaderLog   []Ordered // leader only: the ordered stream
 	acked       map[types.ProcID]int
 	safePoint   int // leader: last multicast safe point
@@ -136,6 +152,19 @@ type Node struct {
 	delivered   []Ordered
 	nextSafe    int
 	safeUpTo    int
+
+	// Ack coalescing: deliveries mark ackDirty instead of emitting one Ack
+	// frame per delivery progression; flushAcks sends a single cumulative
+	// Ack once the loop has drained its current burst of input.
+	ackDirty bool
+
+	// Tick bookkeeping for stall-gated retransmission: tickCount numbers
+	// ticks in the current view; ackTick records, per member, the tick at
+	// which its cumulative ack last advanced (leader only); dataTick
+	// records the tick at which pendingOut last shrank.
+	tickCount uint64
+	ackTick   map[types.ProcID]uint64
+	dataTick  uint64
 
 	// Sender-side reliability: submissions not yet seen in the ordered
 	// stream, retransmitted on ticks. Submission times feed the delivery
@@ -171,12 +200,13 @@ type Node struct {
 func NewNode(cfg Config) *Node {
 	cfg.fill()
 	n := &Node{
-		cfg:    cfg,
-		self:   cfg.Self,
-		fabric: cfg.Transport,
-		cmds:   make(chan func(), 4096),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:      cfg,
+		self:     cfg.Self,
+		universe: cfg.Universe.Sorted(),
+		fabric:   cfg.Transport,
+		cmds:     make(chan func(), 4096),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	now := time.Now()
 	n.detector = member.NewDetector(cfg.Self, cfg.Universe, cfg.SuspectTimeout, now)
@@ -210,6 +240,26 @@ func (n *Node) Do(f func()) bool {
 	case n.cmds <- f:
 		return true
 	case <-n.stop:
+		return false
+	}
+}
+
+// Defer schedules f onto a later event-loop iteration without ever
+// blocking: unlike Do it may be called from inside the loop itself. It
+// reports false when the node has stopped or the queue is full — callers
+// must then fall back to doing the work inline. The layers above use it to
+// postpone batch flushes behind already-queued events, which is what lets
+// a loaded queue coalesce into large batches.
+func (n *Node) Defer(f func()) bool {
+	select {
+	case <-n.stop:
+		return false
+	default:
+	}
+	select {
+	case n.cmds <- f:
+		return true
+	default:
 		return false
 	}
 }
@@ -252,6 +302,10 @@ func (n *Node) run() {
 	}
 	ticker := time.NewTicker(n.cfg.TickInterval)
 	defer ticker.Stop()
+	// burst bounds how many already-queued inbox messages one loop
+	// iteration drains before acknowledgments are flushed; it keeps the
+	// coalesced Ack prompt while amortizing it over a loaded inbox.
+	const burst = 256
 	for {
 		select {
 		case <-n.stop:
@@ -260,15 +314,39 @@ func (n *Node) run() {
 			f()
 		case env := <-inbox:
 			n.onMessage(env)
+			for i := 0; i < burst; i++ {
+				select {
+				case env := <-inbox:
+					n.onMessage(env)
+					continue
+				default:
+				}
+				break
+			}
 		case <-ticker.C:
 			n.onTick(time.Now())
 		}
+		n.flushAcks()
 	}
+}
+
+// flushAcks sends the single cumulative Ack covering every delivery
+// progression of the finished loop iteration. The leader never needs one
+// (its own acks are applied locally as it delivers).
+func (n *Node) flushAcks() {
+	if !n.ackDirty {
+		return
+	}
+	n.ackDirty = false
+	if !n.hasView || n.leaderID == n.self || n.nextDeliver <= 1 {
+		return
+	}
+	n.fabric.Send(n.self, n.leaderID, Ack{ViewID: n.view.ID, Seq: n.nextDeliver - 1})
 }
 
 func (n *Node) onTick(now time.Time) {
 	// Heartbeats to the whole universe; the fabric enforces partitions.
-	for _, q := range n.cfg.Universe.Sorted() {
+	for _, q := range n.universe {
 		if q != n.self {
 			n.fabric.Send(n.self, q, member.Heartbeat{})
 			n.nHeartbeats.Add(1)
@@ -279,53 +357,90 @@ func (n *Node) onTick(now time.Time) {
 	if installed != nil {
 		n.installView(*installed)
 	}
+	n.tickCount++
 	n.retransmit()
 }
 
-// retransmit drives all tick-based reliability: senders resend unordered
-// submissions; members resend their cumulative ack; every node gossips its
-// current view (healing lost Installs); the leader resends unacked suffixes
-// of the ordered stream and the safe point. Together these make stable-view
-// delivery immune to message loss, startup races and inbox overflow.
+// Retransmission pacing. Resends fire only after the corresponding piece of
+// state has made no progress for stallTicks ticks — a fresh message is
+// almost always still in flight (or sitting in a loaded inbox), and blindly
+// resending it every tick turns a busy group into a retransmit storm that
+// competes with the goodput it is trying to protect. View gossip and safe
+// points are periodic rather than stall-gated (there is no ack to observe
+// progress by), at a coarser period than every tick.
+const (
+	stallTicks  = 2 // ticks without progress before Data/Ordered resend
+	gossipTicks = 4 // period of Install view gossip
+	safeTicks   = 2 // period of leader SafePoint re-announcement
+)
+
+// retransmit drives all tick-based reliability: senders resend stalled
+// unordered submissions; members resend their cumulative ack; every node
+// periodically gossips its current view (healing lost Installs); the leader
+// resends the unacked suffix of the ordered stream to stalled members and
+// re-announces the safe point. Together these make stable-view delivery
+// immune to message loss, startup races and inbox overflow, without
+// flooding a merely-busy view with duplicates.
 func (n *Node) retransmit() {
 	const window = 64
 	if !n.hasView {
 		return
 	}
 	// View gossip: lost Install messages leave a member stranded in an old
-	// view; re-announcing the current view heals it (installs are
-	// idempotent and monotone).
-	for _, q := range n.view.Members.Sorted() {
-		if q != n.self {
-			n.fabric.Send(n.self, q, member.Install{View: n.view.Clone()})
-			n.nRetransmit.Add(1)
+	// view; re-announcing the current view heals it (installs are idempotent
+	// and monotone). Gossip goes to the whole universe, not just the view:
+	// non-members reject the install (Self Inclusion) but fold its identifier
+	// into their agreement state, which is what lets a leader detect a
+	// process stranded in a newer view than its own and re-propose.
+	if n.tickCount%gossipTicks == 1 {
+		for _, q := range n.universe {
+			if q != n.self {
+				n.fabric.Send(n.self, q, member.Install{View: n.view.Clone()})
+				n.nRetransmit.Add(1)
+			}
 		}
 	}
-	if n.leader() != n.self {
-		// Resend unordered submissions and the cumulative ack.
-		for i, d := range n.pendingOut {
-			if i >= window {
-				break
+	if n.leaderID != n.self {
+		// Resend unordered submissions once they have stalled, and the
+		// cumulative ack (one frame; it doubles as the leader's progress
+		// signal, so it stays periodic).
+		if len(n.pendingOut) > 0 && n.tickCount-n.dataTick >= stallTicks {
+			for i, d := range n.pendingOut {
+				if i >= window {
+					break
+				}
+				d.AckSeq = n.nextDeliver - 1
+				n.fabric.Send(n.self, n.leaderID, d)
+				n.nRetransmit.Add(1)
 			}
-			n.fabric.Send(n.self, n.leader(), d)
-			n.nRetransmit.Add(1)
+			// Re-arm the stall gate: the burst just sent needs stallTicks to
+			// land before resending again. Pacing the catch-up keeps it from
+			// flooding inboxes and crowding out heartbeats.
+			n.dataTick = n.tickCount
 		}
 		if n.nextDeliver > 1 {
-			n.fabric.Send(n.self, n.leader(), Ack{ViewID: n.view.ID, Seq: n.nextDeliver - 1})
+			n.fabric.Send(n.self, n.leaderID, Ack{ViewID: n.view.ID, Seq: n.nextDeliver - 1})
 			n.nRetransmit.Add(1)
 		}
 		return
 	}
-	for _, q := range n.view.Members.Sorted() {
+	for _, q := range n.members {
 		if q == n.self {
 			continue
 		}
 		from := n.acked[q]
-		for s := from; s < len(n.leaderLog) && s < from+window; s++ {
-			n.fabric.Send(n.self, q, n.leaderLog[s])
-			n.nRetransmit.Add(1)
+		if from < len(n.leaderLog) && n.tickCount-n.ackTick[q] >= stallTicks {
+			for s := from; s < len(n.leaderLog) && s < from+window; s++ {
+				o := n.leaderLog[s]
+				o.Safe = n.safePoint
+				n.fabric.Send(n.self, q, o)
+				n.nRetransmit.Add(1)
+			}
+			// Re-arm the gate (see the sender-side counterpart above): one
+			// catch-up window per stall period, not per tick.
+			n.ackTick[q] = n.tickCount
 		}
-		if n.safePoint > 0 {
+		if n.safePoint > 0 && n.tickCount%safeTicks == 1 {
 			n.fabric.Send(n.self, q, SafePoint{ViewID: n.view.ID, Seq: n.safePoint})
 			n.nRetransmit.Add(1)
 		}
@@ -366,6 +481,8 @@ func (n *Node) onMessage(env netfab.Envelope) {
 func (n *Node) installView(v types.View) {
 	n.view = v.Clone()
 	n.hasView = true
+	n.members = n.view.Members.Sorted()
+	n.leaderID = n.members[0]
 	n.leaderLog = nil
 	n.acked = make(map[types.ProcID]int, v.Members.Len())
 	n.safePoint = 0
@@ -379,6 +496,12 @@ func (n *Node) installView(v types.View) {
 	n.pendingTime = nil
 	n.dataNext = make(map[types.ProcID]int)
 	n.dataBuf = make(map[types.ProcID]map[int]any)
+	n.ackDirty = false
+	n.ackTick = make(map[types.ProcID]uint64, v.Members.Len())
+	for _, q := range n.members {
+		n.ackTick[q] = n.tickCount
+	}
+	n.dataTick = n.tickCount
 	n.nViews.Add(1)
 
 	n.mu.Lock()
@@ -391,7 +514,7 @@ func (n *Node) installView(v types.View) {
 	}
 }
 
-func (n *Node) leader() types.ProcID { return n.view.Members.Sorted()[0] }
+func (n *Node) leader() types.ProcID { return n.leaderID }
 
 // SendInLoop submits a payload for totally ordered delivery within the
 // current view. It must be called from inside the event loop (i.e. from a
@@ -406,16 +529,25 @@ func (n *Node) SendInLoop(payload any) {
 	d := Data{ViewID: n.view.ID, SenderSeq: n.sendSeq, Payload: payload}
 	n.pendingOut = append(n.pendingOut, d)
 	n.pendingTime = append(n.pendingTime, time.Now())
-	if n.leader() == n.self {
+	if n.leaderID == n.self {
 		n.onData(n.self, d)
 		return
 	}
-	n.fabric.Send(n.self, n.leader(), d)
+	// Piggyback the cumulative ack: any progress this node owes the leader
+	// rides along instead of waiting for flushAcks or the tick.
+	d.AckSeq = n.nextDeliver - 1
+	n.ackDirty = false
+	n.fabric.Send(n.self, n.leaderID, d)
 }
 
 func (n *Node) onData(from types.ProcID, m Data) {
-	if !n.hasView || m.ViewID != n.view.ID || n.leader() != n.self {
+	if !n.hasView || m.ViewID != n.view.ID || n.leaderID != n.self {
 		return
+	}
+	if m.AckSeq > 0 && from != n.self {
+		// Piggybacked cumulative ack — apply it even when the data itself
+		// turns out to be a duplicate.
+		n.onAckLocal(from, Ack{ViewID: m.ViewID, Seq: m.AckSeq})
 	}
 	next := n.dataNext[from] + 1
 	if m.SenderSeq < next {
@@ -443,7 +575,8 @@ func (n *Node) onData(from types.ProcID, m Data) {
 func (n *Node) order(sender types.ProcID, payload any) {
 	o := Ordered{ViewID: n.view.ID, Seq: len(n.leaderLog) + 1, Sender: sender, SenderSeq: n.dataNext[sender], Payload: payload}
 	n.leaderLog = append(n.leaderLog, o)
-	for _, q := range n.view.Members.Sorted() {
+	o.Safe = n.safePoint // stamped at send time; the log copy stays canonical
+	for _, q := range n.members {
 		if q == n.self {
 			n.onOrdered(o)
 		} else {
@@ -456,7 +589,12 @@ func (n *Node) onOrdered(m Ordered) {
 	if !n.hasView || m.ViewID != n.view.ID {
 		return
 	}
+	if m.Safe > n.safeUpTo {
+		// Piggybacked safe point (see Ordered.Safe).
+		n.safeUpTo = m.Safe
+	}
 	if m.Seq < n.nextDeliver {
+		n.emitSafe()
 		return
 	}
 	n.buffer[m.Seq] = m
@@ -480,6 +618,7 @@ func (n *Node) onOrdered(m Ordered) {
 				n.latTotalNs.Add(int64(time.Since(n.pendingTime[0])))
 				n.pendingOut = n.pendingOut[1:]
 				n.pendingTime = n.pendingTime[1:]
+				n.dataTick = n.tickCount
 			}
 		}
 		if n.handler != nil {
@@ -487,11 +626,13 @@ func (n *Node) onOrdered(m Ordered) {
 		}
 	}
 	if progressed {
-		ack := Ack{ViewID: n.view.ID, Seq: n.nextDeliver - 1}
-		if n.leader() == n.self {
-			n.onAckLocal(n.self, ack)
+		if n.leaderID == n.self {
+			n.onAckLocal(n.self, Ack{ViewID: n.view.ID, Seq: n.nextDeliver - 1})
 		} else {
-			n.fabric.Send(n.self, n.leader(), ack)
+			// Coalesced: one cumulative Ack goes out in flushAcks once the
+			// loop has drained the current input burst (or it piggybacks on
+			// the next outgoing Data, whichever comes first).
+			n.ackDirty = true
 		}
 	}
 	n.emitSafe()
@@ -505,11 +646,13 @@ func (n *Node) onAck(from types.ProcID, m Ack) {
 }
 
 func (n *Node) onAckLocal(from types.ProcID, m Ack) {
-	if m.Seq > n.acked[from] {
-		n.acked[from] = m.Seq
+	if m.Seq <= n.acked[from] {
+		return
 	}
+	n.acked[from] = m.Seq
+	n.ackTick[from] = n.tickCount
 	safe := -1
-	for q := range n.view.Members {
+	for _, q := range n.members {
 		a := n.acked[q]
 		if safe == -1 || a < safe {
 			safe = a
@@ -518,7 +661,7 @@ func (n *Node) onAckLocal(from types.ProcID, m Ack) {
 	if safe > n.safePoint {
 		n.safePoint = safe
 		sp := SafePoint{ViewID: n.view.ID, Seq: safe}
-		for _, q := range n.view.Members.Sorted() {
+		for _, q := range n.members {
 			if q == n.self {
 				n.onSafePoint(sp)
 			} else {

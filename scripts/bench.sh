@@ -1,20 +1,28 @@
 #!/bin/sh
-# Benchmark snapshot of the theorem-check engine (E1-E3: invariant checks,
-# the Theorem 5.9 refinement, the Theorem 6.4 trace inclusion), each in a
-# serial and a parallel variant. Emits BENCH_checks.json with one record per
-# benchmark: ns/op, B/op, allocs/op, checking throughput (steps/s), and the
-# per-iteration state count (which must be identical across the serial and
-# parallel variants of the same check).
+# Benchmark snapshots.
 #
-# BENCHTIME overrides the -benchtime argument (default 2x).
+# 1. Theorem-check engine (E1-E3: invariant checks, the Theorem 5.9
+#    refinement, the Theorem 6.4 trace inclusion), each in a serial and a
+#    parallel variant. Emits BENCH_checks.json with one record per benchmark:
+#    ns/op, B/op, allocs/op, checking throughput (steps/s), and the
+#    per-iteration state count (which must be identical across the serial and
+#    parallel variants of the same check).
+#
+# 2. Runtime-stack performance (E8: TO throughput and recovery), run in its
+#    own `go test` invocation so the numbers are not depressed by CPU
+#    contention with the rest of the suite — the recorded bench_output.txt
+#    used to run E8 concurrently with all package tests, which made the
+#    absolute throughput figures meaningless. Emits BENCH_e8.json.
+#
+# BENCHTIME overrides the -benchtime argument of the E1-E3 run (default 2x);
+# E8_BENCHTIME that of the E8 throughput run (default 3x).
 set -eu
 cd "$(dirname "$0")/.."
-out=BENCH_checks.json
 
-raw=$(go test -run '^$' -bench 'BenchmarkE[123]' -benchtime "${BENCHTIME:-2x}" -benchmem .)
-printf '%s\n' "$raw"
-
-printf '%s\n' "$raw" | awk '
+# to_json converts `go test -bench` output on stdin into a JSON snapshot:
+# {"benchmarks": [{"name": ..., "iters": ..., "<unit>": <value>, ...}, ...]}
+to_json() {
+	awk '
 BEGIN { printf "{\n  \"benchmarks\": [\n"; n = 0 }
 /^Benchmark/ {
     name = $1
@@ -31,5 +39,21 @@ BEGIN { printf "{\n  \"benchmarks\": [\n"; n = 0 }
     printf "}"
 }
 END { printf "\n  ]\n}\n" }
-' > "$out"
+'
+}
+
+out=BENCH_checks.json
+raw=$(go test -run '^$' -bench 'BenchmarkE[123]' -benchtime "${BENCHTIME:-2x}" -benchmem .)
+printf '%s\n' "$raw"
+printf '%s\n' "$raw" | to_json > "$out"
 echo "wrote $out"
+
+# E8 isolated: two dedicated invocations (throughput, then recovery) with
+# nothing else sharing the process, so each sample reflects the stack alone.
+out8=BENCH_e8.json
+raw8_tp=$(go test -run '^$' -bench 'BenchmarkE8TOThroughput' -benchtime "${E8_BENCHTIME:-3x}" .)
+printf '%s\n' "$raw8_tp"
+raw8_rec=$(go test -run '^$' -bench 'BenchmarkE8Recovery' -benchtime 1x .)
+printf '%s\n' "$raw8_rec"
+{ printf '%s\n' "$raw8_tp"; printf '%s\n' "$raw8_rec"; } | to_json > "$out8"
+echo "wrote $out8"

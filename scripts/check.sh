@@ -9,21 +9,20 @@
 #                               # smoke (CI runs the other gates as separate
 #                               # steps so each failure is its own log)
 #   sh scripts/check.sh bench   # only the benchmark-snapshot gate: run
-#                               # `make bench` and fail unless it leaves a
-#                               # parseable, non-empty BENCH_checks.json
+#                               # `make bench` and fail unless it leaves
+#                               # parseable, non-empty BENCH_checks.json and
+#                               # BENCH_e8.json snapshots, with the E8 n=5
+#                               # throughput above the recorded floor
 set -eu
 
 mode="${1:-all}"
 
-# bench_guard runs `make bench` and fails loudly when the snapshot it is
-# supposed to leave behind (BENCH_checks.json) is missing, empty, not valid
-# JSON, or contains no benchmark records. A silently-empty snapshot would
-# make every later perf comparison in EXPERIMENTS.md vacuous, so this is a
-# hard failure, not a warning.
-bench_guard() {
-	out=BENCH_checks.json
-	rm -f "$out"
-	make bench
+# snapshot_guard fails loudly when the snapshot `make bench` is supposed to
+# leave behind is missing, empty, not valid JSON, or contains no benchmark
+# records. A silently-empty snapshot would make every later perf comparison
+# in EXPERIMENTS.md vacuous, so this is a hard failure, not a warning.
+snapshot_guard() {
+	out="$1"
 	if [ ! -s "$out" ]; then
 		echo "check.sh: make bench left $out missing or empty — the benchmark run produced no snapshot" >&2
 		exit 1
@@ -38,6 +37,37 @@ bench_guard() {
 		exit 1
 	fi
 	echo "check.sh: bench snapshot OK ($(grep -c '"name":' "$out") records in $out)"
+}
+
+# e8_floor_guard reads the isolated E8 throughput snapshot and fails if the
+# n=5 delivered throughput fell below the floor. The floor is deliberately
+# far under the recorded dev-box number (≈47k msg/s after the batching work)
+# because CI runners are slow and shared; it is a smoke against the
+# catastrophic regressions this bench exists to catch — lock-stepped
+# confirms, batching silently disabled, the sequencer collapse returning —
+# all of which cut n=5 throughput by an order of magnitude, not a percentage.
+# E8_FLOOR (msg/s) overrides it for slower or faster machines.
+e8_floor_guard() {
+	out=BENCH_e8.json
+	floor="${E8_FLOOR:-12000}"
+	got=$(grep -o '"name": "E8TOThroughput/n=5"[^}]*' "$out" | grep -o '"msg_per_s": [0-9.]*' | awk '{print $2}')
+	if [ -z "$got" ]; then
+		echo "check.sh: no E8TOThroughput/n=5 msg_per_s record in $out" >&2
+		exit 1
+	fi
+	if ! awk -v g="$got" -v f="$floor" 'BEGIN { exit !(g + 0 >= f + 0) }'; then
+		echo "check.sh: E8 n=5 throughput ${got} msg/s is below the floor ${floor} msg/s — sequencer regression" >&2
+		exit 1
+	fi
+	echo "check.sh: E8 throughput smoke OK (n=5: ${got} msg/s >= floor ${floor})"
+}
+
+bench_guard() {
+	rm -f BENCH_checks.json BENCH_e8.json
+	make bench
+	snapshot_guard BENCH_checks.json
+	snapshot_guard BENCH_e8.json
+	e8_floor_guard
 }
 
 if [ "$mode" = "bench" ]; then

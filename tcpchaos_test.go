@@ -188,6 +188,14 @@ func TestChaosTCPFaultSoak(t *testing.T) {
 		if ns.VS.ViewsInstalled == 0 || ns.TOB.Delivered == 0 {
 			t.Errorf("node %d layer counters empty: %+v", i, ns)
 		}
+		if ns.TOB.PayloadsOut != 0 && ns.TOB.BatchesOut == 0 {
+			t.Errorf("node %d sent payloads with no frames: %+v", i, ns.TOB)
+		}
+		if st.WriterFrames < st.WriterFlushes {
+			t.Errorf("node %d writer frames %d < flushes %d", i, st.WriterFrames, st.WriterFlushes)
+		}
+		t.Logf("node %d: tob %d payloads / %d frames, net %d frames / %d flushes",
+			i, ns.TOB.PayloadsOut, ns.TOB.BatchesOut, st.WriterFrames, st.WriterFlushes)
 	}
 	fs := faults[0].Stats()
 	if fs.Dropped == 0 {

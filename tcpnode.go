@@ -26,7 +26,7 @@ func registerWireTypes() {
 		vsg.Data{}, vsg.Ordered{}, vsg.Ack{}, vsg.SafePoint{},
 		core.InfoMsg{}, core.RegisteredMsg{},
 		toimpl.LabelMsg{}, toimpl.SummaryMsg{},
-		types.ClientMsg(""),
+		types.ClientMsg(""), types.Batch{}, dvsg.WireBatch{},
 	} {
 		netfab.RegisterWireType(v)
 	}
