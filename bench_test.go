@@ -353,6 +353,59 @@ func BenchmarkImplFingerprint(b *testing.B) {
 	}
 }
 
+// --- E12: deep exhaustive exploration (scaled bounds, symmetry reduction) ---
+
+// E12 constants: the deterministic counts of the CheckExploreDeep defaults.
+// Every variant asserts them, so the benchmark doubles as a determinism
+// check — the parallel BFS and the symmetry-reduced BFS must visit exactly
+// the same space on every run at every worker count.
+const (
+	e12States    = 38566
+	e12Edges     = 108312
+	e12SymStates = 6527
+	e12SymEdges  = 18553
+)
+
+func BenchmarkE12DeepExplore(b *testing.B) {
+	for _, par := range benchModes() {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				rep, err := dvs.CheckExploreDeep(dvs.ExploreDeepConfig{Parallel: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.States != e12States || rep.Steps != e12Edges {
+					b.Fatalf("nondeterministic exploration: %d states / %d edges, want %d / %d",
+						rep.States, rep.Steps, e12States, e12Edges)
+				}
+				steps += rep.Steps
+			}
+			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+			b.ReportMetric(float64(e12States), "states")
+		})
+	}
+	b.Run("symmetry", func(b *testing.B) {
+		b.ReportAllocs()
+		var steps int64
+		for i := 0; i < b.N; i++ {
+			rep, err := dvs.CheckExploreDeep(dvs.ExploreDeepConfig{Symmetry: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.States != e12SymStates || rep.Steps != e12SymEdges {
+				b.Fatalf("nondeterministic reduced exploration: %d states / %d edges, want %d / %d",
+					rep.States, rep.Steps, e12SymStates, e12SymEdges)
+			}
+			steps += rep.Steps
+		}
+		b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+		b.ReportMetric(float64(e12SymStates), "states")
+		b.ReportMetric(float64(e12States)/float64(e12SymStates), "state-reduction")
+	})
+}
+
 // --- E10: why information exchange matters (naive dynamic voting baseline) ---
 
 func BenchmarkE10NaiveSplitBrain(b *testing.B) {

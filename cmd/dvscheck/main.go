@@ -13,10 +13,16 @@
 // small fixed DVS-IMPL configuration by breadth-first search, so its state
 // and edge counts are identical at every -parallel setting.
 //
+// The "explore-deep" check is the E12 configuration: the same exhaustive
+// BFS an order of magnitude past the fixed "explore" bounds, with optional
+// symmetry reduction (-symmetry explores one state per process-permutation
+// orbit; -audit-symmetry cross-checks the orbit representatives).
+//
 // Usage:
 //
-//	dvscheck [-check all|vs|dvs|refinement|to|explore] [-procs N] [-steps N]
-//	         [-seeds N] [-seed S] [-parallel N] [-v]
+//	dvscheck [-check all|vs|dvs|refinement|to|explore|explore-deep]
+//	         [-procs N] [-steps N] [-seeds N] [-seed S] [-parallel N]
+//	         [-depth N] [-symmetry] [-audit-symmetry] [-refinement] [-v]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -47,6 +53,10 @@ func run() error {
 		seeds      = flag.Int("seeds", 10, "number of seeded executions")
 		seed       = flag.Int64("seed", 0, "base seed")
 		parallel   = flag.Int("parallel", 0, "seed fan-out workers (0 = GOMAXPROCS, 1 = serial)")
+		depth      = flag.Int("depth", 0, "explore-deep: BFS depth bound (0 = default 11)")
+		symmetry   = flag.Bool("symmetry", false, "explore-deep: explore one state per process-permutation orbit")
+		auditSym   = flag.Bool("audit-symmetry", false, "explore-deep: verify orbit representatives (implies -symmetry)")
+		refinement = flag.Bool("refinement", false, "explore-deep: also check the Figure 4 correspondence on every edge")
 		verbose    = flag.Bool("v", false, "print per-check work reports (executions, steps, states, invariant evals, steps/s, allocation)")
 		findings   = flag.Bool("findings", false, "reproduce the documented paper discrepancies F1-F4")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -98,10 +108,21 @@ func run() error {
 		{"refinement", dvs.CheckDVSRefinement},
 		{"to", dvs.CheckTOTraceInclusion},
 	}
-	if *check == "explore" {
+	switch *check {
+	case "explore":
 		// Exhaustive exploration is opt-in: it ignores -procs/-steps/-seeds
 		// and is not part of "all".
 		all = []entry{{"explore", dvs.CheckExplore}}
+	case "explore-deep":
+		all = []entry{{"explore-deep", func(cfg dvs.CheckConfig) (ioa.CheckReport, error) {
+			return dvs.CheckExploreDeep(dvs.ExploreDeepConfig{
+				MaxDepth:      *depth,
+				Parallel:      cfg.Parallel,
+				Symmetry:      *symmetry,
+				AuditSymmetry: *auditSym,
+				Refinement:    *refinement,
+			})
+		}}}
 	}
 	ran := 0
 	var total ioa.CheckReport
@@ -116,7 +137,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
-		if e.name == "explore" {
+		if e.name == "explore" || e.name == "explore-deep" {
 			fmt.Printf("%-11s OK  (exhaustive BFS, %d workers, %v)\n",
 				e.name, ioa.Workers(*parallel), rep.Wall.Round(time.Millisecond))
 		} else {

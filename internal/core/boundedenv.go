@@ -25,6 +25,17 @@ type BoundedEnv struct {
 	MaxMsgs  int
 	MaxViews int
 	Views    []types.ProcSet
+	// AllOrigins proposes each candidate view once per member, with that
+	// member as the identifier's origin, instead of once with the least
+	// member as origin. This makes the input enumeration equivariant under
+	// process permutations — required for symmetry reduction (the
+	// least-member choice is not: π of the least member need not be the
+	// least member of the π-image). Views must additionally be closed under
+	// the symmetry group (e.g. every membership of a given size, or the full
+	// universe). The candidate identifier's sequence number is the same
+	// either way, so the reachable states per (membership, origin) pair are
+	// unchanged; the state space grows only by the extra origin choices.
+	AllOrigins bool
 }
 
 var _ ioa.Environment = (*BoundedEnv)(nil)
@@ -53,10 +64,16 @@ func (e *BoundedEnv) Inputs(a ioa.Automaton) []ioa.Action {
 	if im.VS().CreatedCount() < e.MaxViews {
 		next := im.MaxCreatedID()
 		for _, members := range e.Views {
-			v := types.View{ID: next.Next(members.Sorted()[0]), Members: members.Clone()}
-			if im.VSCreateViewCandidateOK(v) {
-				acts = append(acts, ioa.Action{Name: vsspec.ActCreateView, Kind: ioa.KindInternal,
-					Param: vsspec.CreateViewParam{View: v}})
+			origins := members.Sorted()
+			if !e.AllOrigins {
+				origins = origins[:1]
+			}
+			for _, o := range origins {
+				v := types.View{ID: next.Next(o), Members: members.Clone()}
+				if im.VSCreateViewCandidateOK(v) {
+					acts = append(acts, ioa.Action{Name: vsspec.ActCreateView, Kind: ioa.KindInternal,
+						Param: vsspec.CreateViewParam{View: v}})
+				}
 			}
 		}
 	}

@@ -31,6 +31,8 @@ type Impl struct {
 	procs   []types.ProcID // sorted universe, for deterministic enumeration
 	vs      *vsspec.VS
 	nodes   map[types.ProcID]*Node
+	//lint:fpignore symmetry group computed once from the initial state; identical (and immutable) across every state of one exploration
+	syms []types.Perm //lint:clonesafe the group is immutable and conjugation-closed, so clones share it by design
 }
 
 var _ ioa.Automaton = (*Impl)(nil)
@@ -313,6 +315,7 @@ func (im *Impl) Clone() ioa.Automaton {
 		procs:    types.CloneSeq(im.procs),
 		vs:       im.vs.Clone().(*vsspec.VS),
 		nodes:    make(map[types.ProcID]*Node, len(im.nodes)),
+		syms:     im.syms, // immutable; shared across clones
 	}
 	for p, n := range im.nodes {
 		c.nodes[p] = n.Clone()

@@ -167,7 +167,7 @@ func purgeSizeEntries(q []vsspec.Entry) int {
 //     DVS-NEWVIEW(v) event");
 //   - vs-order on a client message maps to dvs-order;
 //   - every other hidden action maps to the empty fragment.
-func (r *Refinement) Plan(pre ioa.Automaton, act ioa.Action, post ioa.Automaton) ([]ioa.Action, error) {
+func (r *Refinement) Plan(pre ioa.Automaton, act ioa.Action) ([]ioa.Action, error) {
 	im, ok := pre.(*Impl)
 	if !ok {
 		return nil, fmt.Errorf("plan: want *core.Impl, got %T", pre)

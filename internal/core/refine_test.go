@@ -78,20 +78,20 @@ func TestPlanShapes(t *testing.T) {
 
 	// dvs-gpsnd maps to itself.
 	snd := ioa.Action{Name: dvs.ActGpSnd, Kind: ioa.KindInput, Param: dvs.SndParam{M: types.ClientMsg("x"), P: 0}}
-	plan, err := ref.Plan(im, snd, im)
+	plan, err := ref.Plan(im, snd)
 	if err != nil || len(plan) != 1 || plan[0].Key() != snd.Key() {
 		t.Errorf("plan(gpsnd) = %v, %v", plan, err)
 	}
 
 	// garbage collection maps to the empty fragment.
 	gc := ioa.Action{Name: "dvs-garbage-collect", Kind: ioa.KindInternal, Param: GCParam{View: v0, P: 0}}
-	plan, err = ref.Plan(im, gc, im)
+	plan, err = ref.Plan(im, gc)
 	if err != nil || len(plan) != 0 {
 		t.Errorf("plan(gc) = %v, %v", plan, err)
 	}
 
 	// unknown action is an error.
-	if _, err := ref.Plan(im, ioa.Action{Name: "bogus"}, im); err == nil {
+	if _, err := ref.Plan(im, ioa.Action{Name: "bogus"}); err == nil {
 		t.Error("unknown action must fail planning")
 	}
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+// Symmetry reduction for DVS-IMPL. Every transition of the composition —
+// the VS specification's actions, the VS-TO-DVS node actions, and the
+// derived enabling conditions — is defined by set membership, majority
+// intersection, and per-process bookkeeping, never by comparing process
+// identifiers, so the composition is equivariant under any permutation of
+// the universe: s --act--> s' implies π(s) --π(act)--> π(s'). The same
+// holds for Invariants 5.1–5.6 and for the Figure 4 abstraction function.
+// Exploring orbit representatives is therefore sound for DVS-IMPL whenever
+// the environment's input enumeration is equivariant too (its proposed
+// views closed under the group, all originating processes enumerated) —
+// see DESIGN.md §6.7 and the symmetric bounded-environment mode.
+var _ ioa.Symmetric = (*Impl)(nil)
+
+// Permute returns π(im): a fresh DVS-IMPL state with every process identity
+// replaced by its image under π — the inner VS state, each node's state,
+// and the node indexing itself (π(im)'s node for π(p) is the permutation of
+// im's node for p). The receiver is not mutated.
+func (im *Impl) Permute(pi types.Perm) *Impl {
+	c := &Impl{
+		universe: pi.Set(im.universe),
+		initial:  pi.View(im.initial),
+		vs:       im.vs.Permute(pi),
+		nodes:    make(map[types.ProcID]*Node, len(im.nodes)),
+		syms:     im.syms, // conjugating a stabilizer by its own element is the identity
+	}
+	c.procs = c.universe.Sorted()
+	for p, n := range im.nodes {
+		c.nodes[pi.ID(p)] = n.Permute(pi)
+	}
+	return c
+}
+
+// EnableSymmetry computes the symmetry group — the permutations of the
+// universe that fix the CURRENT state by fingerprint — and installs it for
+// Canonicalize/Orbit. Call it on the initial state, before exploration: the
+// stabilizer of the initial state is exactly the set of permutations under
+// which every reachable orbit has a reachable representative. Returns the
+// group order. With the initial view covering the whole universe the group
+// is the full symmetric group (order n!); asymmetric initial views yield
+// the appropriate subgroup automatically.
+func (im *Impl) EnableSymmetry() int {
+	self := ioa.FpOf(im)
+	var syms []types.Perm
+	for _, pi := range types.PermsOf(im.universe) {
+		if ioa.FpOf(im.Permute(pi)) == self {
+			syms = append(syms, pi)
+		}
+	}
+	im.syms = syms
+	return len(syms)
+}
+
+// Canonicalize implements ioa.Symmetric: the orbit member with the least
+// fingerprint under the installed group. With no group installed (or the
+// trivial group) the receiver is its own representative.
+func (im *Impl) Canonicalize() ioa.Automaton {
+	if len(im.syms) <= 1 {
+		return im
+	}
+	var best ioa.Automaton = im
+	bestFp := ioa.FpOf(im)
+	for _, pi := range im.syms[1:] { // syms[0] is the identity
+		cand := im.Permute(pi)
+		if fp := ioa.FpOf(cand); fp.Less(bestFp) {
+			best, bestFp = cand, fp
+		}
+	}
+	return best
+}
+
+// Orbit implements ioa.Symmetric.
+func (im *Impl) Orbit() []ioa.Automaton {
+	syms := im.syms
+	if len(syms) == 0 {
+		syms = []types.Perm{nil} // identity only
+	}
+	out := make([]ioa.Automaton, 0, len(syms))
+	for _, pi := range syms {
+		out = append(out, im.Permute(pi))
+	}
+	return out
+}

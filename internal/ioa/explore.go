@@ -2,6 +2,7 @@ package ioa
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,14 +30,17 @@ type ExploreConfig struct {
 	MaxDepth int
 	// Parallel is the number of BFS workers per level (0 = GOMAXPROCS,
 	// 1 = serial). State, edge, and depth counts are identical for every
-	// worker count: the BFS is level-synchronous, each level's frontier is
-	// sorted by fingerprint, and new states are admitted in that order.
+	// worker count: the BFS is level-synchronous, each level's discoveries
+	// are merged into fingerprint-ordered shard runs, and new states are
+	// admitted in that order (see the determinism note on shardOf).
 	Parallel int
 	// Invariants are checked at every distinct state.
 	Invariants []Invariant
 	// Refinement, if non-nil, is checked on every explored edge. The
 	// abstracted spec state F(s) is computed once per distinct state and
-	// cached on the frontier, not recomputed per outgoing edge.
+	// cached on the frontier, not recomputed per outgoing edge. Abstract
+	// states are interned by fingerprint: distinct implementation states
+	// sharing one F(s) share one spec automaton in memory.
 	Refinement Refinement
 	// SpecInvariants are checked on intermediate spec states when
 	// Refinement is set.
@@ -47,11 +51,25 @@ type ExploreConfig struct {
 	// hash-equality and string-equality ever disagree (a hash collision or
 	// a non-canonical digest). Expensive; for tests.
 	AuditFingerprints bool
+	// Symmetry enables symmetry reduction over process identities: every
+	// discovered state is replaced by its orbit representative
+	// (Symmetric.Canonicalize) before fingerprinting and dedup, so the
+	// exploration counts orbits, not states. The automaton must implement
+	// Symmetric. Soundness additionally requires the environment, the
+	// invariants, and the automaton's transitions to be equivariant under
+	// the symmetry group — see DESIGN.md §6.7.
+	Symmetry bool
+	// AuditSymmetry cross-checks orbit soundness the same way
+	// AuditFingerprints checks digests: for every discovered state, every
+	// member of its orbit must canonicalize to one fingerprint, and the
+	// representative must lie in the orbit. Implies Symmetry. Expensive;
+	// for tests.
+	AuditSymmetry bool
 }
 
 // ExploreResult reports exploration statistics.
 type ExploreResult struct {
-	States         int           // distinct states visited
+	States         int           // distinct states visited (orbits under Symmetry)
 	Edges          int           // transitions explored
 	Truncated      bool          // hit MaxStates or MaxDepth before exhausting the space
 	MaxDepth       int           // deepest level reached
@@ -74,6 +92,23 @@ func (r ExploreResult) Report() CheckReport {
 		GCCycles:       r.GCCycles,
 	}
 }
+
+const (
+	// exploreShards is the number of merge shards (and fpSet stripes).
+	exploreShards = 64
+	// exploreChunk is the number of frontier entries a worker claims per
+	// atomic increment: large enough to keep the claim counter off the
+	// coherence hot path, small enough to balance uneven entries.
+	exploreChunk = 8
+)
+
+// shardOf maps a fingerprint to its merge shard using the TOP bits of
+// Fp.Hi. Shard order therefore refines Fp.Less order — every fingerprint
+// in shard k orders below every fingerprint in shard k+1 — so sorting each
+// shard independently and concatenating the runs in shard order reproduces
+// exactly the globally fingerprint-sorted admission sequence the
+// determinism contract promises, without a global sort.
+func shardOf(fp Fp) int { return int(fp.Hi >> 58) }
 
 // exploreErr is a worker-discovered failure keyed by its deterministic
 // position in the level: (frontier index, action index). The lowest key is
@@ -108,15 +143,51 @@ type discovery struct {
 	abs Automaton
 }
 
-// exploreScratch is per-worker reusable storage: the fingerprint digest, the
-// local discovery buffer, and the action buffer survive across frontier
-// entries and across levels, so steady-state expansion does not allocate
-// for bookkeeping.
-type exploreScratch struct {
-	f     Fingerprinter
-	found []discovery
-	acts  []Action
+// discSlice sorts discoveries by fingerprint without the reflective
+// swapper allocation of sort.Slice.
+type discSlice []discovery
+
+func (s discSlice) Len() int           { return len(s) }
+func (s discSlice) Less(i, j int) bool { return s[i].fp.Less(s[j].fp) }
+func (s discSlice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// shardBuf collects one shard's discoveries across all workers. Padded so
+// neighbouring shard locks do not share a cache line.
+type shardBuf struct {
+	mu sync.Mutex
+	d  []discovery
+	_  [32]byte
 }
+
+// exploreScratch is per-worker reusable storage: the fingerprint digest,
+// the action buffer, and the per-shard discovery buckets survive across
+// frontier entries and across levels, so steady-state expansion does not
+// allocate for bookkeeping.
+type exploreScratch struct {
+	f       Fingerprinter
+	acts    []Action
+	buckets [exploreShards][]discovery
+}
+
+// flushBucket appends one local bucket into the shared shard buffer and
+// resets it, dropping its automaton references.
+func (sc *exploreScratch) flushBucket(level *[exploreShards]shardBuf, s int) {
+	b := sc.buckets[s]
+	if len(b) == 0 {
+		return
+	}
+	sb := &level[s]
+	sb.mu.Lock()
+	sb.d = append(sb.d, b...)
+	sb.mu.Unlock()
+	clear(b)
+	sc.buckets[s] = b[:0]
+}
+
+// bucketFlushLen bounds a local per-shard bucket before it is flushed to
+// the shared shard buffer mid-level, so worker-local buffering does not
+// grow per-level memory by worker count.
+const bucketFlushLen = 128
 
 // fpAudit cross-checks hash fingerprints against string fingerprints for
 // every visited state (AuditFingerprints mode).
@@ -148,10 +219,87 @@ func (au *fpAudit) check(fp Fp, s string) error {
 	return nil
 }
 
+// absIntern interns abstract (specification) states by fingerprint so that
+// the many implementation states sharing one F(s) share one spec automaton
+// in memory. Interned automata are read-shared across workers and frontier
+// entries; nothing may mutate them (checkPlannedStep runs plans on clones).
+type absIntern struct {
+	stripes [exploreShards]struct {
+		mu sync.Mutex
+		m  map[Fp]Automaton
+	}
+}
+
+func (in *absIntern) intern(fp Fp, a Automaton) Automaton {
+	st := &in.stripes[shardOf(fp)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if got, ok := st.m[fp]; ok {
+		return got
+	}
+	if st.m == nil {
+		st.m = make(map[Fp]Automaton)
+	}
+	st.m[fp] = a
+	return a
+}
+
+// canonicalize resolves the symmetry hook for one state: it returns the
+// orbit representative and, in audit mode, verifies that every orbit member
+// canonicalizes to the same fingerprint (orbit soundness: the
+// representative is a well-defined function of the orbit, not of the
+// particular member the search happened to reach).
+func canonicalize(a Automaton, f *Fingerprinter, audit bool) (Automaton, Fp, error) {
+	sym, ok := a.(Symmetric)
+	if !ok {
+		return nil, Fp{}, fmt.Errorf("symmetry reduction: %T does not implement ioa.Symmetric", a)
+	}
+	rep := sym.Canonicalize()
+	f.Reset()
+	rep.Fingerprint(f)
+	repFp := f.Sum()
+	if audit {
+		inOrbit := false
+		for _, m := range sym.Orbit() {
+			f.Reset()
+			m.Fingerprint(f)
+			mFp := f.Sum()
+			if mFp == repFp {
+				inOrbit = true
+			}
+			ms, ok := m.(Symmetric)
+			if !ok {
+				return nil, Fp{}, fmt.Errorf("symmetry audit: orbit member %T does not implement ioa.Symmetric", m)
+			}
+			mRep := ms.Canonicalize()
+			f.Reset()
+			mRep.Fingerprint(f)
+			if mRepFp := f.Sum(); mRepFp != repFp {
+				return nil, Fp{}, fmt.Errorf("symmetry audit: orbit members canonicalize to different representatives:\n  state     = %s\n  member    = %s\n  canon(state)  = %v\n  canon(member) = %v",
+					FingerprintString(a), FingerprintString(m), repFp, mRepFp)
+			}
+		}
+		if !inOrbit {
+			return nil, Fp{}, fmt.Errorf("symmetry audit: representative %v is not in the orbit of %s", repFp, FingerprintString(a))
+		}
+	}
+	return rep, repFp, nil
+}
+
 // Explore runs the exhaustive check across cfg.Parallel workers. The
 // environment supplies the (finitely many) input actions available in each
 // state; locally controlled actions come from Enabled. The initial
 // automaton is not mutated.
+//
+// The BFS is level-synchronous but the per-level work is pipelined inside
+// one worker pool pass: workers claim frontier chunks, expand successors
+// into per-worker buckets sharded by fingerprint, flush the buckets to
+// shared shard buffers, and — after an in-pool flush barrier — claim shards
+// to sort. The admission step then concatenates the sorted shard runs in
+// shard order, which (see shardOf) is exactly the fingerprint-sorted order
+// a global sort would produce, so every count the exploration reports is
+// identical at every worker count while no single goroutine ever sorts, or
+// even touches, the whole level.
 func Explore(initial Automaton, env Environment, cfg ExploreConfig) (res ExploreResult, err error) {
 	start := time.Now()
 	mem := startMemSample()
@@ -167,16 +315,31 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (res Explore
 		maxStates = 1 << 20
 	}
 	workers := Workers(cfg.Parallel)
+	symmetry := cfg.Symmetry || cfg.AuditSymmetry
 	nInvs := int64(countInvs(cfg.Invariants))
 	var audit *fpAudit
 	if cfg.AuditFingerprints {
 		audit = newFpAudit()
 	}
+	var interned *absIntern
+	if cfg.Refinement != nil {
+		interned = new(absIntern)
+	}
+
+	scratch := make([]exploreScratch, workers)
 
 	first := initial.Clone()
 	res.InvariantEvals += nInvs
 	if err := checkInvariants(first, cfg.Invariants); err != nil {
 		return res, fmt.Errorf("initial state: %w", err)
+	}
+	firstFp := FpOf(first)
+	if symmetry {
+		var err error
+		first, firstFp, err = canonicalize(first, &scratch[0].f, cfg.AuditSymmetry)
+		if err != nil {
+			return res, fmt.Errorf("initial state: %w", err)
+		}
 	}
 	var absFirst Automaton
 	if cfg.Refinement != nil {
@@ -186,14 +349,13 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (res Explore
 			return res, fmt.Errorf("abstract initial state: %w", err)
 		}
 		specInit := cfg.Refinement.SpecInitial()
-		if FpOf(absFirst) != FpOf(specInit) {
+		absFp := FpOf(absFirst)
+		if absFp != FpOf(specInit) {
 			return res, fmt.Errorf("F(init) is not the spec initial state:\n  F(init) = %s\n  init    = %s",
 				FingerprintString(absFirst), FingerprintString(specInit))
 		}
+		absFirst = interned.intern(absFp, absFirst)
 	}
-
-	seen := newFpSet()
-	firstFp := FpOf(first)
 	if audit != nil {
 		fp, s := FingerprintBoth(first)
 		firstFp = fp
@@ -201,12 +363,15 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (res Explore
 			return res, err
 		}
 	}
+
+	seen := newFpSet()
 	seen.Add(firstFp)
 	frontier := []frontierEntry{{a: first, abs: absFirst}}
 	res.States = 1
 
-	scratch := make([]exploreScratch, workers)
+	var level [exploreShards]shardBuf
 
+	const noErrFrontier = math.MaxInt64
 	for depth := 0; len(frontier) > 0; depth++ {
 		if depth > res.MaxDepth {
 			res.MaxDepth = depth
@@ -221,24 +386,45 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (res Explore
 			w = len(frontier)
 		}
 		var (
-			next     atomic.Int64
+			next     atomic.Int64 // next frontier chunk to claim
+			sortNext atomic.Int64 // next shard to sort
+			errFront atomic.Int64 // lowest failing frontier index (fast-path early stop)
 			edges    atomic.Int64
 			invEvals atomic.Int64
-			mu       sync.Mutex // guards levelErr, found
+			mu       sync.Mutex // guards levelErr
 			levelErr *exploreErr
-			found    []discovery
+			flushed  sync.WaitGroup // in-pool barrier: all buckets flushed
 			wg       sync.WaitGroup
 		)
-		next.Store(-1)
-		for wi := 0; wi < w; wi++ {
-			wg.Add(1)
-			go func(sc *exploreScratch) {
-				defer wg.Done()
-				local := sc.found[:0]
-				for {
-					i := int(next.Add(1))
-					if i >= len(frontier) {
-						break
+		errFront.Store(noErrFrontier)
+		flushed.Add(w)
+		fail := func(frontierIdx, actionIdx int, err error) {
+			e := &exploreErr{frontier: frontierIdx, action: actionIdx, err: err}
+			mu.Lock()
+			if e.better(levelErr) {
+				levelErr = e
+				errFront.Store(int64(e.frontier))
+			}
+			mu.Unlock()
+		}
+		body := func(sc *exploreScratch) {
+			defer wg.Done()
+			var localEdges, localInvs int64
+		claim:
+			for {
+				base := int(next.Add(exploreChunk)) - exploreChunk
+				if base >= len(frontier) {
+					break
+				}
+				end := base + exploreChunk
+				if end > len(frontier) {
+					end = len(frontier)
+				}
+				for i := base; i < end; i++ {
+					if errFront.Load() < int64(i) {
+						// A deterministically earlier frontier entry already
+						// failed; nothing from here on can precede it.
+						break claim
 					}
 					cur := frontier[i].a
 					absPre := frontier[i].abs
@@ -248,24 +434,39 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (res Explore
 					for j, act := range acts {
 						succ := cur.Clone()
 						if err := succ.Perform(act); err != nil {
-							recordExploreErr(&mu, &levelErr, i, j,
-								fmt.Errorf("depth %d, action %s: %w", depth, act, err))
+							fail(i, j, fmt.Errorf("depth %d, action %s: %w", depth, act, err))
 							break
 						}
-						edges.Add(1)
+						localEdges++
 						var absSucc Automaton
 						if cfg.Refinement != nil {
 							var err error
 							absSucc, err = cfg.Refinement.Abstract(succ)
 							if err != nil {
-								recordExploreErr(&mu, &levelErr, i, j,
-									fmt.Errorf("depth %d, action %s: abstract post-state: %w", depth, act, err))
+								fail(i, j, fmt.Errorf("depth %d, action %s: abstract post-state: %w", depth, act, err))
 								break
 							}
-							if err := checkPlannedStep(cur, act, succ, absPre, absSucc, cfg.Refinement, cfg.SpecInvariants, nil); err != nil {
-								recordExploreErr(&mu, &levelErr, i, j,
-									fmt.Errorf("depth %d, action %s: %w", depth, act, err))
+							if err := checkPlannedStep(cur, act, absPre, absSucc, cfg.Refinement, cfg.SpecInvariants, nil); err != nil {
+								fail(i, j, fmt.Errorf("depth %d, action %s: %w", depth, act, err))
 								break
+							}
+						}
+						if symmetry {
+							// The refinement obligation above was checked on
+							// the real edge; dedup, invariants, and the next
+							// frontier use the orbit representative.
+							rep, _, err := canonicalize(succ, &sc.f, cfg.AuditSymmetry)
+							if err != nil {
+								fail(i, j, fmt.Errorf("depth %d, action %s: %w", depth, act, err))
+								break
+							}
+							succ = rep
+							if cfg.Refinement != nil {
+								absSucc, err = cfg.Refinement.Abstract(succ)
+								if err != nil {
+									fail(i, j, fmt.Errorf("depth %d, action %s: abstract representative: %w", depth, act, err))
+									break
+								}
 							}
 						}
 						sc.f.Reset()
@@ -274,42 +475,65 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (res Explore
 						if audit != nil {
 							afp, astr := FingerprintBoth(succ)
 							if afp != fp {
-								recordExploreErr(&mu, &levelErr, i, j,
-									fmt.Errorf("depth %d, action %s: hash-only and recording fingerprints disagree: %v vs %v", depth, act, fp, afp))
+								fail(i, j, fmt.Errorf("depth %d, action %s: hash-only and recording fingerprints disagree: %v vs %v", depth, act, fp, afp))
 								break
 							}
 							if err := audit.check(afp, astr); err != nil {
-								recordExploreErr(&mu, &levelErr, i, j,
-									fmt.Errorf("depth %d, action %s: %w", depth, act, err))
+								fail(i, j, fmt.Errorf("depth %d, action %s: %w", depth, act, err))
 								break
 							}
 						}
 						if !seen.Add(fp) {
 							continue
 						}
-						invEvals.Add(nInvs)
+						localInvs += nInvs
 						if err := checkInvariants(succ, cfg.Invariants); err != nil {
-							recordExploreErr(&mu, &levelErr, i, j,
-								fmt.Errorf("depth %d, after %s: %w", depth+1, act, err))
+							fail(i, j, fmt.Errorf("depth %d, after %s: %w", depth+1, act, err))
 							break
 						}
-						local = append(local, discovery{fp: fp, a: succ, abs: absSucc})
-					}
-					mu.Lock()
-					stop := levelErr != nil && levelErr.frontier < i
-					mu.Unlock()
-					if stop {
-						// A deterministically earlier frontier entry
-						// already failed; nothing claimed from here on can
-						// precede it.
-						break
+						if absSucc != nil {
+							absSucc = interned.intern(FpOf(absSucc), absSucc)
+						}
+						s := shardOf(fp)
+						sc.buckets[s] = append(sc.buckets[s], discovery{fp: fp, a: succ, abs: absSucc})
+						if len(sc.buckets[s]) >= bucketFlushLen {
+							sc.flushBucket(&level, s)
+						}
 					}
 				}
-				mu.Lock()
-				found = append(found, local...)
-				mu.Unlock()
-				sc.found = local[:0]
-			}(&scratch[wi])
+			}
+			for s := range sc.buckets {
+				sc.flushBucket(&level, s)
+			}
+			edges.Add(localEdges)
+			invEvals.Add(localInvs)
+			flushed.Done()
+			// In-pool barrier: every worker's buckets are in the shared
+			// shard buffers before any worker starts sorting them. The pool
+			// pipelines straight into the merge phase without handing
+			// control back to the coordinating goroutine.
+			flushed.Wait()
+			if errFront.Load() != noErrFrontier {
+				return
+			}
+			for {
+				s := int(sortNext.Add(1)) - 1
+				if s >= exploreShards {
+					return
+				}
+				if d := level[s].d; len(d) > 1 {
+					sort.Sort(discSlice(d))
+				}
+			}
+		}
+		if w == 1 {
+			wg.Add(1)
+			body(&scratch[0])
+		} else {
+			for wi := 0; wi < w; wi++ {
+				wg.Add(1)
+				go body(&scratch[wi])
+			}
 		}
 		wg.Wait()
 		res.Edges += int(edges.Load())
@@ -318,28 +542,28 @@ func Explore(initial Automaton, env Environment, cfg ExploreConfig) (res Explore
 			return res, levelErr.err
 		}
 
-		// Admit the level's discoveries in fingerprint order, up to the
-		// state cap, so the next frontier — and with it every count this
-		// exploration reports — is independent of worker scheduling.
-		sort.Slice(found, func(i, j int) bool { return found[i].fp.Less(found[j].fp) })
+		// Admit the level's discoveries in fingerprint order — sorted shard
+		// runs concatenated in shard order — up to the state cap, so the
+		// next frontier, and with it every count this exploration reports,
+		// is independent of worker scheduling.
 		frontier = frontier[:0]
-		for _, d := range found {
-			if res.States >= maxStates {
-				res.Truncated = true
-				break
+	admit:
+		for s := range level {
+			sb := &level[s]
+			for _, d := range sb.d {
+				if res.States >= maxStates {
+					res.Truncated = true
+					break admit
+				}
+				res.States++
+				frontier = append(frontier, frontierEntry{a: d.a, abs: d.abs})
 			}
-			res.States++
-			frontier = append(frontier, frontierEntry{a: d.a, abs: d.abs})
+		}
+		for s := range level {
+			sb := &level[s]
+			clear(sb.d)
+			sb.d = sb.d[:0]
 		}
 	}
 	return res, nil
-}
-
-func recordExploreErr(mu *sync.Mutex, best **exploreErr, frontier, action int, err error) {
-	e := &exploreErr{frontier: frontier, action: action, err: err}
-	mu.Lock()
-	if e.better(*best) {
-		*best = e
-	}
-	mu.Unlock()
 }

@@ -103,6 +103,6 @@ func (r ringRefinement) Abstract(a Automaton) (Automaton, error) {
 	return &cp, nil
 }
 func (r ringRefinement) SpecInitial() Automaton { return &ring{m: 6} }
-func (r ringRefinement) Plan(pre Automaton, act Action, post Automaton) ([]Action, error) {
+func (r ringRefinement) Plan(pre Automaton, act Action) ([]Action, error) {
 	return []Action{act}, nil
 }

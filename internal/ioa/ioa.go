@@ -144,22 +144,29 @@ func (e *StepError) Unwrap() error { return e.Err }
 
 // SortActions orders actions deterministically by name and parameter key,
 // so that Enabled() results do not depend on map iteration order and seeded
-// executions are reproducible.
+// executions are reproducible. Parameter keys are rendered once per action,
+// not once per comparison: paramString goes through fmt for every
+// non-trivial parameter, and rebuilding it O(n²) times inside the sort was
+// a measurable slice of the per-state allocation profile.
 func SortActions(acts []Action) {
-	sortSlice(acts, func(a, b Action) bool {
-		if a.Name != b.Name {
-			return a.Name < b.Name
-		}
-		return paramString(a.Param) < paramString(b.Param)
-	})
-}
-
-func sortSlice(acts []Action, less func(a, b Action) bool) {
-	// insertion sort; action lists are short and this avoids importing sort
-	// for a comparator closure allocation on the hot path.
+	if len(acts) < 2 {
+		return
+	}
+	keys := make([]string, len(acts))
+	for i := range acts {
+		keys[i] = paramString(acts[i].Param)
+	}
+	// insertion sort, moving the cached keys in tandem; action lists are
+	// short and this avoids importing sort for a comparator closure
+	// allocation on the hot path.
 	for i := 1; i < len(acts); i++ {
-		for j := i; j > 0 && less(acts[j], acts[j-1]); j-- {
+		for j := i; j > 0; j-- {
+			if acts[j].Name > acts[j-1].Name ||
+				(acts[j].Name == acts[j-1].Name && keys[j] >= keys[j-1]) {
+				break
+			}
 			acts[j], acts[j-1] = acts[j-1], acts[j]
+			keys[j], keys[j-1] = keys[j-1], keys[j]
 		}
 	}
 }

@@ -210,7 +210,7 @@ func (r identityRefinement) Abstract(impl Automaton) (Automaton, error) {
 
 func (r identityRefinement) SpecInitial() Automaton { return &counter{limit: 1 << 30} }
 
-func (r identityRefinement) Plan(pre Automaton, act Action, post Automaton) ([]Action, error) {
+func (r identityRefinement) Plan(pre Automaton, act Action) ([]Action, error) {
 	return []Action{act}, nil
 }
 
@@ -232,7 +232,7 @@ func TestCheckRefinementDetectsBadAbstraction(t *testing.T) {
 // correspondence must catch it.
 type planDropper struct{ identityRefinement }
 
-func (planDropper) Plan(pre Automaton, act Action, post Automaton) ([]Action, error) {
+func (planDropper) Plan(pre Automaton, act Action) ([]Action, error) {
 	if act.Name == "emit" {
 		return nil, nil
 	}

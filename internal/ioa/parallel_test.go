@@ -135,7 +135,7 @@ type bombRefinement struct{}
 
 func (bombRefinement) Abstract(a Automaton) (Automaton, error) { return a.Clone(), nil }
 func (bombRefinement) SpecInitial() Automaton                  { return &bomb{} }
-func (bombRefinement) Plan(pre Automaton, act Action, post Automaton) ([]Action, error) {
+func (bombRefinement) Plan(pre Automaton, act Action) ([]Action, error) {
 	if act.Name == "boom" {
 		return nil, errors.New("unplannable input")
 	}

@@ -20,9 +20,13 @@ type Refinement interface {
 	// specification state F(s).
 	Abstract(impl Automaton) (Automaton, error)
 	// Plan returns the specification actions simulating the given
-	// implementation step. The implementation automaton arguments are the
-	// pre- and post-states of the step and must not be mutated.
-	Plan(pre Automaton, act Action, post Automaton) ([]Action, error)
+	// implementation step, as a function of the step's pre-state and
+	// action only. pre must not be mutated. Deriving the plan from the
+	// pre-state alone (the post-state is determined by pre and act anyway,
+	// the automata being deterministic per action) lets the random-walk
+	// checker plan before performing, eliminating a full implementation
+	// Clone per step.
+	Plan(pre Automaton, act Action) ([]Action, error)
 	// SpecInitial returns a fresh specification automaton in its initial
 	// state, used to check the Lemma 5.7 obligation F(init) = init.
 	SpecInitial() Automaton
@@ -90,7 +94,14 @@ func CheckRefinement(impl Automaton, ref Refinement, env Environment, cfg Checke
 		if !ok {
 			return rep, nil
 		}
-		pre := impl.Clone()
+		// Plan from the live pre-state, then perform in place: the walk
+		// needs no pre-state after this, so the full per-step
+		// implementation Clone this loop used to take (the dominant
+		// allocation of the refinement check) is gone.
+		plan, err := ref.Plan(impl, act)
+		if err != nil {
+			return rep, &StepError{Step: step, Action: act, Fingerprint: FingerprintString(impl), Err: fmt.Errorf("plan: %w", err)}
+		}
 		if err := impl.Perform(act); err != nil {
 			return rep, &StepError{Step: step, Action: act, Fingerprint: FingerprintString(impl), Err: fmt.Errorf("perform: %w", err)}
 		}
@@ -106,7 +117,7 @@ func CheckRefinement(impl Automaton, ref Refinement, env Environment, cfg Checke
 		if err != nil {
 			return rep, &StepError{Step: step, Action: act, Fingerprint: FingerprintString(impl), Err: fmt.Errorf("abstract post-state: %w", err)}
 		}
-		if err := checkPlannedStep(pre, act, impl, absCur, absPost, ref, cfg.SpecInvariants, &rep); err != nil {
+		if err := checkPlanExecution(plan, act, absCur, absPost, cfg.SpecInvariants, &rep); err != nil {
 			return rep, &StepError{Step: step, Action: act, Fingerprint: FingerprintString(impl), Err: err}
 		}
 		absCur = absPost
@@ -136,31 +147,22 @@ func CheckRefinementSeeds(n int, mk func() Automaton, ref Refinement, mkEnv func
 	})
 }
 
-// checkStepCorrespondence verifies the Lemma 5.8 obligation for one
-// implementation step, computing F(pre) and F(post) itself. Callers that
-// already hold the abstractions use checkPlannedStep directly.
-func checkStepCorrespondence(pre Automaton, act Action, post Automaton, ref Refinement, specInvs []Invariant, rep *CheckReport) error {
-	absPre, err := ref.Abstract(pre)
-	if err != nil {
-		return fmt.Errorf("abstract pre-state: %w", err)
-	}
-	absPost, err := ref.Abstract(post)
-	if err != nil {
-		return fmt.Errorf("abstract post-state: %w", err)
-	}
-	return checkPlannedStep(pre, act, post, absPre, absPost, ref, specInvs, rep)
-}
-
 // checkPlannedStep is the core of the Lemma 5.8 check with F(pre) and
 // F(post) already computed. absPre is never mutated — the planned fragment
 // runs on a clone — so callers may cache it across all outgoing edges of a
 // state (Explore) or across consecutive steps of a walk (CheckRefinement).
-func checkPlannedStep(pre Automaton, act Action, post Automaton, absPre, absPost Automaton, ref Refinement, specInvs []Invariant, rep *CheckReport) error {
-	plan, err := ref.Plan(pre, act, post)
+func checkPlannedStep(pre Automaton, act Action, absPre, absPost Automaton, ref Refinement, specInvs []Invariant, rep *CheckReport) error {
+	plan, err := ref.Plan(pre, act)
 	if err != nil {
 		return fmt.Errorf("plan: %w", err)
 	}
+	return checkPlanExecution(plan, act, absPre, absPost, specInvs, rep)
+}
 
+// checkPlanExecution verifies a precomputed plan: trace equality with the
+// step, enabledness of every planned action from F(pre), spec invariants on
+// the intermediate states, and F(post) as the end state.
+func checkPlanExecution(plan []Action, act Action, absPre, absPost Automaton, specInvs []Invariant, rep *CheckReport) error {
 	// The plan's external trace must equal the step's external trace: one
 	// matching external action if the step is external, none otherwise.
 	// Compared pairwise to avoid building trace slices per edge.

@@ -217,10 +217,12 @@ func StateSeed(seed int64, a Automaton) int64 {
 // mutex-protected stripes so BFS workers can deduplicate states without a
 // global lock. Each stripe is an open-addressing table with linear probing:
 // 16 bytes per entry, no per-insert allocation, no string keys. The stripe
-// is chosen from Fp.Hi and the probe position from Fp.Lo, so the two are
-// independent even for fingerprints that land in the same stripe.
+// is chosen from the top bits of Fp.Hi — the same partition the explorer's
+// merge shards use (see shardOf) — and the probe position from Fp.Lo, so
+// the two are independent even for fingerprints that land in the same
+// stripe.
 type fpSet struct {
-	stripes [64]fpStripe
+	stripes [exploreShards]fpStripe
 }
 
 type fpStripe struct {
@@ -237,7 +239,7 @@ func newFpSet() *fpSet { return &fpSet{} }
 
 // Add inserts fp and reports whether it was newly added.
 func (s *fpSet) Add(fp Fp) bool {
-	st := &s.stripes[fp.Hi&uint64(len(s.stripes)-1)]
+	st := &s.stripes[shardOf(fp)]
 	st.mu.Lock()
 	added := st.add(fp)
 	st.mu.Unlock()

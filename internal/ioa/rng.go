@@ -5,14 +5,38 @@ import (
 	"sync"
 )
 
-var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+// splitmixSource is a math/rand Source64 with O(1) seeding: 8 bytes of
+// state advanced by the splitmix64 generator (Steele et al., "Fast
+// splittable pseudorandom number generators"). The stock rand.NewSource
+// re-initializes a ~5 KB feedback table on every Seed call, which dominated
+// the CPU profile of state-pure environments that derive a fresh PRNG from
+// every visited state (one reseed per step), and whose table writes saturate
+// memory bandwidth once several checker workers reseed concurrently.
+// Determinism, not cryptography, is the contract: equal seeds yield equal
+// streams, and the streams are stable across processes.
+type splitmixSource struct {
+	state uint64
+}
 
-// SeededRng returns a pooled *rand.Rand reseeded to seed. The stream is
-// identical to rand.New(rand.NewSource(seed)) — reseeding runs the same
-// source initialization — but the ~5 KB source table is recycled instead of
-// allocated per call, which matters for state-pure environments that derive
-// a fresh PRNG from every visited state. Release with PutRng; do not retain
-// the instance afterwards.
+func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *splitmixSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+var rngPool = sync.Pool{New: func() any { return rand.New(&splitmixSource{}) }}
+
+// SeededRng returns a pooled *rand.Rand over a splitmix64 source reseeded
+// to seed. Reseeding writes one word, so environments that derive a fresh
+// PRNG from every visited state (see StateSeed) pay neither the allocation
+// nor the table-initialization cost of rand.New(rand.NewSource(seed)).
+// Release with PutRng; do not retain the instance afterwards.
 func SeededRng(seed int64) *rand.Rand {
 	r := rngPool.Get().(*rand.Rand)
 	r.Seed(seed)

@@ -1,0 +1,30 @@
+package ioa
+
+// Symmetric is implemented by automata that support symmetry reduction over
+// process identities. The symmetry group is chosen by the automaton —
+// typically the permutations of its process universe that fix the initial
+// state — and must satisfy the usual group laws (closure under composition
+// and inverse, identity included).
+//
+// Soundness of exploring representatives instead of states requires the
+// whole checked system to be equivariant under the group: for every group
+// element π and every step s --act--> s', π(s) --π(act)--> π(s') must also
+// be a step (of the automaton AND of the environment's input enumeration),
+// and every invariant must hold on s iff it holds on π(s). Under those
+// conditions every reachable state has a reachable representative, so
+// checking the quotient checks the full space. ExploreConfig.AuditSymmetry
+// machine-checks the representative function; equivariance is a property of
+// the model and environment, argued in DESIGN.md §6.7.
+type Symmetric interface {
+	Automaton
+	// Canonicalize returns the canonical representative of the receiver's
+	// orbit: a pure function of the state with Canonicalize(π(s)) equal (by
+	// fingerprint) to Canonicalize(s) for every group element π. The
+	// receiver must not be mutated; the result may be the receiver itself
+	// when it is already canonical.
+	Canonicalize() Automaton
+	// Orbit returns the receiver's full orbit under the symmetry group,
+	// including (an equal copy of) the receiver itself. Used by
+	// AuditSymmetry; need not be allocation-free.
+	Orbit() []Automaton
+}

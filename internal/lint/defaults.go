@@ -5,6 +5,7 @@ package lint
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		Fpcomplete(),
+		Permcomplete(),
 		Clonecomplete(),
 		Modelpure(DefaultModelpureConfig()),
 		Sharedmut(),

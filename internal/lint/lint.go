@@ -42,6 +42,7 @@ type directive struct {
 // //lint: is reported as malformed so typos cannot silently disable a check.
 var knownDirectives = map[string]bool{
 	"fpignore":    true, // fpcomplete: field is derived/config, not state
+	"permsafe":    true, // permcomplete: field value is independent of process identities
 	"clonesafe":   true, // clonecomplete: field is safe to share or re-derived
 	"impure":      true, // modelpure: nondeterminism is deliberate here
 	"sharedwrite": true, // sharedmut: write through a Shared view is intended

@@ -43,12 +43,18 @@ var allowedGlobalRand = map[string]bool{
 	"Zipf":      true,
 }
 
+// pureReceiverMethods are the ioa.Symmetric hooks whose contract forbids
+// mutating the receiver: Canonicalize runs on states already admitted to
+// the seen-set, and Orbit runs on states mid-audit, so an in-place tweak
+// corrupts the exploration behind the deduplicator's back.
+var pureReceiverMethods = map[string]bool{"Canonicalize": true, "Orbit": true}
+
 // Modelpure returns the modelpure analyzer for the given scope. Escapes:
 // //lint:impure <reason> on the offending line.
 func Modelpure(cfg ModelpureConfig) *Analyzer {
 	a := &Analyzer{
 		Name: "modelpure",
-		Doc:  "model code must be deterministic: no time.Now/os.Getenv/global math/rand (escape: //lint:impure)",
+		Doc:  "model code must be deterministic: no time.Now/os.Getenv/global math/rand, and Canonicalize/Orbit must not mutate their receiver (escape: //lint:impure)",
 	}
 	a.Run = func(pass *Pass) {
 		pure := false
@@ -106,9 +112,110 @@ func Modelpure(cfg ModelpureConfig) *Analyzer {
 				}
 				return true
 			})
+			if pure {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Recv == nil || fd.Body == nil || !pureReceiverMethods[fd.Name.Name] {
+						continue
+					}
+					checkReceiverPurity(pass, fd)
+				}
+			}
 		}
 	}
 	return a
+}
+
+// checkReceiverPurity reports writes through the receiver of a
+// Canonicalize/Orbit method: assignments and ++/-- rooted at the receiver,
+// and the mutating builtins delete/copy applied to receiver storage.
+// Mutating a local copy (cp := *s; cp.x = ...) is the intended idiom and
+// stays silent.
+func checkReceiverPurity(pass *Pass, fd *ast.FuncDecl) {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 {
+		return // anonymous receiver: nothing to mutate through
+	}
+	recv := pass.Info.Defs[names[0]]
+	if recv == nil {
+		return
+	}
+	if _, ok := recv.Type().(*types.Pointer); !ok {
+		// A value receiver is already a private copy: mutate-and-return is
+		// the pure idiom, not a hazard.
+		return
+	}
+	viaRecv := func(e ast.Expr) bool {
+		root := rootIdent(e)
+		return root != nil && pass.Info.Uses[root] == recv
+	}
+	report := func(n ast.Node, what string) {
+		if pass.Escaped(n.Pos(), "impure") {
+			return
+		}
+		pass.Reportf(n.Pos(),
+			"%s in %s.%s mutates the receiver: the hook runs on states already admitted to the seen-set, so in-place changes corrupt the exploration — work on a clone (or annotate //lint:impure <reason>)",
+			what, receiverTypeName(pass, fd), fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if viaRecv(lhs) {
+					report(n, "assignment")
+					break
+				}
+			}
+		case *ast.IncDecStmt:
+			if viaRecv(n.X) {
+				report(n, n.Tok.String())
+			}
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok || len(n.Args) == 0 {
+				return true
+			}
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "delete", "copy":
+					if viaRecv(n.Args[0]) {
+						report(n, b.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootIdent descends selector/index/slice/star chains to the base
+// identifier of an lvalue, or nil when the base is not an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// receiverTypeName names the receiver's type for diagnostics, tolerating
+// pointer receivers.
+func receiverTypeName(pass *Pass, fd *ast.FuncDecl) string {
+	if named := receiverType(pass.Info, fd); named != nil {
+		return named.Obj().Name()
+	}
+	return "receiver"
 }
 
 // slashPath normalizes a filename to slash form for suffix matching.

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// permuteMethodNames are the roots of the permutation path: the symmetry
+// hooks of the checked automata (Permute) and of permutable wire messages
+// (PermuteMsg).
+var permuteMethodNames = map[string]bool{
+	"Permute":    true,
+	"PermuteMsg": true,
+}
+
+// Permcomplete returns the permcomplete analyzer: for every struct type
+// that has both a fingerprint method and a permutation method, each field
+// read on the fingerprint path must also be read on the permutation path.
+// A fingerprinted field the permutation cannot see keeps its unpermuted
+// value in π(s), so Canonicalize(π(s)) and Canonicalize(s) disagree and the
+// symmetry reduction silently drops reachable orbits. Fields whose value is
+// genuinely independent of process identities (and therefore carried over
+// verbatim without being mentioned) carry //lint:permsafe <reason> on their
+// declaration.
+func Permcomplete() *Analyzer {
+	a := &Analyzer{
+		Name: "permcomplete",
+		Doc:  "every fingerprinted field must reach its type's Permute method (or carry //lint:permsafe)",
+	}
+	a.Run = func(pass *Pass) {
+		decls := funcDecls(pass.Package)
+
+		fpRoots := make(map[*types.Named][]types.Object)
+		permRoots := make(map[*types.Named][]types.Object)
+		for obj, fd := range decls {
+			if fd.Recv == nil {
+				continue
+			}
+			var into map[*types.Named][]types.Object
+			switch {
+			case fingerprintMethodNames[fd.Name.Name]:
+				into = fpRoots
+			case permuteMethodNames[fd.Name.Name]:
+				into = permRoots
+			default:
+				continue
+			}
+			named := receiverType(pass.Info, fd)
+			if named == nil {
+				continue
+			}
+			if _, ok := named.Underlying().(*types.Struct); !ok {
+				continue
+			}
+			into[named] = append(into[named], obj)
+		}
+
+		for named, perms := range permRoots {
+			fps := fpRoots[named]
+			if len(fps) == 0 {
+				continue // fingerprint-free types have no merge hazard to guard
+			}
+			st := named.Underlying().(*types.Struct)
+			onFp := fieldsRead(pass, decls, fps)
+			onPerm := fieldsRead(pass, decls, perms)
+			for i := 0; i < st.NumFields(); i++ {
+				field := st.Field(i)
+				if !onFp[field] || onPerm[field] {
+					continue
+				}
+				if pass.Escaped(field.Pos(), "permsafe") {
+					continue
+				}
+				pass.Reportf(field.Pos(),
+					"field %s.%s is fingerprinted but never read on the permutation path (%s); permuted states keep the unpermuted value, breaking canonicalization — permute it or annotate //lint:permsafe <reason>",
+					named.Obj().Name(), field.Name(), methodNames(perms))
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,48 @@
+package modelpure
+
+// state exercises the receiver-purity rule on the symmetry hooks:
+// Canonicalize and Orbit run on states already admitted to the explorer's
+// seen-set, so mutating the receiver corrupts the exploration.
+type state struct {
+	a, b int
+	log  []int
+	memo map[int]int
+}
+
+func (s *state) Canonicalize() *state {
+	if s.a > s.b {
+		s.a, s.b = s.b, s.a // want "assignment in state.Canonicalize mutates the receiver"
+	}
+	cp := *s
+	cp.a, cp.b = cp.b, cp.a // clean: the clone is ours to reorder
+	return &cp
+}
+
+func (s *state) Orbit() []*state {
+	s.log = append(s.log, s.a) // want "assignment in state.Orbit mutates the receiver"
+	delete(s.memo, s.a)        // want "delete in state.Orbit mutates the receiver"
+	return []*state{s}
+}
+
+// counter documents an escaped mutation: a memoization side table that is
+// deliberately not model state.
+type counter struct {
+	repr *state
+	hits int
+}
+
+func (c *counter) Canonicalize() *state {
+	c.hits++ //lint:impure memoization counter, not model state
+	return c.repr
+}
+
+// value has a value receiver: the receiver is already a private copy, so
+// mutate-and-return is the pure idiom and stays silent.
+type value struct {
+	n int
+}
+
+func (v value) Canonicalize() value {
+	v.n = 0
+	return v
+}

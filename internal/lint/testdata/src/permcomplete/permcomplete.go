@@ -1,0 +1,95 @@
+// Package permcomplete holds golden cases for the permcomplete analyzer:
+// every field read on the fingerprint path must also be read on the
+// permutation path, or carry //lint:permsafe.
+package permcomplete
+
+// Perm stands in for the repo's types.Perm.
+type Perm map[int]int
+
+// Good permutes every fingerprinted field: clean.
+type Good struct {
+	owner int
+	marks map[int]bool
+}
+
+func (g *Good) Fingerprint() int { return g.owner + len(g.marks) }
+
+func (g *Good) Permute(pi Perm) *Good {
+	out := &Good{owner: pi[g.owner], marks: make(map[int]bool, len(g.marks))}
+	for k, v := range g.marks {
+		out.marks[pi[k]] = v
+	}
+	return out
+}
+
+// Bad fingerprints marks but its Permute never reads the field, so the
+// permuted state silently loses it.
+type Bad struct {
+	owner int
+	marks map[int]bool // want "field Bad.marks is fingerprinted but never read on the permutation path"
+}
+
+func (b *Bad) Fingerprint() int { return b.owner + len(b.marks) }
+
+func (b *Bad) Permute(pi Perm) *Bad {
+	return &Bad{owner: pi[b.owner]}
+}
+
+// Escaped documents the deliberate carry-over of an identity-free field.
+type Escaped struct {
+	owner int
+	round int //lint:permsafe counts protocol rounds, not process ids
+	cfg   int
+}
+
+func (e *Escaped) Fingerprint() int { return e.owner + e.round }
+
+func (e *Escaped) Permute(pi Perm) *Escaped {
+	return &Escaped{owner: pi[e.owner]}
+}
+
+// cfg is not on the fingerprint path, so Permute ignoring it is fine: no
+// diagnostic despite the missing read.
+
+// Delegated reaches the field through a same-package helper on the
+// permutation path: the reachability walk must credit it.
+type Delegated struct {
+	owner int
+	marks map[int]bool
+}
+
+func (d *Delegated) Fingerprint() int { return d.owner + len(d.marks) }
+
+func (d *Delegated) Permute(pi Perm) *Delegated {
+	return &Delegated{owner: pi[d.owner], marks: permuteMarks(pi, d)}
+}
+
+func permuteMarks(pi Perm, d *Delegated) map[int]bool {
+	out := make(map[int]bool, len(d.marks))
+	for k, v := range d.marks {
+		out[pi[k]] = v
+	}
+	return out
+}
+
+// Unfingerprinted has a Permute method but no fingerprint method: out of
+// scope, no diagnostics.
+type Unfingerprinted struct {
+	owner int
+}
+
+func (u *Unfingerprinted) Permute(pi Perm) *Unfingerprinted {
+	return &Unfingerprinted{owner: pi[u.owner]}
+}
+
+// Msg exercises the PermuteMsg root: wire messages use the same contract.
+type Msg struct {
+	origin int
+	body   string // want "field Msg.body is fingerprinted but never read on the permutation path"
+}
+
+func (m Msg) Fingerprint() int { return m.origin + len(m.body) }
+
+func (m Msg) PermuteMsg(pi Perm) Msg {
+	return Msg{origin: pi[m.origin]}
+}

@@ -88,6 +88,86 @@ func TestFaultTransportLossAndCrash(t *testing.T) {
 	}
 }
 
+func TestFaultTransportDuplicate(t *testing.T) {
+	a, _, plan, fab := faultPair(t, 4)
+	plan.SetDuplicate(1.0)
+	if !a.Send(0, 1, "dup") {
+		t.Fatal("send rejected")
+	}
+	inbox, _ := fab.Inbox(1)
+	for i := 0; i < 2; i++ {
+		select {
+		case env := <-inbox:
+			if env.Payload != "dup" {
+				t.Fatalf("copy %d: got %v", i, env.Payload)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("copy %d never arrived", i)
+		}
+	}
+	st := a.Stats()
+	if st.Duplicated != 1 {
+		t.Errorf("Duplicated = %d, want 1", st.Duplicated)
+	}
+	if st.Sent != 2 || st.Delivered != 2 {
+		t.Errorf("duplicate accounting: %+v", st)
+	}
+	if err := st.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+	// Self-sends are exempt from duplication, like loss.
+	if v := plan.decide(0, 0); !v.pass || v.dup {
+		t.Errorf("self-send verdict %+v, want pass without duplication", v)
+	}
+}
+
+func TestFaultTransportReorder(t *testing.T) {
+	a, _, plan, fab := faultPair(t, 5)
+
+	// The verdict level is deterministic: with rate 1 every peer send is held
+	// back by a positive delay, self-sends never are.
+	plan.SetReorder(1.0, 50*time.Millisecond)
+	if v := plan.decide(0, 1); !v.pass || v.delay <= 0 {
+		t.Fatalf("reorder verdict %+v, want positive hold-back delay", v)
+	}
+	if v := plan.decide(0, 0); !v.pass || v.delay != 0 {
+		t.Errorf("self-send verdict %+v, want undelayed pass", v)
+	}
+
+	// End to end: a burst where half the sends are held back must arrive
+	// complete (reordering never loses) and out of send order.
+	plan.SetReorder(0.5, 30*time.Millisecond)
+	const burst = 40
+	for i := 0; i < burst; i++ {
+		if !a.Send(0, 1, i) {
+			t.Fatalf("send %d rejected", i)
+		}
+	}
+	inbox, _ := fab.Inbox(1)
+	got := make([]int, 0, burst)
+	for len(got) < burst {
+		select {
+		case env := <-inbox:
+			got = append(got, env.Payload.(int))
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d of %d arrived", len(got), burst)
+		}
+	}
+	inverted := false
+	for i := 1; i < burst; i++ {
+		if got[i] < got[i-1] {
+			inverted = true
+			break
+		}
+	}
+	if !inverted {
+		t.Error("no inversion observed across the burst")
+	}
+	if err := a.Stats().CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestFaultTransportLatency(t *testing.T) {
 	a, _, plan, fab := faultPair(t, 3)
 	plan.SetLatency(20*time.Millisecond, 10*time.Millisecond)

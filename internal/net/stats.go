@@ -33,6 +33,7 @@ type Stats struct {
 	Dropped   uint64 // lost to partition, crash, loss injection, or overflow
 
 	Misrouted     uint64 // sends rejected because from != local endpoint (subset of Dropped)
+	Duplicated    uint64 // extra copies injected by duplication (FaultTransport only; each copy also counts in Sent)
 	RecvDropped   uint64 // receiver-side drops: frames lost to inbox overflow
 	AcceptErrors  uint64 // listener Accept failures (TCP only)
 	Redials       uint64 // failed connection attempts across all peers (TCP only)
@@ -67,6 +68,9 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "sent=%d delivered=%d dropped=%d", s.Sent, s.Delivered, s.Dropped)
 	if s.Misrouted > 0 {
 		fmt.Fprintf(&b, " misrouted=%d", s.Misrouted)
+	}
+	if s.Duplicated > 0 {
+		fmt.Fprintf(&b, " duplicated=%d", s.Duplicated)
 	}
 	if s.RecvDropped > 0 {
 		fmt.Fprintf(&b, " recv_dropped=%d", s.RecvDropped)
@@ -133,6 +137,26 @@ func (b *statsBook) send(to types.ProcID, delivered bool) {
 		b.base.Dropped++
 		ps.Dropped++
 	}
+}
+
+// duplicate records one injected duplicate copy and its outcome. The copy
+// is a full send for accounting purposes — Sent == Delivered + Dropped
+// keeps holding — with Duplicated marking how many of the sends were
+// injection artifacts rather than caller traffic.
+func (b *statsBook) duplicate(to types.ProcID, delivered bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ps := b.peer(to)
+	b.base.Sent++
+	ps.Sent++
+	if delivered {
+		b.base.Delivered++
+		ps.Delivered++
+	} else {
+		b.base.Dropped++
+		ps.Dropped++
+	}
+	b.base.Duplicated++
 }
 
 // misrouted records a send rejected because the caller's from-id is not the

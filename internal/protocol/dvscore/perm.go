@@ -1,0 +1,89 @@
+package dvscore
+
+import "repro/internal/types"
+
+// PermuteMsg implements types.PermutableMsg: the carried active and
+// ambiguous views permute; Amb is re-sorted because permuting view-id
+// origins can reorder ids.
+func (m InfoMsg) PermuteMsg(pi types.Perm) types.Msg {
+	amb := make([]types.View, len(m.Amb))
+	for i, v := range m.Amb {
+		amb[i] = pi.View(v)
+	}
+	types.SortViews(amb)
+	return InfoMsg{Act: pi.View(m.Act), Amb: amb}
+}
+
+var _ types.PermutableMsg = InfoMsg{}
+
+// permute returns π(i) with Amb re-sorted by (permuted) view id.
+func (i Info) permute(pi types.Perm) Info {
+	amb := make([]types.View, len(i.Amb))
+	for j, v := range i.Amb {
+		amb[j] = pi.View(v)
+	}
+	types.SortViews(amb)
+	return Info{Act: pi.View(i.Act), Amb: amb}
+}
+
+// Permute returns π(n): the VS-TO-DVS automaton of process π(p) whose state
+// is the image of n's state under π — memberships, view-id origins, message
+// provenance, and buffered messages all permuted. The receiver is not
+// mutated. Used by the symmetry reduction of the DVS-IMPL composition.
+func (n *Node) Permute(pi types.Perm) *Node {
+	p := pi.ID(n.p)
+	c := &Node{
+		p:           p,
+		fpPre:       "n" + p.String() + ".",
+		cur:         pi.View(n.cur),
+		curOK:       n.curOK,
+		clientCur:   pi.View(n.clientCur),
+		clientCurOK: n.clientCurOK,
+		act:         pi.View(n.act),
+		amb:         make(map[types.ViewID]types.View, len(n.amb)),
+		attempted:   make(map[types.ViewID]types.View, len(n.attempted)),
+		infoRcvd:    make(map[procViewKey]Info, len(n.infoRcvd)),
+		rcvdRgst:    make(map[types.ViewID]types.ProcSet, len(n.rcvdRgst)),
+		msgsToVS:    make(map[types.ViewID][]types.Msg, len(n.msgsToVS)),
+		msgsFromVS:  make(map[types.ViewID][]MsgFrom, len(n.msgsFromVS)),
+		safeFromVS:  make(map[types.ViewID][]MsgFrom, len(n.safeFromVS)),
+		reg:         make(map[types.ViewID]bool, len(n.reg)),
+		infoSent:    make(map[types.ViewID]Info, len(n.infoSent)),
+	}
+	for id, v := range n.amb {
+		c.amb[pi.ViewID(id)] = pi.View(v)
+	}
+	for id, v := range n.attempted {
+		c.attempted[pi.ViewID(id)] = pi.View(v)
+	}
+	for k, i := range n.infoRcvd {
+		c.infoRcvd[procViewKey{pi.ID(k.Q), pi.ViewID(k.G)}] = i.permute(pi)
+	}
+	for g, s := range n.rcvdRgst {
+		c.rcvdRgst[pi.ViewID(g)] = pi.Set(s)
+	}
+	for g, q := range n.msgsToVS {
+		c.msgsToVS[pi.ViewID(g)] = pi.Msgs(q)
+	}
+	for g, q := range n.msgsFromVS {
+		c.msgsFromVS[pi.ViewID(g)] = permuteMsgFrom(pi, q)
+	}
+	for g, q := range n.safeFromVS {
+		c.safeFromVS[pi.ViewID(g)] = permuteMsgFrom(pi, q)
+	}
+	for g, b := range n.reg {
+		c.reg[pi.ViewID(g)] = b
+	}
+	for g, i := range n.infoSent {
+		c.infoSent[pi.ViewID(g)] = i.permute(pi)
+	}
+	return c
+}
+
+func permuteMsgFrom(pi types.Perm, q []MsgFrom) []MsgFrom {
+	out := make([]MsgFrom, len(q))
+	for i, e := range q {
+		out[i] = MsgFrom{M: pi.Msg(e.M), Q: pi.ID(e.Q)}
+	}
+	return out
+}

@@ -27,6 +27,7 @@ package dvs
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/ioa"
 	"repro/internal/types"
@@ -145,6 +146,8 @@ type DVS struct {
 	literal bool // Figure 2 exactly as printed
 	//lint:fpignore mode flag fixed at construction, never toggled by a transition
 	drained bool // amended + view-synchronous drain on newview
+	//lint:fpignore symmetry group computed once from the initial state; identical (and immutable) across every state of one exploration
+	syms []types.Perm //lint:clonesafe the group is immutable and conjugation-closed, so clones share it by design
 }
 
 var _ ioa.Automaton = (*DVS)(nil)
@@ -325,24 +328,46 @@ func (a *DVS) MaxCreatedID() types.ViewID {
 	return max
 }
 
+// totRegSnap is a pooled snapshot of the created view ids in increasing
+// order with a parallel flag marking the totally registered ones. The
+// snapshot is read-only and must be released with putTotReg; pooling exists
+// because sortedTotReg runs per state (invariant checks) and up to
+// candidateTries times per state (view-candidate filtering), and its two
+// slices were the largest remaining allocation site on the E1 hot path.
+type totRegSnap struct {
+	ids []types.ViewID
+	tot []bool
+}
+
+var totRegPool = sync.Pool{New: func() any { return new(totRegSnap) }}
+
+func putTotReg(s *totRegSnap) { totRegPool.Put(s) }
+
 // sortedTotReg returns the created view ids in increasing order together
 // with a parallel flag marking the totally registered ones. Memberships are
 // not cloned — the snapshot is read-only. It backs the early-breaking
 // "totally registered view strictly between" scans below, which replace
 // per-pair rescans of the created map (O(V³·n) worst case on the invariant
 // check, the dominant cost of spec-state exploration).
-func (a *DVS) sortedTotReg() ([]types.ViewID, []bool) {
-	ids := make([]types.ViewID, 0, len(a.created))
+func (a *DVS) sortedTotReg() *totRegSnap {
+	s := totRegPool.Get().(*totRegSnap)
+	s.ids = s.ids[:0]
 	for id := range a.created {
-		ids = append(ids, id)
+		s.ids = append(s.ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
-	tot := make([]bool, len(ids))
-	for i, id := range ids {
+	// Insertion sort: view counts are bounded and small, and this avoids
+	// sort.Slice's reflective swapper allocation on a per-state path.
+	for i := 1; i < len(s.ids); i++ {
+		for j := i; j > 0 && s.ids[j].Less(s.ids[j-1]); j-- {
+			s.ids[j], s.ids[j-1] = s.ids[j-1], s.ids[j]
+		}
+	}
+	s.tot = s.tot[:0]
+	for _, id := range s.ids {
 		reg, ok := a.registered[id]
-		tot[i] = ok && a.created[id].Members.Subset(reg)
+		s.tot = append(s.tot, ok && a.created[id].Members.Subset(reg))
 	}
-	return ids, tot
+	return s
 }
 
 // CreateViewCandidateOK reports whether dvs-createview(v)'s precondition
@@ -356,7 +381,9 @@ func (a *DVS) CreateViewCandidateOK(v types.View) bool {
 	if _, dup := a.created[v.ID]; dup {
 		return false
 	}
-	ids, tot := a.sortedTotReg()
+	snap := a.sortedTotReg()
+	defer putTotReg(snap)
+	ids, tot := snap.ids, snap.tot
 	pos := sort.Search(len(ids), func(k int) bool { return v.ID.Less(ids[k]) })
 	// Walk outward from v's position in id order. A totally registered view
 	// at index k lies strictly between v and every view beyond k, so each
@@ -388,7 +415,10 @@ func (a *DVS) Enabled() []ioa.Action {
 	for _, v := range a.created {
 		for p := range v.Members {
 			if cur, ok := a.current[p]; (!ok || cur.Less(v.ID)) && a.drainOK(p) {
-				acts = append(acts, ioa.Action{Name: ActNewView, Kind: ioa.KindOutput, Param: NewViewParam{View: v.Clone(), P: p}})
+				// The param aliases the created view: Perform only reads it
+				// (membership equality + id), and nothing mutates action
+				// params, so the defensive copy is pure allocation cost.
+				acts = append(acts, ioa.Action{Name: ActNewView, Kind: ioa.KindOutput, Param: NewViewParam{View: v, P: p}})
 			}
 		}
 	}
@@ -653,8 +683,10 @@ func badParam(act ioa.Action) error {
 // Clone implements ioa.Automaton.
 func (a *DVS) Clone() ioa.Automaton {
 	b := &DVS{
-		literal:    a.literal,
-		drained:    a.drained,
+		literal: a.literal,
+		drained: a.drained,
+		syms:    a.syms, // immutable; shared across clones
+
 		universe:   a.universe.Clone(),
 		initial:    a.initial.Clone(),
 		created:    make(map[types.ViewID]types.View, len(a.created)),

@@ -11,7 +11,9 @@ import (
 // if v, w ∈ created, v.id < w.id, and there is no x ∈ TotReg with
 // v.id < x.id < w.id, then v.set ∩ w.set ≠ {}.
 func CheckInvariant41(a *DVS) error {
-	ids, tot := a.sortedTotReg()
+	snap := a.sortedTotReg()
+	defer putTotReg(snap)
+	ids, tot := snap.ids, snap.tot
 	for i, vid := range ids {
 		v := a.created[vid]
 		// In id order, the first totally registered view after i lies
@@ -32,28 +34,41 @@ func CheckInvariant41(a *DVS) error {
 
 // CheckInvariant42 checks Invariant 4.2: if v ∈ created, w ∈ TotAtt, and
 // v.id < w.id, then some p ∈ v.set has current-viewid[p] > v.id.
+//
+// "v precedes some totally attempted view" is equivalent to
+// v.id < max{w.id : w ∈ TotAtt}, so one pass over created computes the
+// largest totally attempted id and a second pass checks the affected views.
+// Both passes read the state maps directly — the cloning TotAtt()/Created()
+// snapshots this check used to take dominated the allocation profile of
+// per-step invariant checking (Clone of every view's membership, every
+// state).
 func CheckInvariant42(a *DVS) error {
-	totAtt := a.TotAtt()
-	for _, v := range a.Created() {
-		applies := false
-		for _, w := range totAtt {
-			if v.ID.Less(w.ID) {
-				applies = true
-				break
+	var maxAtt types.ViewID
+	haveAtt := false
+	for id, v := range a.created {
+		if att, ok := a.attempted[id]; ok && v.Members.Subset(att) {
+			if !haveAtt || maxAtt.Less(id) {
+				maxAtt = id
+				haveAtt = true
 			}
 		}
-		if !applies {
+	}
+	if !haveAtt {
+		return nil
+	}
+	for id, v := range a.created {
+		if !id.Less(maxAtt) {
 			continue
 		}
 		ok := false
 		for p := range v.Members {
-			if cur, has := a.current[p]; has && v.ID.Less(cur) {
+			if cur, has := a.current[p]; has && id.Less(cur) {
 				ok = true
 				break
 			}
 		}
 		if !ok {
-			return fmt.Errorf("view %s precedes a totally attempted view but every member is still at id ≤ %s", v, v.ID)
+			return fmt.Errorf("view %s precedes a totally attempted view but every member is still at id ≤ %s", v, id)
 		}
 	}
 	return nil

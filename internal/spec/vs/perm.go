@@ -1,0 +1,43 @@
+package vs
+
+import "repro/internal/types"
+
+// Permute returns π(a): a fresh VS state with every process identity — in
+// memberships, view-id origins, queue entries, and pending messages —
+// replaced by its image under π. Used by the symmetry reduction of the
+// compositions that embed VS; the receiver is not mutated.
+func (a *VS) Permute(pi types.Perm) *VS {
+	b := &VS{
+		universe: pi.Set(a.universe),
+		initial:  pi.View(a.initial),
+		created:  make(map[types.ViewID]types.View, len(a.created)),
+		current:  make(map[types.ProcID]types.ViewID, len(a.current)),
+		queues:   make(map[types.ViewID][]Entry, len(a.queues)),
+		pending:  make(map[procView][]types.Msg, len(a.pending)),
+		next:     make(map[procView]int, len(a.next)),
+		nextSafe: make(map[procView]int, len(a.nextSafe)),
+	}
+	for id, v := range a.created {
+		b.created[pi.ViewID(id)] = pi.View(v)
+	}
+	for p, g := range a.current {
+		b.current[pi.ID(p)] = pi.ViewID(g)
+	}
+	for g, q := range a.queues {
+		nq := make([]Entry, len(q))
+		for i, e := range q {
+			nq[i] = Entry{M: pi.Msg(e.M), P: pi.ID(e.P)}
+		}
+		b.queues[pi.ViewID(g)] = nq
+	}
+	for k, msgs := range a.pending {
+		b.pending[procView{pi.ID(k.P), pi.ViewID(k.G)}] = pi.Msgs(msgs)
+	}
+	for k, n := range a.next {
+		b.next[procView{pi.ID(k.P), pi.ViewID(k.G)}] = n
+	}
+	for k, n := range a.nextSafe {
+		b.nextSafe[procView{pi.ID(k.P), pi.ViewID(k.G)}] = n
+	}
+	return b
+}

@@ -226,7 +226,9 @@ func (a *VS) Enabled() []ioa.Action {
 	for _, v := range a.created {
 		for p := range v.Members {
 			if cur, ok := a.current[p]; !ok || cur.Less(v.ID) {
-				acts = append(acts, ioa.Action{Name: ActNewView, Kind: ioa.KindOutput, Param: NewViewParam{View: v.Clone(), P: p}})
+				// Aliases the created view: Perform only reads the param and
+				// action params are never mutated, so no defensive copy.
+				acts = append(acts, ioa.Action{Name: ActNewView, Kind: ioa.KindOutput, Param: NewViewParam{View: v, P: p}})
 			}
 		}
 	}

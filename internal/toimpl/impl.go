@@ -68,6 +68,8 @@ type Impl struct {
 	cfg   Config
 	dvs   *dvs.DVS
 	nodes map[types.ProcID]*Node
+	//lint:fpignore symmetry group computed once from the initial state; identical (and immutable) across every state of one exploration
+	syms []types.Perm //lint:clonesafe the group is immutable and conjugation-closed, so clones share it by design
 }
 
 var _ ioa.Automaton = (*Impl)(nil)
@@ -260,6 +262,7 @@ func (im *Impl) Clone() ioa.Automaton {
 		cfg:      im.cfg,
 		dvs:      im.dvs.Clone().(*dvs.DVS),
 		nodes:    make(map[types.ProcID]*Node, len(im.nodes)),
+		syms:     im.syms, // immutable; shared across clones
 	}
 	for p, n := range im.nodes {
 		c.nodes[p] = n.Clone()

@@ -1,0 +1,82 @@
+package toimpl
+
+import (
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+// TO-IMPL implements the Symmetric hooks, but with a caveat the DVS layer
+// does not have: the Figure 5 algorithm itself is NOT equivariant under
+// process permutations — the state-exchange representative is chosen by
+// least process id among the longest orders, and fullorder's tail sorts
+// labels by (viewid, seqno, origin) — so exploring orbit representatives of
+// TO-IMPL is not a sound reduction in general. The hooks exist for
+// orbit-soundness audits (ExploreConfig.AuditSymmetry) and for experiments
+// measuring how much of the space IS symmetric; see DESIGN.md §6.7.
+var _ ioa.Symmetric = (*Impl)(nil)
+
+// Permute returns π(im): a fresh TO-IMPL state with every process identity
+// replaced by its image under π. The receiver is not mutated.
+func (im *Impl) Permute(pi types.Perm) *Impl {
+	c := &Impl{
+		universe: pi.Set(im.universe),
+		initial:  pi.View(im.initial),
+		cfg:      im.cfg,
+		dvs:      im.dvs.Permute(pi),
+		nodes:    make(map[types.ProcID]*Node, len(im.nodes)),
+		syms:     im.syms, // conjugating a stabilizer by its own element is the identity
+	}
+	c.procs = c.universe.Sorted()
+	for p, n := range im.nodes {
+		c.nodes[pi.ID(p)] = n.Permute(pi)
+	}
+	return c
+}
+
+// EnableSymmetry computes the symmetry group — the permutations of the
+// universe that fix the CURRENT state by fingerprint — and installs it for
+// Canonicalize/Orbit. Call it on the initial state. Returns the group
+// order. Note the equivariance caveat above: installing a group makes the
+// hooks available, it does not make reduction sound for this composition.
+func (im *Impl) EnableSymmetry() int {
+	self := ioa.FpOf(im)
+	var syms []types.Perm
+	for _, pi := range types.PermsOf(im.universe) {
+		if ioa.FpOf(im.Permute(pi)) == self {
+			syms = append(syms, pi)
+		}
+	}
+	im.syms = syms
+	return len(syms)
+}
+
+// Canonicalize implements ioa.Symmetric: the orbit member with the least
+// fingerprint under the installed group. With no group installed (or the
+// trivial group) the receiver is its own representative.
+func (im *Impl) Canonicalize() ioa.Automaton {
+	if len(im.syms) <= 1 {
+		return im
+	}
+	var best ioa.Automaton = im
+	bestFp := ioa.FpOf(im)
+	for _, pi := range im.syms[1:] { // syms[0] is the identity
+		cand := im.Permute(pi)
+		if fp := ioa.FpOf(cand); fp.Less(bestFp) {
+			best, bestFp = cand, fp
+		}
+	}
+	return best
+}
+
+// Orbit implements ioa.Symmetric.
+func (im *Impl) Orbit() []ioa.Automaton {
+	syms := im.syms
+	if len(syms) == 0 {
+		syms = []types.Perm{nil} // identity only
+	}
+	out := make([]ioa.Automaton, 0, len(syms))
+	for _, pi := range syms {
+		out = append(out, im.Permute(pi))
+	}
+	return out
+}

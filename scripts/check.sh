@@ -12,7 +12,10 @@
 #                               # `make bench` and fail unless it leaves
 #                               # parseable, non-empty BENCH_checks.json and
 #                               # BENCH_e8.json snapshots, with the E8 n=5
-#                               # throughput above the recorded floor
+#                               # throughput above the recorded floor, the
+#                               # E12 exploration at its pinned state counts,
+#                               # and (on machines with >= 4 CPUs) the E1-E3
+#                               # parallel speedup above the scaling floor
 set -eu
 
 mode="${1:-all}"
@@ -62,12 +65,64 @@ e8_floor_guard() {
 	echo "check.sh: E8 throughput smoke OK (n=5: ${got} msg/s >= floor ${floor})"
 }
 
+# e12_guard pins the E12 deep-exploration snapshot: the plain run must
+# report exactly 38566 states and the symmetry-reduced run exactly 6527
+# (one per process-permutation orbit, a 5.9x reduction). These counts are
+# machine-independent — any drift means the exploration became
+# nondeterministic or the bounded environment changed, both of which would
+# silently invalidate every E12 comparison in EXPERIMENTS.md.
+e12_guard() {
+	out=BENCH_checks.json
+	plain=$(grep -o '"name": "E12DeepExplore/parallel=1"[^}]*' "$out" | grep -o '"states": [0-9.e+]*' | awk '{print $2}')
+	sym=$(grep -o '"name": "E12DeepExplore/symmetry"[^}]*' "$out" | grep -o '"states": [0-9.e+]*' | awk '{print $2}')
+	if [ -z "$plain" ] || [ -z "$sym" ]; then
+		echo "check.sh: missing E12DeepExplore states records in $out (plain='${plain:-}', symmetry='${sym:-}')" >&2
+		exit 1
+	fi
+	if ! awk -v p="$plain" -v s="$sym" 'BEGIN { exit !(p + 0 == 38566 && s + 0 == 6527) }'; then
+		echo "check.sh: E12 state counts drifted — plain ${plain} (want 38566), symmetry ${sym} (want 6527)" >&2
+		exit 1
+	fi
+	echo "check.sh: E12 exploration OK (${plain} states plain, ${sym} with symmetry)"
+}
+
+# scaling_guard reads the parallel_speedup fields bench.sh attaches to the
+# E1-E3 parallel variants and fails if any fell below the floor. The floor
+# (SCALE_FLOOR, default 2.5 on a 4-core runner) is a smoke against the
+# worker-pool collapse this gate exists to catch — a serialized pool shows
+# ~1.0x, not a few percent off — so it is deliberately well under the ~3.5x
+# a healthy 4-wide fan-out delivers. Skipped below 4 CPUs, where no
+# speedup is possible and the parallel variant only covers the code path.
+scaling_guard() {
+	out=BENCH_checks.json
+	ncpu=$( (nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null) || echo 1 )
+	if [ "${ncpu:-1}" -lt 4 ]; then
+		echo "check.sh: scaling gate skipped (${ncpu:-1} CPUs < 4 — no parallel speedup to measure)"
+		return 0
+	fi
+	floor="${SCALE_FLOOR:-2.5}"
+	for b in E1SpecInvariants E2RefinementDVS E3RefinementTO; do
+		got=$(grep -o "\"name\": \"$b/parallel=[0-9]*\"[^}]*" "$out" | grep -o '"parallel_speedup": [0-9.]*' | awk '{print $2}')
+		if [ -z "$got" ]; then
+			echo "check.sh: no parallel_speedup record for $b in $out" >&2
+			exit 1
+		fi
+		if ! awk -v g="$got" -v f="$floor" 'BEGIN { exit !(g + 0 >= f + 0) }'; then
+			echo "check.sh: $b parallel speedup ${got}x is below the floor ${floor}x — the seed fan-out serialized" >&2
+			exit 1
+		fi
+		echo "check.sh: scaling OK ($b: ${got}x >= ${floor}x)"
+	done
+}
+
 bench_guard() {
 	rm -f BENCH_checks.json BENCH_e8.json
 	make bench
 	snapshot_guard BENCH_checks.json
 	snapshot_guard BENCH_e8.json
 	e8_floor_guard
+	e12_guard
+	scaling_guard
 }
 
 if [ "$mode" = "bench" ]; then

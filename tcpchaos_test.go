@@ -24,12 +24,14 @@ func collectNodeDeliveries(n *Node, out *[]Delivery) {
 
 // TestChaosTCPFaultSoak is the acceptance soak for the hardened transport:
 // three standalone TCP nodes, each wrapped in a FaultTransport sharing one
-// plan, driven through injected partitions, probabilistic loss, and latency
-// while broadcasting. After healing, the group must converge to the full
-// primary view with an identical total order; the per-peer accounting
-// invariant Sent == Delivered + Dropped must hold on both the fault layer
-// and the raw TCP transport of every node; and closing everything must
-// return the goroutine count to baseline.
+// plan, driven through injected partitions, probabilistic loss, latency,
+// message duplication, and reordering while broadcasting. After healing,
+// the group must converge to the full primary view with an identical total
+// order — the sequence-number defenses of the data plane must absorb the
+// duplicated and overtaken frames without divergence; the per-peer
+// accounting invariant Sent == Delivered + Dropped must hold on both the
+// fault layer and the raw TCP transport of every node; and closing
+// everything must return the goroutine count to baseline.
 func TestChaosTCPFaultSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos soak")
@@ -38,6 +40,8 @@ func TestChaosTCPFaultSoak(t *testing.T) {
 	const n = 3
 	plan := netfab.NewFaultPlan(99)
 	plan.SetLatency(time.Millisecond, 2*time.Millisecond)
+	plan.SetDuplicate(0.05)
+	plan.SetReorder(0.1, 5*time.Millisecond)
 	faults := make([]*netfab.FaultTransport, n)
 
 	base := 39700
@@ -127,6 +131,8 @@ func TestChaosTCPFaultSoak(t *testing.T) {
 	// Phase 3: clean network; converge.
 	plan.SetLoss(0)
 	plan.SetLatency(0, 0)
+	plan.SetDuplicate(0)
+	plan.SetReorder(0, 0)
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		ok := true
@@ -200,6 +206,13 @@ func TestChaosTCPFaultSoak(t *testing.T) {
 	fs := faults[0].Stats()
 	if fs.Dropped == 0 {
 		t.Errorf("fault layer injected no drops despite partition+loss: %+v", fs)
+	}
+	var dups uint64
+	for i := 0; i < n; i++ {
+		dups += faults[i].Stats().Duplicated
+	}
+	if dups == 0 {
+		t.Errorf("fault layer injected no duplicates despite 5%% duplication over %d sends", fs.Sent)
 	}
 
 	// Zero leaked goroutines after Close.
