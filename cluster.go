@@ -30,11 +30,12 @@ type Cluster struct {
 
 // Process is the application-facing handle of one cluster member.
 type Process struct {
-	id  ProcID
-	vsg *vsg.Node
-	dvs *dvsg.Layer
-	tob *tob.Layer
-	rec *conform.Recorder // nil unless Config.Record
+	id    ProcID
+	vsg   *vsg.Node
+	dvs   *dvsg.Layer
+	tob   *tob.Layer
+	rec   *conform.Recorder      // nil unless Config.Record
+	check *conform.OnlineChecker // nil unless Config.Online
 }
 
 // NewCluster builds and starts a cluster.
@@ -47,6 +48,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Record && cfg.Mode != ModeDynamic {
 		return nil, errors.New("dvs: Config.Record requires ModeDynamic")
+	}
+	if cfg.Stream != nil && cfg.Mode != ModeDynamic {
+		return nil, errors.New("dvs: Config.Stream requires ModeDynamic")
+	}
+	if cfg.Online != nil && cfg.Mode != ModeDynamic {
+		return nil, errors.New("dvs: Config.Online requires ModeDynamic")
 	}
 	universe := types.RangeProcSet(cfg.Processes)
 	p0 := types.NewProcSet()
@@ -95,11 +102,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		var rec *conform.Recorder
 		if cfg.Record {
 			rec = conform.NewRecorder(id, initial, initial.Contains(id), !cfg.DisableRegistration, true)
-			layer.SetObserver(rec.ObserveDVS)
-			app.SetObserver(rec.ObserveTO)
+			layer.AddObserver(rec.ObserveDVS)
+			app.AddObserver(rec.ObserveTO)
+		}
+		if cfg.Stream != nil {
+			sn, err := cfg.Stream.Node(id, initial, initial.Contains(id), !cfg.DisableRegistration, true)
+			if err != nil {
+				return nil, fmt.Errorf("dvs: registering process %d with trace stream: %w", id, err)
+			}
+			layer.AddObserver(sn.ObserveDVS)
+			app.AddObserver(sn.ObserveTO)
+		}
+		var check *conform.OnlineChecker
+		if cfg.Online != nil {
+			check = conform.NewOnlineChecker(id, initial, initial.Contains(id), !cfg.DisableRegistration, true, *cfg.Online)
+			layer.AddObserver(check.ObserveDVS)
+			app.AddObserver(check.ObserveTO)
 		}
 
-		c.procs[id] = &Process{id: id, vsg: node, dvs: layer, tob: app, rec: rec}
+		c.procs[id] = &Process{id: id, vsg: node, dvs: layer, tob: app, rec: rec, check: check}
 	}
 	for _, id := range universe.Sorted() {
 		c.procs[id].vsg.Start()
@@ -231,6 +252,15 @@ func (p *Process) Stats() (tob.Stats, dvsg.Stats) {
 	}
 	r := <-ch
 	return r.t, r.d
+}
+
+// CheckStats returns the online conformance checker's counters, or a zero
+// snapshot if the cluster was not built with Config.Online. Thread-safe.
+func (p *Process) CheckStats() OnlineCheckStats {
+	if p.check == nil {
+		return OnlineCheckStats{}
+	}
+	return p.check.Stats()
 }
 
 // VSStats returns the view-synchronous layer counters of this process

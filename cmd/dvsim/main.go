@@ -4,15 +4,22 @@
 // machine-checked cores (-record / -replay), turning any scenario into a
 // trace-conformance check.
 //
+// Traces are recorded as a chunked on-disk stream: the recorder spills a
+// segment every few thousand macro-steps, so its memory stays bounded no
+// matter how long the run is, and the replayer checks the paper's
+// invariants incrementally at every chunk boundary. -replay accepts both a
+// chunked trace directory and a legacy single-file trace written by
+// dvs.WriteTrace.
+//
 // Usage:
 //
 //	dvsim -scenario availability|cascade|throughput|recovery|ablation [flags]
-//	dvsim -scenario cascade -record trace.gob   # run, record, verify, write
-//	dvsim -replay trace.gob                     # re-check a recorded trace
+//	dvsim -scenario cascade -record tracedir    # run, stream, verify, keep
+//	dvsim -replay tracedir                      # re-check a recorded trace
+//	dvsim -scenario throughput -check           # run the online checker (E13)
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,42 +45,64 @@ func run() error {
 		duration = flag.Duration("duration", 500*time.Millisecond, "pump duration (throughput)")
 		period   = flag.Duration("period", 150*time.Millisecond, "churn/round period")
 		seed     = flag.Int64("seed", 1, "seed")
-		record   = flag.String("record", "", "record protocol traces, verify conformance, and write them to this file (dynamic-mode runs only)")
-		replay   = flag.String("replay", "", "replay a trace file through the protocol cores and check conformance (ignores -scenario)")
+		record   = flag.String("record", "", "stream protocol traces to this directory (chunked segments), then verify conformance (dynamic-mode runs only)")
+		traceWin = flag.Int("trace-window", 0, "macro-steps per trace chunk (0 = default)")
+		replay   = flag.String("replay", "", "replay a recorded trace (chunked directory or legacy single file) through the protocol cores and check conformance (ignores -scenario)")
+		check    = flag.Bool("check", false, "run the in-process sampled conformance checker during the run and report its overhead (throughput scenario)")
+		checkWin = flag.Int("check-window", 0, "online checker: macro-steps re-stepped per sample (0 = default)")
+		checkEvr = flag.Int("check-every", 0, "online checker: sample every this many macro-steps (0 = default)")
 	)
 	flag.Parse()
 
 	if *replay != "" {
-		logs, err := dvs.ReadTrace(*replay)
+		return replayPath(*replay)
+	}
+
+	var stream *dvs.TraceStream
+	if *record != "" {
+		var err error
+		stream, err = dvs.NewTraceStream(*record, dvs.TraceStreamOptions{WindowSteps: *traceWin})
 		if err != nil {
 			return err
 		}
-		return report(dvs.ReplayTrace(logs))
 	}
-	rec := *record != ""
+	var online *dvs.OnlineCheckConfig
+	if *check {
+		online = &dvs.OnlineCheckConfig{Window: *checkWin, Every: *checkEvr}
+	}
+	// skipRecord warns when a variant of the scenario cannot be recorded, so
+	// "-record" is never silently ignored: the replayer re-executes the
+	// paper's dynamic automata, which static primaries and the disabled-
+	// registration ablation do not run.
+	skipRecord := func(variant, why string) {
+		if stream != nil {
+			fmt.Fprintf(os.Stderr, "dvsim: -record: not recording the %s variant (%s)\n", variant, why)
+		}
+	}
 
-	var trace []dvs.TraceLog
 	switch *scenario {
 	case "availability":
 		for _, mode := range []dvs.Mode{dvs.ModeDynamic, dvs.ModeStatic} {
-			res, err := sim.Availability(sim.AvailabilityConfig{
+			cfg := sim.AvailabilityConfig{
 				Active: *procs, Spares: *spares, Mode: mode,
 				Replacements: *rounds, ChurnPeriod: *period, Seed: *seed,
-				Record: rec && mode == dvs.ModeDynamic,
-			})
+			}
+			if mode == dvs.ModeDynamic {
+				cfg.Stream = stream
+			} else {
+				skipRecord("static", "static primaries are not the paper's automata and cannot be replayed")
+			}
+			res, err := sim.Availability(cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Println(res)
 			fmt.Printf("  net: %s\n", res.Run)
-			if res.Trace != nil {
-				trace = res.Trace
-			}
 		}
 	case "cascade":
 		res, err := sim.PartitionCascade(sim.CascadeConfig{
 			Processes: *procs, Rounds: *rounds, RoundPeriod: *period, Seed: *seed,
-			Record: rec,
+			Stream: stream,
 		})
 		if err != nil {
 			return fmt.Errorf("%w (result %s)", err, res)
@@ -83,56 +112,83 @@ func run() error {
 		for _, v := range res.Primaries {
 			fmt.Printf("  primary %s\n", v)
 		}
-		trace = res.Trace
 	case "throughput":
 		res, err := sim.Throughput(sim.ThroughputConfig{
-			Processes: *procs, Duration: *duration, Seed: *seed, Record: rec,
+			Processes: *procs, Duration: *duration, Seed: *seed,
+			Stream: stream, Online: online,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 		fmt.Printf("  net: %s\n", res.Run)
-		trace = res.Trace
+		if online != nil {
+			cs := res.Check
+			fmt.Printf("  check: %d checks over %d steps (%d re-stepped), %d divergences, %d violations, %.2fms total, %.2fms max\n",
+				cs.Checks, cs.Steps, cs.StepsChecked, cs.Divergences, cs.Violations,
+				float64(cs.CheckNanos)/1e6, float64(cs.MaxCheckNanos)/1e6)
+			if cs.LastError != "" {
+				return fmt.Errorf("online checker: %s", cs.LastError)
+			}
+		}
 	case "recovery":
-		res, err := sim.Recovery(sim.RecoveryConfig{Processes: *procs, Seed: *seed, Record: rec})
+		res, err := sim.Recovery(sim.RecoveryConfig{Processes: *procs, Seed: *seed, Stream: stream})
 		if err != nil {
 			return fmt.Errorf("%w (result %s)", err, res)
 		}
 		fmt.Println(res)
 		fmt.Printf("  net: %s\n", res.Run)
-		trace = res.Trace
 	case "ablation":
 		for _, disable := range []bool{false, true} {
-			res, err := sim.RegisterAblation(sim.AblationConfig{
+			cfg := sim.AblationConfig{
 				Processes: *procs, Rounds: *rounds, RoundPeriod: *period,
 				DisableReg: disable, Seed: *seed,
-				Record: rec && !disable,
-			})
+			}
+			if !disable {
+				cfg.Stream = stream
+			} else {
+				skipRecord("disabled-registration", "the ablation departs from the replayer's registration model")
+			}
+			res, err := sim.RegisterAblation(cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Println(res)
 			fmt.Printf("  net: %s\n", res.Run)
-			if res.Trace != nil {
-				trace = res.Trace
-			}
 		}
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
 
-	if rec {
-		if trace == nil {
-			return errors.New("scenario produced no trace")
+	if stream != nil {
+		if err := stream.Close(); err != nil {
+			return fmt.Errorf("sealing trace stream: %w", err)
 		}
-		if err := dvs.WriteTrace(*record, trace); err != nil {
-			return err
-		}
-		fmt.Printf("recorded %d node trace(s) to %s\n", len(trace), *record)
-		return report(dvs.ReplayTrace(trace))
+		fmt.Printf("recorded chunked trace to %s\n", *record)
+		return replayPath(*record)
 	}
 	return nil
+}
+
+// replayPath re-checks a recorded trace: a directory is treated as a
+// chunked stream, a file as a legacy in-memory trace.
+func replayPath(path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if info.IsDir() {
+		rep, err := dvs.ReplayTraceStream(path)
+		if err != nil {
+			return err
+		}
+		return reportStream(rep)
+	}
+	logs, err := dvs.ReadTrace(path)
+	if err != nil {
+		return err
+	}
+	return report(dvs.ReplayTrace(logs))
 }
 
 // report prints the conformance replay outcome and returns its error (nil
@@ -144,6 +200,25 @@ func report(rep *dvs.ConformanceReport) error {
 	}
 	for _, v := range rep.Violations {
 		fmt.Printf("  violation: %s\n", v)
+	}
+	return rep.Err()
+}
+
+// reportStream prints the streamed conformance outcome, including chunk
+// accounting and truncation status, and returns its error.
+func reportStream(rep *dvs.StreamConformanceReport) error {
+	fmt.Printf("conformance: %s\n", rep)
+	for _, m := range rep.Malformed {
+		fmt.Printf("  malformed: %s\n", m)
+	}
+	for _, d := range rep.Divergences {
+		fmt.Printf("  divergence: %s\n", d)
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+	if rep.Truncated != "" {
+		fmt.Printf("  truncated: %s\n", rep.Truncated)
 	}
 	return rep.Err()
 }

@@ -34,13 +34,18 @@ func main() {
 
 func run() error {
 	var (
-		id      = flag.Int("id", 0, "this process's id")
-		n       = flag.Int("n", 3, "universe size")
-		listen  = flag.String("listen", "127.0.0.1:7000", "listen address")
-		peers   = flag.String("peers", "", "comma-separated id=host:port pairs")
-		static  = flag.Bool("static", false, "use static majority primaries instead of dynamic")
-		tick    = flag.Duration("tick", 20*time.Millisecond, "heartbeat tick")
-		metrics = flag.String("metrics", "", "serve per-layer stats over HTTP at this address (expvar at /debug/vars, JSON at /stats)")
+		id       = flag.Int("id", 0, "this process's id")
+		n        = flag.Int("n", 3, "universe size")
+		listen   = flag.String("listen", "127.0.0.1:7000", "listen address")
+		peers    = flag.String("peers", "", "comma-separated id=host:port pairs")
+		static   = flag.Bool("static", false, "use static majority primaries instead of dynamic")
+		tick     = flag.Duration("tick", 20*time.Millisecond, "heartbeat tick")
+		metrics  = flag.String("metrics", "", "serve per-layer stats over HTTP at this address (expvar at /debug/vars, JSON at /stats)")
+		traceDir = flag.String("trace-dir", "", "stream this node's protocol trace to chunked segments in this directory (dynamic mode only); replay with dvsim -replay <dir>")
+		traceWin = flag.Int("trace-window", 0, "macro-steps per trace chunk (0 = default)")
+		check    = flag.Bool("check", false, "run the in-process sampled conformance checker (dynamic mode only; stats in the metrics Check section)")
+		checkWin = flag.Int("check-window", 0, "online checker: macro-steps re-stepped per sample (0 = default)")
+		checkEvr = flag.Int("check-every", 0, "online checker: sample every this many macro-steps (0 = default)")
 	)
 	flag.Parse()
 
@@ -52,18 +57,52 @@ func run() error {
 	if *static {
 		mode = dvs.ModeStatic
 	}
-	node, err := dvs.StartNode(dvs.NodeConfig{
+	cfg := dvs.NodeConfig{
 		ID:           *id,
 		Processes:    *n,
 		Listen:       *listen,
 		Peers:        peerMap,
 		Mode:         mode,
 		TickInterval: *tick,
-	})
+	}
+	var stream *dvs.TraceStream
+	if *traceDir != "" {
+		stream, err = dvs.NewTraceStream(*traceDir, dvs.TraceStreamOptions{WindowSteps: *traceWin})
+		if err != nil {
+			return err
+		}
+		cfg.Stream = stream
+	}
+	if *check {
+		cfg.Online = &dvs.OnlineCheckConfig{Window: *checkWin, Every: *checkEvr}
+	}
+	node, err := dvs.StartNode(cfg)
 	if err != nil {
+		if stream != nil {
+			stream.Close()
+		}
 		return err
 	}
+	if stream != nil {
+		// Declared before node.Close so the stream is sealed after the node
+		// has stopped observing: the deferred calls run in reverse order.
+		defer func() {
+			if err := stream.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dvsnode: sealing trace stream:", err)
+			}
+		}()
+	}
 	defer node.Close()
+	if *check {
+		defer func() {
+			cs := node.CheckStats()
+			fmt.Printf("online checker: %d checks over %d steps, %d divergences, %d violations\n",
+				cs.Checks, cs.Steps, cs.Divergences, cs.Violations)
+			if cs.LastError != "" {
+				fmt.Fprintln(os.Stderr, "dvsnode: online checker:", cs.LastError)
+			}
+		}()
+	}
 	fmt.Printf("node %d listening on %s (%s primaries)\n", *id, node.Addr(), mode)
 	if *metrics != "" {
 		addr, err := serveMetrics(*metrics, node)

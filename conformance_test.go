@@ -87,11 +87,119 @@ func TestConformanceTraceFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestConformanceStreamedCluster runs the same end-to-end check through the
+// chunked on-disk recorder, with the in-memory recorder alongside: the
+// streamed replay must reach the same verdict over the same steps, while
+// the recorder's buffered window stays bounded.
+func TestConformanceStreamedCluster(t *testing.T) {
+	dir := t.TempDir()
+	const window = 512
+	stream, err := NewTraceStream(dir, TraceStreamOptions{WindowSteps: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(Config{Processes: 5, Seed: 7, Record: true, Stream: stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	time.Sleep(50 * time.Millisecond)
+
+	for i := 0; i < 40; i++ {
+		cl.Process(i % 5).Broadcast("m" + strconv.Itoa(i))
+	}
+	time.Sleep(100 * time.Millisecond)
+	cl.Partition([]int{0, 1, 2}, []int{3, 4})
+	time.Sleep(150 * time.Millisecond)
+	for i := 40; i < 60; i++ {
+		cl.Process(0).Broadcast("m" + strconv.Itoa(i))
+	}
+	time.Sleep(100 * time.Millisecond)
+	cl.Heal()
+	time.Sleep(300 * time.Millisecond)
+	cl.Close()
+	if err := stream.Close(); err != nil {
+		t.Fatalf("sealing stream: %v", err)
+	}
+
+	mem := ReplayTrace(cl.TraceLogs())
+	rep, err := ReplayTraceStream(dir)
+	if err != nil {
+		t.Fatalf("streamed replay: %v", err)
+	}
+	if err := rep.Err(); err != nil {
+		for _, d := range rep.Divergences {
+			t.Logf("divergence: %s", d)
+		}
+		for _, v := range rep.Violations {
+			t.Logf("violation: %s", v)
+		}
+		t.Fatalf("streamed conformance replay failed: %v (%s)", err, rep)
+	}
+	if !rep.Sealed {
+		t.Errorf("closed stream not sealed: %s", rep)
+	}
+	if rep.OK() != mem.OK() {
+		t.Errorf("streamed verdict %v, in-memory verdict %v (%v)", rep.OK(), mem.OK(), mem.Err())
+	}
+	if rep.DVSSteps != mem.DVSSteps || rep.TOSteps != mem.TOSteps {
+		t.Errorf("streamed replay covered dvs=%d/to=%d steps, in-memory dvs=%d/to=%d",
+			rep.DVSSteps, rep.TOSteps, mem.DVSSteps, mem.TOSteps)
+	}
+	if peak := stream.PeakWindowSteps(); peak > window {
+		t.Errorf("recorder buffered %d steps, window %d", peak, window)
+	}
+	t.Logf("streamed conformance: %s (peak window %d)", rep, stream.PeakWindowSteps())
+}
+
+// TestOnlineCheckerCluster runs the in-process sampled checker on every
+// process of a healthy cluster: it must run checks and find nothing.
+func TestOnlineCheckerCluster(t *testing.T) {
+	cl, err := NewCluster(Config{
+		Processes: 3, Seed: 13,
+		Online: &OnlineCheckConfig{Window: 64, Every: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < 30; i++ {
+		cl.Process(i % 3).Broadcast("m" + strconv.Itoa(i))
+	}
+	time.Sleep(200 * time.Millisecond)
+	cl.Close()
+
+	var steps, checks uint64
+	for _, p := range cl.Processes() {
+		cs := p.CheckStats()
+		steps += cs.Steps
+		checks += cs.Checks
+		if cs.Divergences != 0 || cs.Violations != 0 {
+			t.Errorf("process %s online checker flagged a healthy run: %+v", p.ID(), cs)
+		}
+	}
+	if steps == 0 || checks == 0 {
+		t.Fatalf("online checker never ran: steps=%d checks=%d", steps, checks)
+	}
+}
+
 // TestRecordRequiresDynamic pins the configuration contract: the replayer
 // re-executes the paper's automata, so recording the static baseline is
 // rejected up front rather than failing at replay time.
 func TestRecordRequiresDynamic(t *testing.T) {
 	if _, err := NewCluster(Config{Processes: 3, Mode: ModeStatic, Record: true}); err == nil {
 		t.Fatal("NewCluster accepted Record with ModeStatic")
+	}
+	stream, err := NewTraceStream(t.TempDir(), TraceStreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	if _, err := NewCluster(Config{Processes: 3, Mode: ModeStatic, Stream: stream}); err == nil {
+		t.Fatal("NewCluster accepted Stream with ModeStatic")
+	}
+	if _, err := NewCluster(Config{Processes: 3, Mode: ModeStatic, Online: &OnlineCheckConfig{}}); err == nil {
+		t.Fatal("NewCluster accepted Online with ModeStatic")
 	}
 }

@@ -109,6 +109,17 @@ type Config struct {
 	// Recording requires ModeDynamic — the conformance replayer re-executes
 	// the paper's automata, not the static baseline.
 	Record bool
+	// Stream, when set, spills every macro-step to the given chunked
+	// on-disk trace instead of (or in addition to) the in-memory Record
+	// log: recorder memory stays O(window) no matter how long the run is.
+	// The caller owns the stream — Close it after Cluster.Close, then check
+	// with ReplayTraceStream. Requires ModeDynamic, like Record.
+	Stream *TraceStream
+	// Online, when set, runs the bounded-suffix sampled conformance checker
+	// in-process on every node: a shadow core pair re-steps the last
+	// Window macro-steps every Every steps, entirely in memory. Read the
+	// counters with Process.CheckStats. Requires ModeDynamic.
+	Online *OnlineCheckConfig
 }
 
 // TraceLog is the recorded protocol trace of one node: the core
@@ -128,8 +139,48 @@ type ConformanceReport = conform.Report
 // nodes stopped.
 func ReplayTrace(logs []TraceLog) *ConformanceReport { return conform.Replay(logs) }
 
-// WriteTrace writes trace logs to a file (gob encoding).
+// WriteTrace writes trace logs to a file (gob encoding). The write is
+// atomic: the logs land under a temporary name in the same directory and
+// are renamed into place only after a successful encode and fsync, so a
+// crash or encode failure never leaves a torn trace at path.
 func WriteTrace(path string, logs []TraceLog) error { return conform.WriteFile(path, logs) }
 
 // ReadTrace reads trace logs written by WriteTrace.
 func ReadTrace(path string) ([]TraceLog, error) { return conform.ReadFile(path) }
+
+// TraceStreamOptions tune the chunked on-disk trace recorder.
+type TraceStreamOptions = conform.StreamOptions
+
+// TraceStream is a chunked on-disk trace: nodes spill their macro-step
+// records into rolling chunks, so recorder memory is bounded by the chunk
+// window rather than the run length. Pass one to Config.Stream (or
+// NodeConfig.Stream for TCP nodes), Close it after the cluster or node has
+// stopped, and check the directory with ReplayTraceStream.
+type TraceStream = conform.StreamRecorder
+
+// NewTraceStream creates a chunked trace stream rooted at dir.
+func NewTraceStream(dir string, opts TraceStreamOptions) (*TraceStream, error) {
+	return conform.NewStreamRecorder(dir, opts)
+}
+
+// StreamConformanceReport is the outcome of replaying a chunked on-disk
+// trace: the in-memory report plus chunk accounting, truncation status,
+// and whether the stream was sealed by a clean Close.
+type StreamConformanceReport = conform.StreamReport
+
+// ReplayTraceStream incrementally replays a chunked trace directory written
+// by a TraceStream: records are re-stepped chunk by chunk, per-node
+// invariant projections run at every chunk boundary, and the full
+// cross-node invariant suite runs at quiescent cuts and at the sealed end.
+// Divergences and violations carry the chunk window that introduced them.
+// A truncated stream (crash before Close) is checked up to its sealed
+// prefix and reported as such rather than failing outright.
+func ReplayTraceStream(dir string) (*StreamConformanceReport, error) {
+	return conform.ReplayStream(dir)
+}
+
+// OnlineCheckConfig bounds the in-process sampled conformance checker.
+type OnlineCheckConfig = conform.OnlineConfig
+
+// OnlineCheckStats is a snapshot of one node's online checker counters.
+type OnlineCheckStats = conform.OnlineStats

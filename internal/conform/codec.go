@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/protocol/dvscore"
 	"repro/internal/protocol/tocore"
@@ -45,17 +46,37 @@ func Decode(r io.Reader) ([]NodeLog, error) {
 	return logs, nil
 }
 
-// WriteFile writes the logs to path.
-func WriteFile(path string, logs []NodeLog) error {
-	f, err := os.Create(path)
+// WriteFile writes the logs to path atomically: the encoding goes to a
+// temporary file in the same directory, which is fsynced and renamed over
+// path only on success. A failed encode or a crash mid-write therefore
+// never leaves a torn trace at the target — the previous contents (or the
+// file's absence) survive intact.
+func WriteFile(path string, logs []NodeLog) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".trace-*.tmp")
 	if err != nil {
 		return err
 	}
-	if err := Encode(f, logs); err != nil {
-		f.Close()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
+	if err = Encode(f, logs); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(f.Name(), path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
 }
 
 // ReadFile reads logs from path.

@@ -1,0 +1,124 @@
+package conform
+
+import (
+	"fmt"
+
+	"repro/internal/protocol/dvscore"
+	"repro/internal/protocol/tocore"
+	"repro/internal/types"
+)
+
+// Per-node invariant projections, run by the stream replayer at every chunk
+// boundary and by the online checker at every sampled check. Each is a
+// sound single-node instance of a paper invariant: it quantifies only over
+// state owned by the node itself (plus the node's own history across
+// boundaries), so it holds at every consistent cut of a correct run — no
+// quiescence assumption needed. The full cross-node suite (checkCut) runs
+// only at quiescent boundaries, where the in-flight components the global
+// formulas implicitly assume empty really are empty.
+
+// localState carries a node's cross-boundary check memory: the confirmed
+// prefix's length and last label at the previous check, used to verify the
+// prefix only ever grows in place — the per-node shadow of the TO service's
+// no-unconfirming guarantee. (The TO core may rebuild its order at view
+// establishment; a rebuild that shrank or rewrote the already-confirmed
+// prefix would reorder messages already handed to the application.)
+type localState struct {
+	confirmedLen  int
+	confirmedTail types.Label
+}
+
+// checkLocal runs the per-node checks for node p over its replayed cores,
+// attributing violations to window.
+func checkLocal(rep *Report, window int, p types.ProcID, dn *dvscore.Node, tn *tocore.Node, st *localState) {
+	check := func(name string, f func() error) {
+		rep.Checks++
+		if err := f(); err != nil {
+			rep.Violations = append(rep.Violations, Violation{Name: name, Window: window, Err: err})
+		}
+	}
+	check("DVSIMPL-5.1-local", func() error { return checkLocal51(p, dn) })
+	check("DVSIMPL-5.2-local", func() error { return checkLocal52(p, dn) })
+	check("TOIMPL-order-local", func() error { return checkLocalTOOrder(p, tn) })
+	check("TOIMPL-confirmed-monotone", func() error { return checkConfirmedMonotone(p, tn, st) })
+}
+
+// checkLocal51 is the self instance of Invariant 5.1: if p itself attempted
+// v and p ∈ v.set, then cur_p ≠ ⊥ and cur.id_p ≥ v.id.
+func checkLocal51(p types.ProcID, dn *dvscore.Node) error {
+	for _, v := range dn.AttemptedShared() {
+		if !v.Members.Contains(p) {
+			continue
+		}
+		cur, ok := dn.Cur()
+		if !ok || cur.ID.Less(v.ID) {
+			return fmt.Errorf("p=%s attempted %s but cur_%s < v.id", p, v, p)
+		}
+	}
+	return nil
+}
+
+// checkLocal52 is the purely local fragment of Invariant 5.2: part 2
+// (ambiguous ids exceed act.id) and the amended part 3 (use ids bounded by
+// cur.id; all zero while cur = ⊥). Parts 1 and 4–6 need the cross-node
+// totally-registered set and run only in checkCut.
+func checkLocal52(p types.ProcID, dn *dvscore.Node) error {
+	act := dn.Act()
+	amb := dn.Amb()
+	for _, w := range amb {
+		if !act.ID.Less(w.ID) {
+			return fmt.Errorf("5.2(2): amb_%s contains %s with id ≤ act.id %s", p, w, act.ID)
+		}
+	}
+	if cur, ok := dn.Cur(); ok {
+		if cur.ID.Less(act.ID) {
+			return fmt.Errorf("5.2(3 amended): use_%s contains %s with id > cur.id %s", p, act, cur.ID)
+		}
+		for _, w := range amb {
+			if cur.ID.Less(w.ID) {
+				return fmt.Errorf("5.2(3 amended): use_%s contains %s with id > cur.id %s", p, w, cur.ID)
+			}
+		}
+		return nil
+	}
+	if !act.ID.IsZero() {
+		return fmt.Errorf("5.2(3 amended): use_%s contains %s with cur = ⊥", p, act)
+	}
+	for _, w := range amb {
+		if !w.ID.IsZero() {
+			return fmt.Errorf("5.2(3 amended): use_%s contains %s with cur = ⊥", p, w)
+		}
+	}
+	return nil
+}
+
+// checkLocalTOOrder checks the structural index bounds of the DVS-TO-TO
+// automaton: the 1-based report and confirm indices satisfy
+// 1 ≤ nextReport ≤ nextConfirm ≤ |order|+1 — delivery never overtakes
+// confirmation, confirmation never overtakes the built order.
+func checkLocalTOOrder(p types.ProcID, tn *tocore.Node) error {
+	nr, nc, n := tn.NextReport(), tn.NextConfirm(), len(tn.Order())
+	if nr < 1 || nc < nr || nc > n+1 {
+		return fmt.Errorf("p=%s index bounds broken: nextReport=%d nextConfirm=%d |order|=%d", p, nr, nc, n)
+	}
+	return nil
+}
+
+// checkConfirmedMonotone checks that p's confirmed prefix grew in place
+// since the previous boundary: it never shrinks, and the label that closed
+// the old prefix is still at its position in the new one.
+func checkConfirmedMonotone(p types.ProcID, tn *tocore.Node, st *localState) error {
+	cur := tn.ConfirmedShared()
+	if len(cur) < st.confirmedLen {
+		return fmt.Errorf("p=%s confirmed prefix shrank from %d to %d", p, st.confirmedLen, len(cur))
+	}
+	if st.confirmedLen > 0 && cur[st.confirmedLen-1] != st.confirmedTail {
+		return fmt.Errorf("p=%s confirmed prefix rewritten at %d: had %s, now %s",
+			p, st.confirmedLen-1, st.confirmedTail, cur[st.confirmedLen-1])
+	}
+	st.confirmedLen = len(cur)
+	if len(cur) > 0 {
+		st.confirmedTail = cur[len(cur)-1]
+	}
+	return nil
+}

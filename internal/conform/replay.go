@@ -14,41 +14,56 @@ import (
 // Divergence reports one replayed macro-step whose effect sequence differs
 // from the recorded one.
 type Divergence struct {
-	P     types.ProcID
-	Layer string // "dvs" or "to"
-	Index int    // record index within that node's layer log
-	Event string // rendered input event
-	Want  string // recorded effects, rendered
-	Got   string // replayed effects, rendered
+	P      types.ProcID
+	Layer  string // "dvs" or "to"
+	Index  int    // record index within that node's layer log
+	Window int    // chunk that introduced it (streamed replay); 0 = whole trace
+	Event  string // rendered input event
+	Want   string // recorded effects, rendered
+	Got    string // replayed effects, rendered
 }
 
 // String renders the divergence.
 func (d Divergence) String() string {
-	return fmt.Sprintf("node %s %s step %d (%s): recorded [%s], replayed [%s]",
-		d.P, d.Layer, d.Index, d.Event, d.Want, d.Got)
+	loc := ""
+	if d.Window > 0 {
+		loc = fmt.Sprintf(" [window %d]", d.Window)
+	}
+	return fmt.Sprintf("node %s %s step %d%s (%s): recorded [%s], replayed [%s]",
+		d.P, d.Layer, d.Index, loc, d.Event, d.Want, d.Got)
 }
 
-// Violation is one failed invariant check over the replayed final cut.
+// Violation is one failed invariant check over a replayed cut.
 type Violation struct {
-	Name string
-	Err  error
+	Name   string
+	Window int // chunk boundary it was detected at (streamed replay); 0 = final cut
+	Err    error
 }
 
 // String renders the violation.
-func (v Violation) String() string { return v.Name + ": " + v.Err.Error() }
+func (v Violation) String() string {
+	if v.Window > 0 {
+		return fmt.Sprintf("%s [window %d]: %s", v.Name, v.Window, v.Err)
+	}
+	return v.Name + ": " + v.Err.Error()
+}
 
 // Report is the outcome of replaying a set of node logs.
 type Report struct {
 	Nodes       int
 	DVSSteps    int
 	TOSteps     int
-	Checks      int // invariant checks evaluated on the final cut
+	Checks      int // invariant checks evaluated
+	Malformed   []string
 	Divergences []Divergence
 	Violations  []Violation
 }
 
-// OK reports whether the replay was divergence- and violation-free.
-func (r *Report) OK() bool { return len(r.Divergences) == 0 && len(r.Violations) == 0 }
+// OK reports whether the replay was well-formed, divergence- and
+// violation-free.
+func (r *Report) OK() bool {
+	return len(r.Malformed) == 0 && len(r.Divergences) == 0 && len(r.Violations) == 0
+}
 
 // Err returns nil when OK, else an error summarizing the first findings.
 func (r *Report) Err() error {
@@ -56,6 +71,9 @@ func (r *Report) Err() error {
 		return nil
 	}
 	var parts []string
+	if n := len(r.Malformed); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d malformed log(s), first: %s", n, r.Malformed[0]))
+	}
 	if n := len(r.Divergences); n > 0 {
 		parts = append(parts, fmt.Sprintf("%d divergence(s), first: %s", n, r.Divergences[0]))
 	}
@@ -67,8 +85,72 @@ func (r *Report) Err() error {
 
 // String renders a one-line summary.
 func (r *Report) String() string {
-	return fmt.Sprintf("nodes=%d dvs_steps=%d to_steps=%d checks=%d divergences=%d violations=%d",
+	s := fmt.Sprintf("nodes=%d dvs_steps=%d to_steps=%d checks=%d divergences=%d violations=%d",
 		r.Nodes, r.DVSSteps, r.TOSteps, r.Checks, len(r.Divergences), len(r.Violations))
+	if len(r.Malformed) > 0 {
+		s += fmt.Sprintf(" malformed=%d", len(r.Malformed))
+	}
+	return s
+}
+
+// validateLogSet reports malformed log-set structure into rep: duplicate
+// entries for one process (they would silently overwrite each other in the
+// replay maps) and disagreement on the initial view (the refinement mapping
+// is anchored at a single v0, so mixed-run logs must be rejected, not
+// replayed against an arbitrary log's v0). sorted must be ordered by P.
+// Returns false when the set is unusable.
+func validateLogSet(rep *Report, sorted []NodeLog) bool {
+	ok := true
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].P == sorted[i-1].P {
+			rep.Malformed = append(rep.Malformed,
+				fmt.Sprintf("duplicate log for process %s", sorted[i].P))
+			ok = false
+		}
+	}
+	for _, lg := range sorted[1:] {
+		if !lg.Initial.Equal(sorted[0].Initial) {
+			rep.Malformed = append(rep.Malformed,
+				fmt.Sprintf("process %s initial view %s disagrees with process %s initial view %s — logs are not from one run",
+					lg.P, lg.Initial, sorted[0].P, sorted[0].Initial))
+			ok = false
+		}
+	}
+	return ok
+}
+
+// stepDVSRecord replays one recorded VS-TO-DVS macro-step through dn and
+// reports a divergence (attributed to window) when the re-derived effects
+// differ from the recorded ones.
+func stepDVSRecord(rep *Report, window int, p types.ProcID, gc bool, dn *dvscore.Node, index int, rec DVSRecord) {
+	var out dvscore.Outbox
+	dvscore.Step(dn, rec.Ev, gc, &out)
+	rep.DVSSteps++
+	if want, got := renderDVSEffects(rec.Fx), renderDVSEffects(out.Effects); want != got {
+		rep.Divergences = append(rep.Divergences, Divergence{
+			P: p, Layer: "dvs", Index: index, Window: window,
+			Event: renderDVSEvent(rec.Ev), Want: want, Got: got,
+		})
+	}
+}
+
+// stepTORecord replays one recorded DVS-TO-TO macro-step through tn. A step
+// error renders as the replayed outcome: recorded events never error (the
+// shell drops rejected events unobserved), so an error is a divergence.
+func stepTORecord(rep *Report, window int, p types.ProcID, register bool, tn *tocore.Node, index int, rec TORecord) {
+	var out tocore.Outbox
+	err := tocore.Step(tn, rec.Ev, register, &out)
+	rep.TOSteps++
+	want, got := renderTOEffects(rec.Fx), renderTOEffects(out.Effects)
+	if err != nil {
+		got = "error: " + err.Error()
+	}
+	if want != got {
+		rep.Divergences = append(rep.Divergences, Divergence{
+			P: p, Layer: "to", Index: index, Window: window,
+			Event: renderTOEvent(rec.Ev), Want: want, Got: got,
+		})
+	}
 }
 
 // Replay re-executes the recorded logs through the protocol cores and
@@ -83,6 +165,9 @@ func Replay(logs []NodeLog) *Report {
 	}
 	sorted := append([]NodeLog(nil), logs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].P < sorted[j].P })
+	if !validateLogSet(rep, sorted) {
+		return rep
+	}
 
 	procs := make([]types.ProcID, 0, len(sorted))
 	dvsNodes := make(map[types.ProcID]*dvscore.Node, len(sorted))
@@ -93,41 +178,31 @@ func Replay(logs []NodeLog) *Report {
 
 		dn := dvscore.NewNode(lg.P, lg.Initial, lg.InP0)
 		for i, rec := range lg.DVS {
-			var out dvscore.Outbox
-			dvscore.Step(dn, rec.Ev, lg.GC, &out)
-			rep.DVSSteps++
-			if want, got := renderDVSEffects(rec.Fx), renderDVSEffects(out.Effects); want != got {
-				rep.Divergences = append(rep.Divergences, Divergence{
-					P: lg.P, Layer: "dvs", Index: i,
-					Event: renderDVSEvent(rec.Ev), Want: want, Got: got,
-				})
-			}
+			stepDVSRecord(rep, 0, lg.P, lg.GC, dn, i, rec)
 		}
 		dvsNodes[lg.P] = dn
 
 		tn := tocore.NewNode(lg.P, lg.Initial, lg.InP0, false)
 		for i, rec := range lg.TO {
-			var out tocore.Outbox
-			err := tocore.Step(tn, rec.Ev, lg.Register, &out)
-			rep.TOSteps++
-			want, got := renderTOEffects(rec.Fx), renderTOEffects(out.Effects)
-			if err != nil {
-				got = "error: " + err.Error()
-			}
-			if want != got {
-				rep.Divergences = append(rep.Divergences, Divergence{
-					P: lg.P, Layer: "to", Index: i,
-					Event: renderTOEvent(rec.Ev), Want: want, Got: got,
-				})
-			}
+			stepTORecord(rep, 0, lg.P, lg.Register, tn, i, rec)
 		}
 		toNodes[lg.P] = tn
 	}
 
+	checkCut(rep, 0, procs, sorted[0].Initial, dvsNodes, toNodes)
+	return rep
+}
+
+// checkCut evaluates the paper's cross-node invariants over the cut formed
+// by the given replayed node states, attributing violations to window (0 =
+// the final cut of the whole trace). The cut must be quiescent at the
+// recorded interface: no core messages or safe indications in flight.
+func checkCut(rep *Report, window int, procs []types.ProcID, initial types.View,
+	dvsNodes map[types.ProcID]*dvscore.Node, toNodes map[types.ProcID]*tocore.Node) {
 	check := func(name string, f func() error) {
 		rep.Checks++
 		if err := f(); err != nil {
-			rep.Violations = append(rep.Violations, Violation{Name: name, Err: err})
+			rep.Violations = append(rep.Violations, Violation{Name: name, Window: window, Err: err})
 		}
 	}
 
@@ -146,7 +221,7 @@ func Replay(logs []NodeLog) *Report {
 	// refinement mapping of Figure 4 applied to the quiescent cut (all
 	// queues empty, so only views, attempts, registrations and client-cur
 	// survive the purge).
-	spec := abstractSpec(procs, sorted[0].Initial, dvsNodes)
+	spec := abstractSpec(procs, initial, dvsNodes)
 	check("DVS-4.1", func() error { return dvs.CheckInvariant41(spec) })
 	check("DVS-4.2", func() error { return dvs.CheckInvariant42(spec) })
 
@@ -164,8 +239,6 @@ func Replay(logs []NodeLog) *Report {
 	check("TOIMPL-6.2", tsys.CheckInvariant62)
 	check("TOIMPL-6.3", tsys.CheckInvariant63)
 	check("TOIMPL-confirmed-consistent", tsys.CheckConfirmedConsistent)
-
-	return rep
 }
 
 // abstractSpec applies the refinement mapping F of Figure 4 to the replayed

@@ -112,9 +112,23 @@ var _ vsg.Handler = (*Layer)(nil)
 // node starts.
 func (l *Layer) Bind(node *vsg.Node) { l.node = node }
 
-// SetObserver installs the macro-step observer. It must be called before
-// the node starts.
+// SetObserver installs the macro-step observer, replacing any previous one.
+// It must be called before the node starts.
 func (l *Layer) SetObserver(o Observer) { l.observer = o }
+
+// AddObserver chains o after any already-installed observer, so a recorder,
+// a stream spiller, and an online checker can watch the same layer. It must
+// be called before the node starts.
+func (l *Layer) AddObserver(o Observer) {
+	if prev := l.observer; prev != nil {
+		l.observer = func(ev dvscore.Event, effects []dvscore.Effect) {
+			prev(ev, effects)
+			o(ev, effects)
+		}
+		return
+	}
+	l.observer = o
+}
 
 // Stats returns a snapshot of the counters. It must be read from the event
 // loop (via Node.Do) or after the node has stopped.

@@ -49,6 +49,10 @@ func DefaultModelpureConfig() ModelpureConfig {
 			"internal/ioa/explore.go",
 			"internal/ioa/refine.go",
 			"internal/ioa/rng.go",
+			// The online checker measures its own latency (it is the
+			// overhead budget E13 tracks); the timing never influences what
+			// is checked or how records replay.
+			"internal/conform/online.go",
 		},
 		GlobalRandEverywhere: true,
 	}

@@ -25,6 +25,9 @@ type AvailabilityConfig struct {
 	// Record enables protocol-trace recording (dynamic mode only); the
 	// harvested logs land in AvailabilityResult.Trace.
 	Record bool
+	// Stream, when set, spills the run's protocol trace to the chunked
+	// on-disk recorder instead of holding it in memory (dynamic mode only).
+	Stream *dvs.TraceStream
 }
 
 func (c *AvailabilityConfig) fill() {
@@ -87,6 +90,7 @@ func Availability(cfg AvailabilityConfig) (AvailabilityResult, error) {
 		Mode:      cfg.Mode,
 		Seed:      cfg.Seed,
 		Record:    cfg.Record,
+		Stream:    cfg.Stream,
 	})
 	if err != nil {
 		return AvailabilityResult{}, err

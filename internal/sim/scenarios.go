@@ -18,7 +18,8 @@ type CascadeConfig struct {
 	Rounds      int
 	RoundPeriod time.Duration
 	Seed        int64
-	Record      bool // record protocol traces (dynamic mode only)
+	Record      bool             // record protocol traces (dynamic mode only)
+	Stream      *dvs.TraceStream // stream the trace to disk (dynamic mode only)
 }
 
 func (c *CascadeConfig) fill() {
@@ -53,7 +54,7 @@ func (r CascadeResult) String() string {
 // PartitionCascade runs the scenario.
 func PartitionCascade(cfg CascadeConfig) (CascadeResult, error) {
 	cfg.fill()
-	cl, err := dvs.NewCluster(dvs.Config{Processes: cfg.Processes, Mode: cfg.Mode, Seed: cfg.Seed, Record: cfg.Record})
+	cl, err := dvs.NewCluster(dvs.Config{Processes: cfg.Processes, Mode: cfg.Mode, Seed: cfg.Seed, Record: cfg.Record, Stream: cfg.Stream})
 	if err != nil {
 		return CascadeResult{}, err
 	}
@@ -117,7 +118,9 @@ type ThroughputConfig struct {
 	Senders   int
 	Duration  time.Duration
 	Seed      int64
-	Record    bool // record protocol traces
+	Record    bool                   // record protocol traces
+	Stream    *dvs.TraceStream       // stream the trace to disk
+	Online    *dvs.OnlineCheckConfig // run the in-process sampled checker (E13)
 }
 
 func (c *ThroughputConfig) fill() {
@@ -141,7 +144,8 @@ type ThroughputResult struct {
 	Elapsed    time.Duration
 	Consistent bool
 	Run        RunStats
-	Trace      []dvs.TraceLog // recorded protocol trace (Config.Record)
+	Trace      []dvs.TraceLog       // recorded protocol trace (Config.Record)
+	Check      dvs.OnlineCheckStats // summed checker counters (Config.Online)
 }
 
 // PerSecond is the delivery rate observed at one process.
@@ -162,7 +166,7 @@ func (r ThroughputResult) String() string {
 // totally-ordered delivery rate, verifying cross-process consistency.
 func Throughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	cfg.fill()
-	cl, err := dvs.NewCluster(dvs.Config{Processes: cfg.Processes, Seed: cfg.Seed, Record: cfg.Record})
+	cl, err := dvs.NewCluster(dvs.Config{Processes: cfg.Processes, Seed: cfg.Seed, Record: cfg.Record, Stream: cfg.Stream, Online: cfg.Online})
 	if err != nil {
 		return ThroughputResult{}, err
 	}
@@ -205,6 +209,23 @@ func Throughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	res.Consistent = CheckDeliverySequences(delivered) == nil
 	res.Run = captureRunStats(cl)
 	res.Trace = harvestTrace(cl, cfg.Record)
+	if cfg.Online != nil {
+		for _, p := range cl.Processes() {
+			cs := p.CheckStats()
+			res.Check.Steps += cs.Steps
+			res.Check.Checks += cs.Checks
+			res.Check.StepsChecked += cs.StepsChecked
+			res.Check.Divergences += cs.Divergences
+			res.Check.Violations += cs.Violations
+			res.Check.CheckNanos += cs.CheckNanos
+			if cs.MaxCheckNanos > res.Check.MaxCheckNanos {
+				res.Check.MaxCheckNanos = cs.MaxCheckNanos
+			}
+			if res.Check.LastError == "" {
+				res.Check.LastError = cs.LastError
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -213,7 +234,8 @@ type RecoveryConfig struct {
 	Processes int
 	Seed      int64
 	Timeout   time.Duration
-	Record    bool // record protocol traces
+	Record    bool             // record protocol traces
+	Stream    *dvs.TraceStream // stream the trace to disk
 }
 
 // RecoveryResult summarizes a recovery run.
@@ -244,7 +266,7 @@ func Recovery(cfg RecoveryConfig) (RecoveryResult, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
-	cl, err := dvs.NewCluster(dvs.Config{Processes: cfg.Processes, Seed: cfg.Seed, Record: cfg.Record})
+	cl, err := dvs.NewCluster(dvs.Config{Processes: cfg.Processes, Seed: cfg.Seed, Record: cfg.Record, Stream: cfg.Stream})
 	if err != nil {
 		return RecoveryResult{}, err
 	}
@@ -337,7 +359,8 @@ type AblationConfig struct {
 	RoundPeriod time.Duration
 	DisableReg  bool
 	Seed        int64
-	Record      bool // record protocol traces
+	Record      bool             // record protocol traces
+	Stream      *dvs.TraceStream // stream the trace to disk
 }
 
 // AblationResult summarizes the registration ablation.
@@ -374,6 +397,7 @@ func RegisterAblation(cfg AblationConfig) (AblationResult, error) {
 		Seed:                cfg.Seed,
 		DisableRegistration: cfg.DisableReg,
 		Record:              cfg.Record,
+		Stream:              cfg.Stream,
 	})
 	if err != nil {
 		return AblationResult{}, err

@@ -127,9 +127,23 @@ var _ dvsg.Handler = (*Layer)(nil)
 // the node starts.
 func (l *Layer) Bind(dvs *dvsg.Layer) { l.dvs = dvs }
 
-// SetObserver installs the macro-step observer. It must be called before
-// the node starts.
+// SetObserver installs the macro-step observer, replacing any previous one.
+// It must be called before the node starts.
 func (l *Layer) SetObserver(o Observer) { l.observer = o }
+
+// AddObserver chains o after any already-installed observer, so a recorder,
+// a stream spiller, and an online checker can watch the same layer. It must
+// be called before the node starts.
+func (l *Layer) AddObserver(o Observer) {
+	if prev := l.observer; prev != nil {
+		l.observer = func(ev tocore.Event, effects []tocore.Effect) {
+			prev(ev, effects)
+			o(ev, effects)
+		}
+		return
+	}
+	l.observer = o
+}
 
 // Deliveries is the application-facing totally ordered stream. Consumers
 // must drain it; if it fills, further deliveries are dropped and counted.

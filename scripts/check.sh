@@ -164,5 +164,17 @@ if [ "$mode" = "all" ]; then
 	# leak checks a clean baseline).
 	go test -race -count=1 -run 'TestTCP|TestFault|TestChaos' ./internal/net .
 
+	# Streamed-conformance gate: record a scenario through the CLI as a
+	# chunked on-disk trace, then replay the sealed directory cold. The
+	# record step already verifies the stream inline; the second command
+	# exercises the read-back path a crash investigation would use. (The
+	# test suite above additionally pins that the streamed replay reaches
+	# the same verdict as the in-memory one on the chaos and nemesis soaks.)
+	tracedir="$(mktemp -d)"
+	go run ./cmd/dvsim -scenario cascade -rounds 4 -seed 3 -record "$tracedir/trace"
+	go run ./cmd/dvsim -replay "$tracedir/trace"
+	rm -rf "$tracedir"
+	echo "check.sh: streamed conformance gate OK"
+
 	bench_guard
 fi

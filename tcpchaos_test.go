@@ -38,6 +38,18 @@ func TestChaosTCPFaultSoak(t *testing.T) {
 	}
 	baseline := runtime.NumGoroutine()
 	const n = 3
+	// All three nodes spill their macro-steps into one chunked on-disk
+	// trace; the small window forces many rolling cuts under chaos. The
+	// online sampled checker runs in-process on every node at the same time.
+	traceDir := t.TempDir()
+	const traceWindow = 256
+	stream, err := NewTraceStream(traceDir, TraceStreamOptions{WindowSteps: traceWindow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every is small so even the minority node (which sees little traffic
+	// while partitioned) gets sampled checks during the soak.
+	online := &OnlineCheckConfig{Window: 128, Every: 16}
 	plan := netfab.NewFaultPlan(99)
 	plan.SetLatency(time.Millisecond, 2*time.Millisecond)
 	plan.SetDuplicate(0.05)
@@ -65,6 +77,8 @@ func TestChaosTCPFaultSoak(t *testing.T) {
 			Peers:        peers,
 			TickInterval: 5 * time.Millisecond,
 			Record:       true,
+			Stream:       stream,
+			Online:       online,
 			WrapTransport: func(tr netfab.Transport) netfab.Transport {
 				faults[i] = netfab.NewFaultTransport(tr, plan)
 				return faults[i]
@@ -115,6 +129,9 @@ func TestChaosTCPFaultSoak(t *testing.T) {
 	send(1, 2)
 
 	// Phase 1: partition {0,1} | {2} — the majority side keeps a primary.
+	// The phase boundary is a rolling (non-quiescent) cut: messages may be
+	// in flight, so the replayer runs only the per-node checks here.
+	stream.Cut(false)
 	plan.Partition([]types.ProcID{0, 1}, []types.ProcID{2})
 	time.Sleep(200 * time.Millisecond)
 	send(0, 2)
@@ -122,6 +139,7 @@ func TestChaosTCPFaultSoak(t *testing.T) {
 	harvest()
 
 	// Phase 2: heal under probabilistic loss and latency.
+	stream.Cut(false)
 	plan.SetLoss(0.15)
 	plan.Heal()
 	time.Sleep(300 * time.Millisecond)
@@ -243,6 +261,59 @@ func TestChaosTCPFaultSoak(t *testing.T) {
 		t.Fatalf("trace conformance under chaos: %v (%s)", err, rep)
 	}
 	t.Logf("conformance: %s", rep)
+
+	// Streamed conformance: the chunked on-disk trace of the same run,
+	// sealed after every node stopped, must reach the same verdict as the
+	// in-memory replay — and the recorder's buffered window must have stayed
+	// bounded while the soak ran.
+	if err := stream.Close(); err != nil {
+		t.Fatalf("sealing trace stream: %v", err)
+	}
+	srep, err := ReplayTraceStream(traceDir)
+	if err != nil {
+		t.Fatalf("streamed replay: %v", err)
+	}
+	if serr := srep.Err(); serr != nil {
+		for _, d := range srep.Divergences {
+			t.Errorf("streamed divergence: %s", d)
+		}
+		for _, v := range srep.Violations {
+			t.Errorf("streamed violation: %s", v)
+		}
+		t.Fatalf("streamed trace conformance under chaos: %v (%s)", serr, srep)
+	}
+	if !srep.Sealed {
+		t.Errorf("chaos stream not sealed: %s", srep)
+	}
+	if srep.OK() != rep.OK() {
+		t.Errorf("streamed verdict %v disagrees with in-memory verdict %v", srep.OK(), rep.OK())
+	}
+	if srep.DVSSteps != rep.DVSSteps || srep.TOSteps != rep.TOSteps {
+		t.Errorf("streamed replay covered dvs=%d/to=%d steps, in-memory dvs=%d/to=%d",
+			srep.DVSSteps, srep.TOSteps, rep.DVSSteps, rep.TOSteps)
+	}
+	if srep.Chunks < 2 {
+		t.Errorf("chaos soak produced only %d chunks with window %d", srep.Chunks, traceWindow)
+	}
+	// The recorder may buffer the window plus the records racing the cut;
+	// allow one extra record per node over the threshold.
+	if peak := stream.PeakWindowSteps(); peak > traceWindow+n {
+		t.Errorf("recorder buffered %d steps, window %d", peak, traceWindow)
+	}
+	t.Logf("streamed conformance: %s (peak window %d)", srep, stream.PeakWindowSteps())
+
+	// The online checkers ran on every node and found nothing.
+	for i := 0; i < n; i++ {
+		cs := nodes[i].CheckStats()
+		if cs.Steps == 0 || cs.Checks == 0 {
+			t.Errorf("node %d online checker never ran: %+v", i, cs)
+		}
+		if cs.Divergences != 0 || cs.Violations != 0 {
+			t.Errorf("node %d online checker flagged the run: %+v", i, cs)
+		}
+		t.Logf("node %d online checker: %d checks / %d steps, max %.2fms",
+			i, cs.Checks, cs.Steps, float64(cs.MaxCheckNanos)/1e6)
+	}
 	leakDeadline := time.Now().Add(10 * time.Second)
 	for {
 		runtime.GC()

@@ -66,16 +66,27 @@ type NodeConfig struct {
 	// with Node.TraceLog after Close and check with ReplayTrace together
 	// with the other nodes' logs. Requires ModeDynamic.
 	Record bool
+	// Stream, when set, spills the node's macro-steps into the given
+	// chunked on-disk trace (see NewTraceStream): bounded recorder memory
+	// for arbitrarily long runs. The caller owns the stream and must Close
+	// it after Node.Close; check the directory with ReplayTraceStream.
+	// Requires ModeDynamic.
+	Stream *TraceStream
+	// Online, when set, runs the in-process sampled conformance checker on
+	// this node (see OnlineCheckConfig); counters surface in
+	// NodeStats.Check. Requires ModeDynamic.
+	Online *OnlineCheckConfig
 }
 
 // NodeStats aggregates the per-layer counters of one node: transport,
 // view-synchronous layer, dynamic-view layer, and totally-ordered
 // broadcast.
 type NodeStats struct {
-	Net netfab.Stats
-	VS  vsg.Stats
-	DVS dvsg.Stats
-	TOB tob.Stats
+	Net   netfab.Stats
+	VS    vsg.Stats
+	DVS   dvsg.Stats
+	TOB   tob.Stats
+	Check OnlineCheckStats // zero unless NodeConfig.Online
 }
 
 // Node is one standalone process of a TCP-connected group.
@@ -86,7 +97,8 @@ type Node struct {
 	vsg       *vsg.Node
 	dvs       *dvsg.Layer
 	tob       *tob.Layer
-	rec       *conform.Recorder // nil unless NodeConfig.Record
+	rec       *conform.Recorder      // nil unless NodeConfig.Record
+	check     *conform.OnlineChecker // nil unless NodeConfig.Online
 }
 
 // StartNode launches a standalone process.
@@ -102,6 +114,12 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.Record && cfg.Mode != ModeDynamic {
 		return nil, errors.New("dvs: NodeConfig.Record requires ModeDynamic")
+	}
+	if cfg.Stream != nil && cfg.Mode != ModeDynamic {
+		return nil, errors.New("dvs: NodeConfig.Stream requires ModeDynamic")
+	}
+	if cfg.Online != nil && cfg.Mode != ModeDynamic {
+		return nil, errors.New("dvs: NodeConfig.Online requires ModeDynamic")
 	}
 	if cfg.TickInterval <= 0 {
 		cfg.TickInterval = 20 * time.Millisecond
@@ -164,12 +182,27 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	var rec *conform.Recorder
 	if cfg.Record {
 		rec = conform.NewRecorder(self, initial, initial.Contains(self), !cfg.DisableRegistration, true)
-		layer.SetObserver(rec.ObserveDVS)
-		app.SetObserver(rec.ObserveTO)
+		layer.AddObserver(rec.ObserveDVS)
+		app.AddObserver(rec.ObserveTO)
+	}
+	if cfg.Stream != nil {
+		sn, err := cfg.Stream.Node(self, initial, initial.Contains(self), !cfg.DisableRegistration, true)
+		if err != nil {
+			tcp.Close()
+			return nil, fmt.Errorf("dvs: registering node %d with trace stream: %w", cfg.ID, err)
+		}
+		layer.AddObserver(sn.ObserveDVS)
+		app.AddObserver(sn.ObserveTO)
+	}
+	var check *conform.OnlineChecker
+	if cfg.Online != nil {
+		check = conform.NewOnlineChecker(self, initial, initial.Contains(self), !cfg.DisableRegistration, true, *cfg.Online)
+		layer.AddObserver(check.ObserveDVS)
+		app.AddObserver(check.ObserveTO)
 	}
 	node.Start()
 
-	return &Node{id: self, tcp: tcp, transport: transport, vsg: node, dvs: layer, tob: app, rec: rec}, nil
+	return &Node{id: self, tcp: tcp, transport: transport, vsg: node, dvs: layer, tob: app, rec: rec, check: check}, nil
 }
 
 // ID returns the node's process id.
@@ -187,6 +220,9 @@ func (n *Node) NetStats() netfab.Stats { return n.tcp.Stats() }
 // event loop and come back zero if the node has stopped.
 func (n *Node) StatsSnapshot() NodeStats {
 	s := NodeStats{Net: n.tcp.Stats(), VS: n.vsg.Stats()}
+	if n.check != nil {
+		s.Check = n.check.Stats()
+	}
 	done := make(chan struct{})
 	if n.vsg.Do(func() {
 		s.DVS = n.dvs.Stats()
@@ -196,6 +232,15 @@ func (n *Node) StatsSnapshot() NodeStats {
 		<-done
 	}
 	return s
+}
+
+// CheckStats returns the online conformance checker's counters, or a zero
+// snapshot if the node was not started with NodeConfig.Online. Thread-safe.
+func (n *Node) CheckStats() OnlineCheckStats {
+	if n.check == nil {
+		return OnlineCheckStats{}
+	}
+	return n.check.Stats()
 }
 
 // Broadcast submits a payload for totally-ordered delivery.
