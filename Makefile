@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench
+.PHONY: check build vet lint lintgate test race bench
 
-check: build vet lint race
+check: build vet lint lintgate race
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,15 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: fingerprint/clone completeness, model
-# determinism, shared-view mutation, fingerprint ordering.
+# determinism, shared-view mutation, fingerprint ordering, and the
+# macro-step boundary (corestep, effectcomplete, shellsafe; DESIGN.md §6.9).
 lint:
 	$(GO) run ./cmd/dvslint ./...
+
+# Negative lint smoke: dvslint must exit nonzero on the seeded-bad-edit
+# fixtures, proving the macro-step analyzers still bite.
+lintgate:
+	sh scripts/check.sh lintgate
 
 test:
 	$(GO) test ./...

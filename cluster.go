@@ -46,12 +46,6 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Mode == 0 {
 		cfg.Mode = ModeDynamic
 	}
-	if cfg.Record && cfg.Mode != ModeDynamic {
-		return nil, errors.New("dvs: Config.Record requires ModeDynamic")
-	}
-	if cfg.Stream != nil && cfg.Mode != ModeDynamic {
-		return nil, errors.New("dvs: Config.Stream requires ModeDynamic")
-	}
 	if cfg.Online != nil && cfg.Mode != ModeDynamic {
 		return nil, errors.New("dvs: Config.Online requires ModeDynamic")
 	}
@@ -99,14 +93,20 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		app.Bind(layer)
 		node.SetHandler(layer)
 
+		// The recorded construction parameters must match how the cores were
+		// actually built above: gc is on only in dynamic mode, and static
+		// marks the filter as the staticcore baseline so the replayer
+		// re-executes the right automaton.
+		gcOn := cfg.Mode == ModeDynamic
+		static := cfg.Mode == ModeStatic
 		var rec *conform.Recorder
 		if cfg.Record {
-			rec = conform.NewRecorder(id, initial, initial.Contains(id), !cfg.DisableRegistration, true)
+			rec = conform.NewRecorder(id, initial, initial.Contains(id), !cfg.DisableRegistration, gcOn, static)
 			layer.AddObserver(rec.ObserveDVS)
 			app.AddObserver(rec.ObserveTO)
 		}
 		if cfg.Stream != nil {
-			sn, err := cfg.Stream.Node(id, initial, initial.Contains(id), !cfg.DisableRegistration, true)
+			sn, err := cfg.Stream.Node(id, initial, initial.Contains(id), !cfg.DisableRegistration, gcOn, static)
 			if err != nil {
 				return nil, fmt.Errorf("dvs: registering process %d with trace stream: %w", id, err)
 			}

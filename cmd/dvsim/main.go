@@ -45,7 +45,7 @@ func run() error {
 		duration = flag.Duration("duration", 500*time.Millisecond, "pump duration (throughput)")
 		period   = flag.Duration("period", 150*time.Millisecond, "churn/round period")
 		seed     = flag.Int64("seed", 1, "seed")
-		record   = flag.String("record", "", "stream protocol traces to this directory (chunked segments), then verify conformance (dynamic-mode runs only)")
+		record   = flag.String("record", "", "stream protocol traces to this directory (chunked segments), then verify conformance; scenarios with a static variant record it to <dir>-static")
 		traceWin = flag.Int("trace-window", 0, "macro-steps per trace chunk (0 = default)")
 		replay   = flag.String("replay", "", "replay a recorded trace (chunked directory or legacy single file) through the protocol cores and check conformance (ignores -scenario)")
 		check    = flag.Bool("check", false, "run the in-process sampled conformance checker during the run and report its overhead (throughput scenario)")
@@ -71,14 +71,17 @@ func run() error {
 		online = &dvs.OnlineCheckConfig{Window: *checkWin, Every: *checkEvr}
 	}
 	// skipRecord warns when a variant of the scenario cannot be recorded, so
-	// "-record" is never silently ignored: the replayer re-executes the
-	// paper's dynamic automata, which static primaries and the disabled-
-	// registration ablation do not run.
+	// "-record" is never silently ignored: the replayer models registration,
+	// which the disabled-registration ablation departs from.
 	skipRecord := func(variant, why string) {
 		if stream != nil {
 			fmt.Fprintf(os.Stderr, "dvsim: -record: not recording the %s variant (%s)\n", variant, why)
 		}
 	}
+	// One stream holds exactly one run (its header registers each process
+	// once), so scenarios that run both modes record the static variant to a
+	// sibling "<dir>-static" trace and replay it separately.
+	staticDir := ""
 
 	switch *scenario {
 	case "availability":
@@ -87,17 +90,32 @@ func run() error {
 				Active: *procs, Spares: *spares, Mode: mode,
 				Replacements: *rounds, ChurnPeriod: *period, Seed: *seed,
 			}
+			var sstream *dvs.TraceStream
 			if mode == dvs.ModeDynamic {
 				cfg.Stream = stream
-			} else {
-				skipRecord("static", "static primaries are not the paper's automata and cannot be replayed")
+			} else if *record != "" {
+				staticDir = *record + "-static"
+				var err error
+				sstream, err = dvs.NewTraceStream(staticDir, dvs.TraceStreamOptions{WindowSteps: *traceWin})
+				if err != nil {
+					return err
+				}
+				cfg.Stream = sstream
 			}
 			res, err := sim.Availability(cfg)
 			if err != nil {
+				if sstream != nil {
+					sstream.Close()
+				}
 				return err
 			}
 			fmt.Println(res)
 			fmt.Printf("  net: %s\n", res.Run)
+			if sstream != nil {
+				if err := sstream.Close(); err != nil {
+					return fmt.Errorf("sealing static trace stream: %w", err)
+				}
+			}
 		}
 	case "cascade":
 		res, err := sim.PartitionCascade(sim.CascadeConfig{
@@ -165,7 +183,13 @@ func run() error {
 			return fmt.Errorf("sealing trace stream: %w", err)
 		}
 		fmt.Printf("recorded chunked trace to %s\n", *record)
-		return replayPath(*record)
+		if err := replayPath(*record); err != nil {
+			return err
+		}
+		if staticDir != "" {
+			fmt.Printf("recorded static-variant trace to %s\n", staticDir)
+			return replayPath(staticDir)
+		}
 	}
 	return nil
 }

@@ -184,22 +184,110 @@ func TestOnlineCheckerCluster(t *testing.T) {
 	}
 }
 
-// TestRecordRequiresDynamic pins the configuration contract: the replayer
-// re-executes the paper's automata, so recording the static baseline is
-// rejected up front rather than failing at replay time.
-func TestRecordRequiresDynamic(t *testing.T) {
-	if _, err := NewCluster(Config{Processes: 3, Mode: ModeStatic, Record: true}); err == nil {
-		t.Fatal("NewCluster accepted Record with ModeStatic")
-	}
-	stream, err := NewTraceStream(t.TempDir(), TraceStreamOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer stream.Close()
-	if _, err := NewCluster(Config{Processes: 3, Mode: ModeStatic, Stream: stream}); err == nil {
-		t.Fatal("NewCluster accepted Stream with ModeStatic")
-	}
+// TestOnlineRequiresDynamic pins what is left of the mode gate: recording
+// and streaming now cover the static baseline (the extracted staticcore is
+// a replayable core), but the online checker still shadows the dynamic
+// cores only.
+func TestOnlineRequiresDynamic(t *testing.T) {
 	if _, err := NewCluster(Config{Processes: 3, Mode: ModeStatic, Online: &OnlineCheckConfig{}}); err == nil {
 		t.Fatal("NewCluster accepted Online with ModeStatic")
 	}
+}
+
+// TestConformanceStaticClusterReplay is the end-to-end trace-conformance
+// check on the static-primary baseline: a recording static-mode cluster
+// runs through broadcasts, a partition, and a heal; the replay re-executes
+// the DVS-layer records through staticcore and the TO-layer records through
+// tocore, and the final cut must satisfy the static suite (primaries are
+// quorums of P0, pairwise intersecting, confirmed prefixes consistent).
+func TestConformanceStaticClusterReplay(t *testing.T) {
+	cl, err := NewCluster(Config{Processes: 5, Seed: 7, Mode: ModeStatic, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	time.Sleep(50 * time.Millisecond)
+
+	for i := 0; i < 20; i++ {
+		cl.Process(i % 5).Broadcast("s" + strconv.Itoa(i))
+	}
+	time.Sleep(100 * time.Millisecond)
+	cl.Partition([]int{0, 1, 2}, []int{3, 4})
+	time.Sleep(150 * time.Millisecond)
+	cl.Heal()
+	time.Sleep(300 * time.Millisecond)
+	cl.Close()
+
+	logs := cl.TraceLogs()
+	if len(logs) != 5 {
+		t.Fatalf("TraceLogs returned %d logs, want 5", len(logs))
+	}
+	steps := 0
+	for _, lg := range logs {
+		if !lg.Static {
+			t.Fatalf("process %s log not marked static", lg.P)
+		}
+		steps += len(lg.DVS) + len(lg.TO)
+	}
+	if steps == 0 {
+		t.Fatal("no macro-steps recorded")
+	}
+
+	rep := ReplayTrace(logs)
+	if err := rep.Err(); err != nil {
+		for _, d := range rep.Divergences {
+			t.Logf("divergence: %s", d)
+		}
+		for _, v := range rep.Violations {
+			t.Logf("violation: %s", v)
+		}
+		t.Fatalf("static conformance replay failed: %v (%s)", err, rep)
+	}
+	t.Logf("static conformance: %s", rep)
+}
+
+// TestConformanceStaticStreamed runs the static baseline through the
+// chunked on-disk recorder and replays the sealed directory cold — the path
+// `dvsim -scenario availability -record` takes for its static variant.
+func TestConformanceStaticStreamed(t *testing.T) {
+	dir := t.TempDir()
+	stream, err := NewTraceStream(dir, TraceStreamOptions{WindowSteps: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(Config{Processes: 3, Seed: 11, Mode: ModeStatic, Stream: stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < 30; i++ {
+		cl.Process(i % 3).Broadcast("s" + strconv.Itoa(i))
+	}
+	time.Sleep(200 * time.Millisecond)
+	cl.Close()
+	if err := stream.Close(); err != nil {
+		t.Fatalf("sealing stream: %v", err)
+	}
+
+	rep, err := ReplayTraceStream(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sealed {
+		t.Fatalf("stream not sealed: %s (truncated: %s)", rep, rep.Truncated)
+	}
+	if err := rep.Err(); err != nil {
+		for _, d := range rep.Divergences {
+			t.Logf("divergence: %s", d)
+		}
+		for _, v := range rep.Violations {
+			t.Logf("violation: %s", v)
+		}
+		t.Fatalf("static streamed replay failed: %v (%s)", err, rep)
+	}
+	if rep.DVSSteps == 0 || rep.TOSteps == 0 {
+		t.Fatalf("static streamed replay re-stepped nothing: %s", rep)
+	}
+	t.Logf("static streamed conformance: %s", rep)
 }

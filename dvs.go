@@ -105,15 +105,17 @@ type Config struct {
 	ProposeRetry   time.Duration
 	// Record enables trace recording: every macro-step of the two protocol
 	// cores (input event plus emitted effects) is logged per node. Harvest
-	// with Cluster.TraceLogs after Close and check with ReplayTrace.
-	// Recording requires ModeDynamic — the conformance replayer re-executes
-	// the paper's automata, not the static baseline.
+	// with Cluster.TraceLogs after Close and check with ReplayTrace. Works
+	// in both modes: dynamic runs replay through the paper's automata,
+	// static runs through the extracted staticcore baseline (with the
+	// static invariant suite in place of 5.x/4.x).
 	Record bool
 	// Stream, when set, spills every macro-step to the given chunked
 	// on-disk trace instead of (or in addition to) the in-memory Record
 	// log: recorder memory stays O(window) no matter how long the run is.
 	// The caller owns the stream — Close it after Cluster.Close, then check
-	// with ReplayTraceStream. Requires ModeDynamic, like Record.
+	// with ReplayTraceStream. Works in both modes, like Record; one stream
+	// holds one run, so a dynamic and a static run need separate streams.
 	Stream *TraceStream
 	// Online, when set, runs the bounded-suffix sampled conformance checker
 	// in-process on every node: a shadow core pair re-steps the last

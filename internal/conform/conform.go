@@ -58,6 +58,7 @@ type NodeLog struct {
 	InP0     bool
 	Register bool // REGISTER mechanism enabled (tob layer)
 	GC       bool // eager garbage collection enabled (dvsg layer)
+	Static   bool // static-primary filter (staticcore) instead of the DVS core
 	DVS      []DVSRecord
 	TO       []TORecord
 }
@@ -71,10 +72,12 @@ type Recorder struct {
 }
 
 // NewRecorder starts a log for the node with the given core construction
-// parameters.
-func NewRecorder(p types.ProcID, initial types.View, inP0, register, gc bool) *Recorder {
+// parameters. static marks a node whose view filter is the static-primary
+// core (staticcore) rather than the paper's DVS automaton; the replayer
+// re-executes its DVS-layer records through that core instead.
+func NewRecorder(p types.ProcID, initial types.View, inP0, register, gc, static bool) *Recorder {
 	return &Recorder{log: NodeLog{
-		P: p, Initial: initial.Clone(), InP0: inP0, Register: register, GC: gc,
+		P: p, Initial: initial.Clone(), InP0: inP0, Register: register, GC: gc, Static: static,
 	}}
 }
 
@@ -147,6 +150,8 @@ func cloneDVSEvent(ev dvscore.Event) dvscore.Event {
 		return dvscore.EvVSSafe{M: cloneMsg(e.M), From: e.From}
 	case dvscore.EvClientSend:
 		return dvscore.EvClientSend{M: cloneMsg(e.M)}
+	case dvscore.EvClientRegister:
+		return e // no fields
 	default:
 		return ev
 	}
@@ -171,6 +176,8 @@ func cloneDVSEffect(fx dvscore.Effect) dvscore.Effect {
 
 func cloneTOEvent(ev tocore.Event) tocore.Event {
 	switch e := ev.(type) {
+	case tocore.EvBroadcast:
+		return e // payload is an immutable string
 	case tocore.EvNewView:
 		return tocore.EvNewView{View: e.View.Clone()}
 	case tocore.EvRecv:
@@ -184,8 +191,14 @@ func cloneTOEvent(ev tocore.Event) tocore.Event {
 
 func cloneTOEffect(fx tocore.Effect) tocore.Effect {
 	switch f := fx.(type) {
+	case tocore.FxLabel:
+		return f // label + immutable payload, no references
 	case tocore.FxSend:
 		return tocore.FxSend{M: cloneMsg(f.M)}
+	case tocore.FxConfirm:
+		return f // no fields
+	case tocore.FxDeliver:
+		return f // label, origin, immutable payload
 	case tocore.FxRegister:
 		return tocore.FxRegister{View: f.View.Clone()}
 	default:

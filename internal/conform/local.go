@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/protocol/dvscore"
+	"repro/internal/protocol/staticcore"
 	"repro/internal/protocol/tocore"
 	"repro/internal/types"
 )
@@ -29,18 +30,41 @@ type localState struct {
 }
 
 // checkLocal runs the per-node checks for node p over its replayed cores,
-// attributing violations to window.
-func checkLocal(rep *Report, window int, p types.ProcID, dn *dvscore.Node, tn *tocore.Node, st *localState) {
+// attributing violations to window. dn is nil for a static-mode node (the
+// DVS projections quantify over attempt/ambiguity state the static filter
+// does not have); sn is nil for a dynamic-mode node. The TO projections are
+// filter-independent and run for both.
+func checkLocal(rep *Report, window int, p types.ProcID, dn *dvscore.Node, sn *staticcore.Node, tn *tocore.Node, st *localState) {
 	check := func(name string, f func() error) {
 		rep.Checks++
 		if err := f(); err != nil {
 			rep.Violations = append(rep.Violations, Violation{Name: name, Window: window, Err: err})
 		}
 	}
-	check("DVSIMPL-5.1-local", func() error { return checkLocal51(p, dn) })
-	check("DVSIMPL-5.2-local", func() error { return checkLocal52(p, dn) })
+	if dn != nil {
+		check("DVSIMPL-5.1-local", func() error { return checkLocal51(p, dn) })
+		check("DVSIMPL-5.2-local", func() error { return checkLocal52(p, dn) })
+	}
+	if sn != nil {
+		check("STATIC-primary-quorum-local", func() error { return checkLocalStaticPrimary(p, sn) })
+	}
 	check("TOIMPL-order-local", func() error { return checkLocalTOOrder(p, tn) })
 	check("TOIMPL-confirmed-monotone", func() error { return checkConfirmedMonotone(p, tn, st) })
+}
+
+// checkLocalStaticPrimary is the static baseline's per-node safety
+// projection: any primary the node announced to its client must be a quorum
+// of the node's fixed quorum system — the property that makes two static
+// primaries intersect.
+func checkLocalStaticPrimary(p types.ProcID, sn *staticcore.Node) error {
+	cc, ok := sn.ClientCur()
+	if !ok {
+		return nil
+	}
+	if !sn.Quorum(cc.Members) {
+		return fmt.Errorf("p=%s announced primary %s whose members are not a quorum of P0", p, cc)
+	}
+	return nil
 }
 
 // checkLocal51 is the self instance of Invariant 5.1: if p itself attempted

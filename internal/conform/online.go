@@ -71,7 +71,8 @@ type OnlineChecker struct {
 }
 
 // NewOnlineChecker builds a checker for the node with the given core
-// construction parameters (the same quintuple NewRecorder takes).
+// construction parameters (NewRecorder's, minus static: the online checker
+// shadows the dynamic cores only).
 func NewOnlineChecker(p types.ProcID, initial types.View, inP0, register, gc bool, cfg OnlineConfig) *OnlineChecker {
 	return &OnlineChecker{
 		cfg:      cfg.withDefaults(),
@@ -145,7 +146,7 @@ func (c *OnlineChecker) checkLocked() {
 	for i, rec := range c.winTO {
 		stepTORecord(rep, 0, c.p, c.register, tn, i, rec)
 	}
-	checkLocal(rep, 0, c.p, dn, tn, &c.local)
+	checkLocal(rep, 0, c.p, dn, nil, tn, &c.local)
 
 	c.stats.Checks++
 	c.stats.StepsChecked += uint64(len(c.winDVS) + len(c.winTO))

@@ -6,7 +6,9 @@ import (
 	"strings"
 
 	"repro/internal/protocol/dvscore"
+	"repro/internal/protocol/staticcore"
 	"repro/internal/protocol/tocore"
+	"repro/internal/quorum"
 	"repro/internal/spec/dvs"
 	"repro/internal/types"
 )
@@ -115,14 +117,21 @@ func validateLogSet(rep *Report, sorted []NodeLog) bool {
 					lg.P, lg.Initial, sorted[0].P, sorted[0].Initial))
 			ok = false
 		}
+		if lg.Static != sorted[0].Static {
+			rep.Malformed = append(rep.Malformed,
+				fmt.Sprintf("process %s static=%v disagrees with process %s static=%v — one run cannot mix filter modes",
+					lg.P, lg.Static, sorted[0].P, sorted[0].Static))
+			ok = false
+		}
 	}
 	return ok
 }
 
-// stepDVSRecord replays one recorded VS-TO-DVS macro-step through dn and
-// reports a divergence (attributed to window) when the re-derived effects
-// differ from the recorded ones.
-func stepDVSRecord(rep *Report, window int, p types.ProcID, gc bool, dn *dvscore.Node, index int, rec DVSRecord) {
+// stepDVSRecord replays one recorded VS-TO-DVS macro-step through dn — any
+// dvscore.Filter, so the same path re-executes dynamic (dvscore.Node) and
+// static (staticcore.Node) logs — and reports a divergence (attributed to
+// window) when the re-derived effects differ from the recorded ones.
+func stepDVSRecord(rep *Report, window int, p types.ProcID, gc bool, dn dvscore.Filter, index int, rec DVSRecord) {
 	var out dvscore.Outbox
 	dvscore.Step(dn, rec.Ev, gc, &out)
 	rep.DVSSteps++
@@ -169,18 +178,28 @@ func Replay(logs []NodeLog) *Report {
 		return rep
 	}
 
+	static := sorted[0].Static
 	procs := make([]types.ProcID, 0, len(sorted))
 	dvsNodes := make(map[types.ProcID]*dvscore.Node, len(sorted))
+	statNodes := make(map[types.ProcID]*staticcore.Node, len(sorted))
 	toNodes := make(map[types.ProcID]*tocore.Node, len(sorted))
 
 	for _, lg := range sorted {
 		procs = append(procs, lg.P)
 
-		dn := dvscore.NewNode(lg.P, lg.Initial, lg.InP0)
-		for i, rec := range lg.DVS {
-			stepDVSRecord(rep, 0, lg.P, lg.GC, dn, i, rec)
+		if static {
+			sn := newStaticReplayNode(lg.P, lg.Initial, lg.InP0)
+			for i, rec := range lg.DVS {
+				stepDVSRecord(rep, 0, lg.P, lg.GC, sn, i, rec)
+			}
+			statNodes[lg.P] = sn
+		} else {
+			dn := dvscore.NewNode(lg.P, lg.Initial, lg.InP0)
+			for i, rec := range lg.DVS {
+				stepDVSRecord(rep, 0, lg.P, lg.GC, dn, i, rec)
+			}
+			dvsNodes[lg.P] = dn
 		}
-		dvsNodes[lg.P] = dn
 
 		tn := tocore.NewNode(lg.P, lg.Initial, lg.InP0, false)
 		for i, rec := range lg.TO {
@@ -189,8 +208,21 @@ func Replay(logs []NodeLog) *Report {
 		toNodes[lg.P] = tn
 	}
 
-	checkCut(rep, 0, procs, sorted[0].Initial, dvsNodes, toNodes)
+	if static {
+		checkStaticCut(rep, 0, procs, statNodes, toNodes)
+	} else {
+		checkCut(rep, 0, procs, sorted[0].Initial, dvsNodes, toNodes)
+	}
 	return rep
+}
+
+// newStaticReplayNode reconstructs the static-primary core exactly as the
+// runtime builds it (cluster.go, tcpnode.go): a strict-majority quorum
+// system over the members of the initial view. The quorum system is part of
+// the core's construction, so if a future runtime configures a different
+// one, it must be carried in the log for replays to stay faithful.
+func newStaticReplayNode(p types.ProcID, initial types.View, inP0 bool) *staticcore.Node {
+	return staticcore.NewNode(p, initial, inP0, quorum.Majority(initial.Members))
 }
 
 // checkCut evaluates the paper's cross-node invariants over the cut formed
@@ -238,6 +270,54 @@ func checkCut(rep *Report, window int, procs []types.ProcID, initial types.View,
 	check("TOIMPL-6.1", tsys.CheckInvariant61)
 	check("TOIMPL-6.2", tsys.CheckInvariant62)
 	check("TOIMPL-6.3", tsys.CheckInvariant63)
+	check("TOIMPL-confirmed-consistent", tsys.CheckConfirmedConsistent)
+}
+
+// checkStaticCut evaluates the invariants a static-primary cut supports.
+// The paper's 5.x/4.x formulas quantify over DVS state (attempts,
+// registrations, ambiguity) the static filter does not have; what remains
+// is the static baseline's own safety argument — every announced primary is
+// a quorum of the fixed universe, so any two primaries intersect — plus the
+// filter-independent TO agreement on confirmed prefixes. The per-node
+// checks are sound over any subset of the group; the pairwise ones only
+// over the processes present, which is all a cut can offer.
+func checkStaticCut(rep *Report, window int, procs []types.ProcID,
+	statNodes map[types.ProcID]*staticcore.Node, toNodes map[types.ProcID]*tocore.Node) {
+	check := func(name string, f func() error) {
+		rep.Checks++
+		if err := f(); err != nil {
+			rep.Violations = append(rep.Violations, Violation{Name: name, Window: window, Err: err})
+		}
+	}
+
+	check("STATIC-primary-quorum", func() error {
+		for _, p := range procs {
+			if err := checkLocalStaticPrimary(p, statNodes[p]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	check("STATIC-primary-intersect", func() error {
+		for i, p := range procs {
+			vp, ok := statNodes[p].ClientCur()
+			if !ok {
+				continue
+			}
+			for _, q := range procs[:i] {
+				vq, ok := statNodes[q].ClientCur()
+				if !ok {
+					continue
+				}
+				if !vp.Members.Intersects(vq.Members) {
+					return fmt.Errorf("primaries %s at %s and %s at %s are disjoint", vp, p, vq, q)
+				}
+			}
+		}
+		return nil
+	})
+
+	tsys := tocore.System{Procs: procs, Nodes: toNodes}
 	check("TOIMPL-confirmed-consistent", tsys.CheckConfirmedConsistent)
 }
 

@@ -1,0 +1,118 @@
+package conform
+
+import (
+	"testing"
+
+	"repro/internal/protocol/dvscore"
+	"repro/internal/protocol/staticcore"
+	"repro/internal/protocol/tocore"
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// recordedStaticRun drives a singleton static-primary node (staticcore
+// behind dvscore.Step, exactly as dvsg drives it in ModeStatic) plus its TO
+// core through a small scripted run, and returns the harvested log.
+func recordedStaticRun(t *testing.T) NodeLog {
+	t.Helper()
+	p := types.ProcID(0)
+	initial := types.InitialView(types.RangeProcSet(1))
+	rec := NewRecorder(p, initial, true, true, false, true)
+
+	sn := staticcore.NewNode(p, initial, true, quorum.Majority(initial.Members))
+	tn := tocore.NewNode(p, initial, true, false)
+
+	stepDVS := func(ev dvscore.Event) []dvscore.Effect {
+		var out dvscore.Outbox
+		dvscore.Step(sn, ev, false, &out)
+		rec.ObserveDVS(ev, out.Effects)
+		return out.Effects
+	}
+	stepTO := func(ev tocore.Event) []tocore.Effect {
+		var out tocore.Outbox
+		if err := tocore.Step(tn, ev, true, &out); err != nil {
+			t.Fatalf("to step: %v", err)
+		}
+		rec.ObserveTO(ev, out.Effects)
+		return out.Effects
+	}
+
+	for _, fx := range stepTO(tocore.EvBroadcast{A: "a1"}) {
+		if send, ok := fx.(tocore.FxSend); ok {
+			for _, dfx := range stepDVS(dvscore.EvClientSend{M: send.M}) {
+				if sv, ok := dfx.(dvscore.FxSendVS); ok {
+					for _, up := range stepDVS(dvscore.EvVSRecv{M: sv.M, From: p}) {
+						if d, ok := up.(dvscore.FxDeliver); ok {
+							stepTO(tocore.EvRecv{M: d.M, From: d.From})
+						}
+					}
+					for _, up := range stepDVS(dvscore.EvVSSafe{M: sv.M, From: p}) {
+						if s, ok := up.(dvscore.FxSafeInd); ok {
+							stepTO(tocore.EvSafe{M: s.M, From: s.From})
+						}
+					}
+				}
+			}
+		}
+	}
+	log := rec.Log()
+	if !log.Static {
+		t.Fatal("recorder did not mark the log static")
+	}
+	if len(log.DVS) == 0 || len(log.TO) == 0 {
+		t.Fatalf("scripted static run recorded no steps: dvs=%d to=%d", len(log.DVS), len(log.TO))
+	}
+	return log
+}
+
+func TestReplayStaticCleanRun(t *testing.T) {
+	log := recordedStaticRun(t)
+	rep := Replay([]NodeLog{log})
+	if err := rep.Err(); err != nil {
+		t.Fatalf("replay of faithful static log: %v", err)
+	}
+	if rep.DVSSteps != len(log.DVS) || rep.TOSteps != len(log.TO) {
+		t.Errorf("step counts: %s", rep)
+	}
+	if rep.Checks == 0 {
+		t.Error("no invariant checks evaluated on the static cut")
+	}
+}
+
+// TestReplayStaticDetectsTampering rewrites one recorded DVS effect; the
+// static replay must re-derive the original and flag the divergence.
+func TestReplayStaticDetectsTampering(t *testing.T) {
+	log := recordedStaticRun(t)
+	tampered := false
+	for i, r := range log.DVS {
+		if len(r.Fx) > 0 {
+			fx := append([]dvscore.Effect(nil), r.Fx...)
+			fx[len(fx)-1] = dvscore.FxNewPrimary{View: log.Initial.Clone()}
+			log.DVS[i].Fx = fx
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("no DVS record with effects to tamper with")
+	}
+	rep := Replay([]NodeLog{log})
+	if len(rep.Divergences) == 0 {
+		t.Fatalf("tampered static log replayed clean: %s", rep)
+	}
+}
+
+// TestReplayRejectsMixedModes pins the malformed-set rule: one run cannot
+// contain both static and dynamic nodes, so a mixed log set must be
+// rejected up front rather than replayed against the wrong automata.
+func TestReplayRejectsMixedModes(t *testing.T) {
+	initial := types.InitialView(types.RangeProcSet(2))
+	logs := []NodeLog{
+		{P: 0, Initial: initial, InP0: true, Static: true},
+		{P: 1, Initial: initial, InP0: true, Static: false},
+	}
+	rep := Replay(logs)
+	if len(rep.Malformed) == 0 {
+		t.Fatalf("mixed static/dynamic log set accepted: %s", rep)
+	}
+}

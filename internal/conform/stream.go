@@ -64,6 +64,7 @@ type NodeMeta struct {
 	InP0     bool
 	Register bool
 	GC       bool
+	Static   bool // static-primary filter (staticcore) instead of the DVS core
 }
 
 type streamHeader struct {
@@ -263,7 +264,7 @@ func (r *StreamRecorder) Dir() string { return r.dir }
 // Node registers one node of the run, with the same core construction
 // parameters NewRecorder takes. All nodes must register before the first
 // record is spilled (registration defines the header, which is written once).
-func (r *StreamRecorder) Node(p types.ProcID, initial types.View, inP0, register, gc bool) (*StreamNode, error) {
+func (r *StreamRecorder) Node(p types.ProcID, initial types.View, inP0, register, gc, static bool) (*StreamNode, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.started || r.closed {
@@ -273,7 +274,7 @@ func (r *StreamRecorder) Node(p types.ProcID, initial types.View, inP0, register
 		return nil, fmt.Errorf("conform: duplicate stream node %s", p)
 	}
 	sn := &StreamNode{r: r, meta: NodeMeta{
-		P: p, Initial: initial.Clone(), InP0: inP0, Register: register, GC: gc,
+		P: p, Initial: initial.Clone(), InP0: inP0, Register: register, GC: gc, Static: static,
 	}}
 	r.byP[p] = sn
 	r.nodes = append(r.nodes, sn)

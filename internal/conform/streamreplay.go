@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/protocol/dvscore"
+	"repro/internal/protocol/staticcore"
 	"repro/internal/protocol/tocore"
 	"repro/internal/types"
 )
@@ -40,14 +41,24 @@ func (r *StreamReport) String() string {
 
 // streamNodeReplay is the replay-side state of one node: its shadow cores,
 // the expected start offsets of the next chunk part, and the cross-boundary
-// local-check memory.
+// local-check memory. Exactly one of dvs/stat is non-nil, per the node's
+// recorded filter mode; filter returns whichever drives the DVS-layer
+// records.
 type streamNodeReplay struct {
 	meta    NodeMeta
 	dvs     *dvscore.Node
+	stat    *staticcore.Node
 	to      *tocore.Node
 	dvsNext int
 	toNext  int
 	local   localState
+}
+
+func (n *streamNodeReplay) filter() dvscore.Filter {
+	if n.stat != nil {
+		return n.stat
+	}
+	return n.dvs
 }
 
 // ReplayStream incrementally replays a chunked trace directory written by a
@@ -81,32 +92,45 @@ func ReplayStream(dir string) (*StreamReport, error) {
 	// the same well-formedness properties Replay does on its log set.
 	metas := make([]NodeLog, len(hdr.Nodes))
 	for i, m := range hdr.Nodes {
-		metas[i] = NodeLog{P: m.P, Initial: m.Initial}
+		metas[i] = NodeLog{P: m.P, Initial: m.Initial, Static: m.Static}
 	}
 	if !validateLogSet(&sr.Report, metas) {
 		return sr, nil
 	}
 
+	static := hdr.Nodes[0].Static
 	procs := make([]types.ProcID, 0, len(hdr.Nodes))
 	byP := make(map[types.ProcID]*streamNodeReplay, len(hdr.Nodes))
 	nodes := make([]*streamNodeReplay, 0, len(hdr.Nodes))
 	dvsNodes := make(map[types.ProcID]*dvscore.Node, len(hdr.Nodes))
+	statNodes := make(map[types.ProcID]*staticcore.Node, len(hdr.Nodes))
 	toNodes := make(map[types.ProcID]*tocore.Node, len(hdr.Nodes))
 	for _, m := range hdr.Nodes {
 		n := &streamNodeReplay{
 			meta: m,
-			dvs:  dvscore.NewNode(m.P, m.Initial, m.InP0),
 			to:   tocore.NewNode(m.P, m.Initial, m.InP0, false),
+		}
+		if static {
+			n.stat = newStaticReplayNode(m.P, m.Initial, m.InP0)
+			statNodes[m.P] = n.stat
+		} else {
+			n.dvs = dvscore.NewNode(m.P, m.Initial, m.InP0)
+			dvsNodes[m.P] = n.dvs
 		}
 		procs = append(procs, m.P)
 		byP[m.P] = n
 		nodes = append(nodes, n)
-		dvsNodes[m.P] = n.dvs
 		toNodes[m.P] = n.to
 	}
 	initial := hdr.Nodes[0].Initial
 
 	crossChecks := func(window int) {
+		if static {
+			// The static suite is sound over any subset of the group (see
+			// checkStaticCut), so partial traces are never a concern here.
+			checkStaticCut(&sr.Report, window, procs, statNodes, toNodes)
+			return
+		}
 		if !cutCovered(procs, byP, dvsNodes) {
 			sr.Partial = true
 			return
@@ -141,7 +165,7 @@ chunks:
 				break chunks
 			}
 			for i, rec := range part.DVS {
-				stepDVSRecord(&sr.Report, seq, part.P, n.meta.GC, n.dvs, part.DVSStart+i, rec)
+				stepDVSRecord(&sr.Report, seq, part.P, n.meta.GC, n.filter(), part.DVSStart+i, rec)
 			}
 			n.dvsNext += len(part.DVS)
 			for i, rec := range part.TO {
@@ -153,7 +177,7 @@ chunks:
 		// Rolling cut: the per-node projections hold at every consistent
 		// boundary; the cross-node suite additionally needs quiescence.
 		for _, n := range nodes {
-			checkLocal(&sr.Report, seq, n.meta.P, n.dvs, n.to, &n.local)
+			checkLocal(&sr.Report, seq, n.meta.P, n.dvs, n.stat, n.to, &n.local)
 		}
 		if ch.Quiescent {
 			sr.QuiescentCuts++

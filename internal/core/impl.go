@@ -154,19 +154,19 @@ func (im *Impl) Enabled() []ioa.Action {
 	}
 	for _, p := range im.procs {
 		n := im.nodes[p]
-		if m, ok := n.VSGpSndHead(); ok {
+		if m, ok := n.VSGpSndHead(); ok { //lint:corestep checker composition: Enabled enumerates the fine-grained transitions Step composes
 			acts = append(acts, ioa.Action{Name: vsspec.ActGpSnd, Kind: ioa.KindInternal, Param: vsspec.SndParam{M: m, P: p}})
 		}
-		if v, ok := n.DVSNewViewEnabled(); ok {
+		if v, ok := n.DVSNewViewEnabled(); ok { //lint:corestep checker composition: Enabled enumerates the fine-grained transitions Step composes
 			acts = append(acts, ioa.Action{Name: dvs.ActNewView, Kind: ioa.KindOutput, Param: dvs.NewViewParam{View: v, P: p}})
 		}
-		if e, ok := n.DVSGpRcvHead(); ok {
+		if e, ok := n.DVSGpRcvHead(); ok { //lint:corestep checker composition: Enabled enumerates the fine-grained transitions Step composes
 			acts = append(acts, ioa.Action{Name: dvs.ActGpRcv, Kind: ioa.KindOutput, Param: dvs.RcvParam{M: e.M, From: e.Q, To: p}})
 		}
-		if e, ok := n.DVSSafeHead(); ok {
+		if e, ok := n.DVSSafeHead(); ok { //lint:corestep checker composition: Enabled enumerates the fine-grained transitions Step composes
 			acts = append(acts, ioa.Action{Name: dvs.ActSafe, Kind: ioa.KindOutput, Param: dvs.RcvParam{M: e.M, From: e.Q, To: p}})
 		}
-		for _, v := range n.GCCandidates() {
+		for _, v := range n.GCCandidates() { //lint:corestep checker composition: Enabled enumerates the fine-grained transitions Step composes
 			acts = append(acts, ioa.Action{Name: "dvs-garbage-collect", Kind: ioa.KindInternal, Param: GCParam{View: v, P: p}})
 		}
 	}
@@ -188,7 +188,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if err := im.vs.Perform(act); err != nil {
 			return err
 		}
-		im.nodes[p.P].OnVSNewView(p.View)
+		im.nodes[p.P].OnVSNewView(p.View) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 		return nil
 
 	case vsspec.ActGpRcv:
@@ -199,7 +199,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if err := im.vs.Perform(act); err != nil {
 			return err
 		}
-		im.nodes[p.To].OnVSGpRcv(p.M, p.From)
+		im.nodes[p.To].OnVSGpRcv(p.M, p.From) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 		return nil
 
 	case vsspec.ActSafe:
@@ -210,7 +210,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if err := im.vs.Perform(act); err != nil {
 			return err
 		}
-		im.nodes[p.To].OnVSSafe(p.M, p.From)
+		im.nodes[p.To].OnVSSafe(p.M, p.From) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 		return nil
 
 	case vsspec.ActGpSnd:
@@ -222,7 +222,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if !exists {
 			return fmt.Errorf("vs-gpsnd: unknown process %s", p.P)
 		}
-		if err := n.TakeVSGpSndHead(p.M); err != nil {
+		if err := n.TakeVSGpSndHead(p.M); err != nil { //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 			return err
 		}
 		return im.vs.Perform(act)
@@ -239,7 +239,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if !exists {
 			return fmt.Errorf("dvs-gpsnd: unknown process %s", p.P)
 		}
-		n.OnDVSGpSnd(p.M)
+		n.OnDVSGpSnd(p.M) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 		return nil
 
 	case dvs.ActRegister:
@@ -251,7 +251,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if !exists {
 			return fmt.Errorf("dvs-register: unknown process %s", p.P)
 		}
-		n.OnDVSRegister()
+		n.OnDVSRegister() //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 		return nil
 
 	case dvs.ActNewView:
@@ -263,7 +263,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if !exists {
 			return fmt.Errorf("dvs-newview: unknown process %s", p.P)
 		}
-		return n.PerformDVSNewView(p.View)
+		return n.PerformDVSNewView(p.View) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 
 	case dvs.ActGpRcv:
 		p, ok := act.Param.(dvs.RcvParam)
@@ -274,7 +274,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if !exists {
 			return fmt.Errorf("dvs-gprcv: unknown process %s", p.To)
 		}
-		return n.TakeDVSGpRcvHead(MsgFrom{M: p.M, Q: p.From})
+		return n.TakeDVSGpRcvHead(MsgFrom{M: p.M, Q: p.From}) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 
 	case dvs.ActSafe:
 		p, ok := act.Param.(dvs.RcvParam)
@@ -285,7 +285,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if !exists {
 			return fmt.Errorf("dvs-safe: unknown process %s", p.To)
 		}
-		return n.TakeDVSSafeHead(MsgFrom{M: p.M, Q: p.From})
+		return n.TakeDVSSafeHead(MsgFrom{M: p.M, Q: p.From}) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 
 	case "dvs-garbage-collect":
 		p, ok := act.Param.(GCParam)
@@ -296,7 +296,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if !exists {
 			return fmt.Errorf("dvs-garbage-collect: unknown process %s", p.P)
 		}
-		return n.PerformGC(p.View)
+		return n.PerformGC(p.View) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 
 	default:
 		return fmt.Errorf("dvs-impl: unknown action %q", act.Name)

@@ -1,0 +1,27 @@
+// Package baddvsg reaches into the DVS core directly instead of driving it
+// through Step: every function here must be reported by corestep.
+package baddvsg
+
+import (
+	"repro/internal/protocol/dvscore"
+	"repro/internal/types"
+)
+
+// HijackRegister fires a fine-grained transition from outside the core.
+func HijackRegister(n *dvscore.Node) {
+	n.OnDVSRegister()
+}
+
+// InjectSend drives the send transition without the Step seam.
+func InjectSend(n *dvscore.Node, m types.Msg) {
+	n.OnDVSGpSnd(m)
+}
+
+// CorruptInfo writes through the interior alias InfoSent returns, mutating
+// the automaton's ambiguous-view history behind Step's back.
+func CorruptInfo(n *dvscore.Node, g types.ViewID, v types.View) {
+	info, ok := n.InfoSent(g)
+	if ok && len(info.Amb) > 0 {
+		info.Amb[0] = v
+	}
+}

@@ -1,0 +1,40 @@
+// Package badloop breaks the run-to-completion discipline around the TO
+// core's step loop: shellsafe must report every function here.
+package badloop
+
+import "repro/internal/protocol/tocore"
+
+// Loop is the legitimate pump; it arms the blocking-send rule for the
+// package by calling Step on the loop goroutine.
+func Loop(n *tocore.Node, events <-chan tocore.Event, out chan<- string) {
+	for ev := range events {
+		var box tocore.Outbox
+		if err := tocore.Step(n, ev, true, &box); err != nil {
+			return
+		}
+		for _, fx := range box.Effects {
+			if d, ok := fx.(tocore.FxDeliver); ok {
+				out <- d.A // bare send: wedges the pump when out is full
+			}
+		}
+	}
+}
+
+// ConcurrentStep races the automaton from a second goroutine.
+func ConcurrentStep(n *tocore.Node, ev tocore.Event) {
+	go func() {
+		var box tocore.Outbox
+		_ = tocore.Step(n, ev, true, &box)
+	}()
+}
+
+// LeakState hands the live core to a goroutine that merely reads it — still
+// a torn read whenever the loop is mid-macro-step.
+func LeakState(n *tocore.Node, report chan<- string) {
+	go func() {
+		select {
+		case report <- n.Summary().String():
+		default:
+		}
+	}()
+}

@@ -1,0 +1,19 @@
+// Package badtob consumes the TO core's effects with a switch that drops
+// variants behind default: effectcomplete must report it.
+package badtob
+
+import "repro/internal/protocol/tocore"
+
+// Apply handles sends and deliveries but silently swallows FxLabel,
+// FxConfirm and FxRegister — exactly the edit that desynchronizes a shell
+// from its core when a new Effect is added.
+func Apply(fx tocore.Effect) string {
+	switch fx := fx.(type) {
+	case tocore.FxSend:
+		return "send"
+	case tocore.FxDeliver:
+		return fx.A
+	default:
+		return ""
+	}
+}

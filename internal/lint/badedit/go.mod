@@ -1,0 +1,10 @@
+// The module path sits under repro/ so the fixtures may import the
+// repository's internal packages; the replace directive resolves them
+// against the enclosing checkout.
+module repro/internal/lint/badedit
+
+go 1.22
+
+require repro v0.0.0
+
+replace repro => ../../..

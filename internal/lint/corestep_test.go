@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestCorestep(t *testing.T) {
+	cfg := lint.CorestepConfig{
+		CorePkgPrefix: "linttest/src/corestep/core",
+		StateTypes: map[string][]string{
+			"linttest/src/corestep/core.Node":   {"P", "Info"},
+			"linttest/src/corestep/core.Filter": {"P", "Info"},
+		},
+		AliasAccessors: []string{"Info"},
+		FilterIfaces:   []string{"linttest/src/corestep/core.Filter"},
+	}
+	linttest.Run(t, "testdata", lint.Corestep(cfg), "./src/corestep/...")
+}

@@ -10,6 +10,9 @@ func DefaultAnalyzers() []*Analyzer {
 		Modelpure(DefaultModelpureConfig()),
 		Sharedmut(),
 		Fporder(),
+		Corestep(DefaultCorestepConfig()),
+		Effectcomplete(DefaultEffectcompleteConfig()),
+		Shellsafe(DefaultShellsafeConfig()),
 	}
 }
 
@@ -29,6 +32,7 @@ func DefaultModelpureConfig() ModelpureConfig {
 			// re-execute them, so determinism is load-bearing twice over.
 			"repro/internal/protocol/dvscore",
 			"repro/internal/protocol/tocore",
+			"repro/internal/protocol/staticcore",
 			// The conformance recorder/replayer must re-derive recorded
 			// effects bit-for-bit from the event stream alone.
 			"repro/internal/conform",

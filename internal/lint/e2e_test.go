@@ -77,3 +77,32 @@ func runOnScratch(t *testing.T, src string) []lint.Diagnostic {
 	}
 	return lint.RunAnalyzers(pkgs, lint.DefaultAnalyzers())
 }
+
+// TestBadEditFixturesAreCaught pins the negative end-to-end guarantee: the
+// seeded-bad-edit module under badedit/ (direct core access from a shell, a
+// type switch dropping Effect variants, goroutines breaking run-to-completion
+// around Step) must keep failing the default suite. scripts/check.sh and CI
+// run the same check through cmd/dvslint and require a nonzero exit.
+func TestBadEditFixturesAreCaught(t *testing.T) {
+	pkgs, err := lint.Load("badedit", "./...")
+	if err != nil {
+		t.Fatalf("loading badedit fixtures: %v", err)
+	}
+	diags := lint.RunAnalyzers(pkgs, lint.DefaultAnalyzers())
+	got := map[string]int{}
+	for _, d := range diags {
+		got[d.Analyzer]++
+	}
+	for _, a := range []string{"corestep", "effectcomplete", "shellsafe"} {
+		if got[a] == 0 {
+			t.Errorf("analyzer %s reported nothing on the seeded-bad-edit fixtures; the gate is dead", a)
+		}
+	}
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "corestep", "effectcomplete", "shellsafe":
+		default:
+			t.Errorf("fixture tripped an unrelated analyzer: %s", d)
+		}
+	}
+}

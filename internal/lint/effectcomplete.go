@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EffectcompleteConfig scopes the effectcomplete analyzer: the closed
+// event/effect unions of the protocol cores, and the shell packages that
+// must consume them exhaustively.
+type EffectcompleteConfig struct {
+	// Unions lists the qualified names ("path.Name") of the closed sum
+	// types: sealed interfaces whose variants all live in the defining
+	// package. Every type switch over one of them, anywhere in the tree,
+	// must handle every variant explicitly — a default case does not count,
+	// because it is exactly what silently swallows a newly added Effect.
+	Unions []string
+	// Require maps a package import path to the unions it must consume: at
+	// least one complete type switch over each listed union must appear in
+	// the package. This catches the deletion failure mode — a shell that
+	// stops switching over Effects entirely would otherwise go quiet.
+	Require map[string][]string
+}
+
+// DefaultEffectcompleteConfig returns the effectcomplete configuration for
+// this repository: the four core unions, required in the two shells and in
+// the conformance recorder/replayer.
+func DefaultEffectcompleteConfig() EffectcompleteConfig {
+	return EffectcompleteConfig{
+		Unions: []string{
+			"repro/internal/protocol/dvscore.Event",
+			"repro/internal/protocol/dvscore.Effect",
+			"repro/internal/protocol/tocore.Event",
+			"repro/internal/protocol/tocore.Effect",
+		},
+		Require: map[string][]string{
+			// dvsg consumes the DVS core's effects; tob the TO core's.
+			"repro/internal/dvsg": {"repro/internal/protocol/dvscore.Effect"},
+			"repro/internal/tob":  {"repro/internal/protocol/tocore.Effect"},
+			// The conformance layer clones and replays all four unions.
+			"repro/internal/conform": {
+				"repro/internal/protocol/dvscore.Event",
+				"repro/internal/protocol/dvscore.Effect",
+				"repro/internal/protocol/tocore.Event",
+				"repro/internal/protocol/tocore.Effect",
+			},
+		},
+	}
+}
+
+// Effectcomplete returns the effectcomplete analyzer: every type switch
+// over a configured core union must name every variant of the union in its
+// case clauses. Variants are enumerated from the union's defining package
+// (every exported non-interface type in scope that implements the union),
+// so adding a new Effect there immediately flags every consuming switch in
+// the tree. A `default:` clause does not satisfy the check — silently
+// dropping an unknown Effect is the failure mode this analyzer exists to
+// prevent. Escape: //lint:effectcomplete <reason>.
+func Effectcomplete(cfg EffectcompleteConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "effectcomplete",
+		Doc:  "type switches over core event/effect unions handle every variant (escape: //lint:effectcomplete)",
+	}
+	a.Run = func(pass *Pass) {
+		// Resolve the unions visible from this package, with their variant
+		// sets. Unions whose package this package does not import cannot be
+		// switched over here, so skipping them is sound.
+		type union struct {
+			qname    string
+			iface    *types.Interface
+			variants map[string]bool // variant type name -> still missing
+		}
+		var unions []union
+		for _, qname := range cfg.Unions {
+			it, _ := lookupInterface(pass.Pkg, qname)
+			if it == nil {
+				continue
+			}
+			unions = append(unions, union{qname: qname, iface: it, variants: unionVariants(pass.Pkg, qname, it)})
+		}
+		if len(unions) == 0 {
+			return
+		}
+
+		// complete[qname] = true once this package contains at least one
+		// exhaustive switch over the union (for the Require rule).
+		complete := make(map[string]bool)
+
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSwitchStmt)
+				if !ok {
+					return true
+				}
+				tag := typeSwitchTag(pass, ts)
+				if tag == nil {
+					return true
+				}
+				tname := stateTypeName(tag)
+				for _, u := range unions {
+					if tname != u.qname {
+						continue
+					}
+					missing := coverUnion(pass, ts, u.variants)
+					if len(missing) == 0 {
+						complete[u.qname] = true
+						continue
+					}
+					if pass.Escaped(ts.Pos(), "effectcomplete") {
+						continue
+					}
+					pass.Reportf(ts.Pos(),
+						"type switch over %s does not handle %s: a shell that drops effects desynchronizes from the core — handle them or annotate //lint:effectcomplete <reason>",
+						u.qname, strings.Join(missing, ", "))
+				}
+				return true
+			})
+		}
+
+		for _, qname := range cfg.Require[pass.Path] {
+			if complete[qname] {
+				continue
+			}
+			pos := pass.Files[0].Package
+			if pass.Escaped(pos, "effectcomplete") {
+				continue
+			}
+			pass.Reportf(pos,
+				"package %s must contain a complete type switch over %s (it consumes the union) but has none",
+				pass.Path, qname)
+		}
+	}
+	return a
+}
+
+// unionVariants enumerates the variants of a sealed union: the named
+// non-interface types declared in the union's own package whose value or
+// pointer form implements it.
+func unionVariants(pkg *types.Package, qname string, iface *types.Interface) map[string]bool {
+	path := qname[:strings.LastIndex(qname, ".")]
+	dep := findImport(pkg, path, make(map[string]bool))
+	if dep == nil {
+		return nil
+	}
+	variants := make(map[string]bool)
+	scope := dep.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			variants[path+"."+name] = true
+		}
+	}
+	return variants
+}
+
+// typeSwitchTag returns the static type of the expression a type switch
+// switches over, or nil.
+func typeSwitchTag(pass *Pass, ts *ast.TypeSwitchStmt) types.Type {
+	var x ast.Expr
+	switch assign := ts.Assign.(type) {
+	case *ast.AssignStmt: // switch v := e.(type)
+		if len(assign.Rhs) != 1 {
+			return nil
+		}
+		ta, ok := assign.Rhs[0].(*ast.TypeAssertExpr)
+		if !ok {
+			return nil
+		}
+		x = ta.X
+	case *ast.ExprStmt: // switch e.(type)
+		ta, ok := assign.X.(*ast.TypeAssertExpr)
+		if !ok {
+			return nil
+		}
+		x = ta.X
+	default:
+		return nil
+	}
+	tv, ok := pass.Info.Types[x]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// coverUnion returns the sorted variant names of the union NOT named by any
+// case clause of the switch. A default clause covers nothing.
+func coverUnion(pass *Pass, ts *ast.TypeSwitchStmt, variants map[string]bool) []string {
+	missing := make(map[string]bool, len(variants))
+	for v := range variants {
+		missing[v] = true
+	}
+	for _, stmt := range ts.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, ce := range cc.List {
+			tv, ok := pass.Info.Types[ce]
+			if !ok {
+				continue
+			}
+			if name := stateTypeName(tv.Type); name != "" {
+				delete(missing, name)
+			}
+		}
+	}
+	out := make([]string, 0, len(missing))
+	for v := range missing {
+		// Report bare variant names: the union is already named in the message.
+		out = append(out, v[strings.LastIndex(v, ".")+1:])
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestEffectcomplete(t *testing.T) {
+	cfg := lint.EffectcompleteConfig{
+		Unions: []string{"linttest/src/effectcomplete/core.Effect"},
+		Require: map[string][]string{
+			"linttest/src/effectcomplete/good":  {"linttest/src/effectcomplete/core.Effect"},
+			"linttest/src/effectcomplete/empty": {"linttest/src/effectcomplete/core.Effect"},
+		},
+	}
+	linttest.Run(t, "testdata", lint.Effectcomplete(cfg), "./src/effectcomplete/...")
+}

@@ -41,12 +41,15 @@ type directive struct {
 // knownDirectives is the closed set of escape hatches; anything else spelled
 // //lint: is reported as malformed so typos cannot silently disable a check.
 var knownDirectives = map[string]bool{
-	"fpignore":    true, // fpcomplete: field is derived/config, not state
-	"permsafe":    true, // permcomplete: field value is independent of process identities
-	"clonesafe":   true, // clonecomplete: field is safe to share or re-derived
-	"impure":      true, // modelpure: nondeterminism is deliberate here
-	"sharedwrite": true, // sharedmut: write through a Shared view is intended
-	"fporder":     true, // fporder: iteration order provably cannot leak
+	"fpignore":       true, // fpcomplete: field is derived/config, not state
+	"permsafe":       true, // permcomplete: field value is independent of process identities
+	"clonesafe":      true, // clonecomplete: field is safe to share or re-derived
+	"impure":         true, // modelpure: nondeterminism is deliberate here
+	"sharedwrite":    true, // sharedmut: write through a Shared view is intended
+	"fporder":        true, // fporder: iteration order provably cannot leak
+	"corestep":       true, // corestep: audited fine-grained core access (checker compositions)
+	"effectcomplete": true, // effectcomplete: partial union switch is intended
+	"shellsafe":      true, // shellsafe: concurrency around the step loop is audited
 }
 
 // Pass carries one package through one analyzer.

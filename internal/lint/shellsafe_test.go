@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestShellsafe(t *testing.T) {
+	cfg := lint.ShellsafeConfig{
+		CorePkgPrefix: "linttest/src/shellsafe/core",
+		StepFuncs:     []string{"linttest/src/shellsafe/core.Step"},
+		StateTypes:    []string{"linttest/src/shellsafe/core.Node"},
+	}
+	linttest.Run(t, "testdata", lint.Shellsafe(cfg), "./src/shellsafe/...")
+}

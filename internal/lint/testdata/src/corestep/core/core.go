@@ -1,0 +1,31 @@
+// Package core mimics a protocol core for the corestep golden cases: the
+// test configures it as the core package (skipped), with Node as a state
+// type whose sanctioned roster is {P, Info} and Info as an alias accessor.
+package core
+
+// Node is the automaton state.
+type Node struct {
+	p     int
+	queue []int
+}
+
+// NewNode is a constructor; package functions are always allowed.
+func NewNode(p int) *Node { return &Node{p: p} }
+
+// P is a sanctioned read-only accessor.
+func (n *Node) P() int { return n.p }
+
+// Info is sanctioned but returns an interior alias of the state.
+func (n *Node) Info() ([]int, bool) { return n.queue, len(n.queue) > 0 }
+
+// Mutate is a fine-grained transition: not on the roster.
+func (n *Node) Mutate(v int) { n.queue = append(n.queue, v) }
+
+// Filter is the seam interface the test configures as a filter interface.
+type Filter interface {
+	P() int
+	Info() ([]int, bool)
+}
+
+// Step drives the automaton; consumers outside this package must use it.
+func Step(n *Node, ev int) { n.Mutate(ev) }

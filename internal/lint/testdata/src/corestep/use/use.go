@@ -1,0 +1,86 @@
+// Package use holds golden cases for the corestep analyzer: it consumes the
+// sibling core package from outside the configured core prefix.
+package use
+
+import "linttest/src/corestep/core"
+
+// ReadSanctioned only touches the roster: clean.
+func ReadSanctioned(n *core.Node) int {
+	return n.P()
+}
+
+// DriveStep goes through the macro-step seam: clean.
+func DriveStep(n *core.Node) {
+	core.Step(n, 1)
+}
+
+// DirectTransition calls a fine-grained transition.
+func DirectTransition(n *core.Node) {
+	n.Mutate(7) // want `core.Node.Mutate is a core transition`
+}
+
+// MethodValue smuggles the transition out as a value.
+func MethodValue(n *core.Node) func(int) {
+	return n.Mutate // want `core.Node.Mutate is a core transition`
+}
+
+// Audited carries an escape with a reason: clean.
+func Audited(n *core.Node) {
+	n.Mutate(8) //lint:corestep golden case: audited composition
+}
+
+// AliasWrite mutates the state through the Info alias.
+func AliasWrite(n *core.Node) {
+	info, ok := n.Info()
+	if ok {
+		info[0] = 99 // want `index write through a value aliasing interior core state`
+	}
+}
+
+// AliasCopyWrite taints through a plain copy of the alias.
+func AliasCopyWrite(n *core.Node) {
+	info, _ := n.Info()
+	view := info
+	view[0]++ // want `increment through a value aliasing interior core state`
+}
+
+// AliasAppend appends through the alias (may write the shared backing array).
+func AliasAppend(n *core.Node) []int {
+	info, _ := n.Info()
+	return append(info, 1) // want `append through a value aliasing interior core state`
+}
+
+// AliasRead only reads the alias: clean.
+func AliasRead(n *core.Node) int {
+	info, _ := n.Info()
+	total := 0
+	for _, v := range info {
+		total += v
+	}
+	return total
+}
+
+// ViaFilter reads through the seam interface: clean (roster methods only).
+func ViaFilter(f core.Filter) int {
+	return f.P()
+}
+
+// Rogue implements the filter interface outside the core tree.
+type Rogue struct{} // want `Rogue implements Filter outside linttest/src/corestep/core`
+
+// P makes Rogue a Filter.
+func (Rogue) P() int { return 0 }
+
+// Info completes the Filter method set.
+func (Rogue) Info() ([]int, bool) { return nil, false }
+
+// Sanctioned is an audited filter implementation: clean.
+//
+//lint:corestep golden case: audited out-of-tree filter
+type Sanctioned struct{}
+
+// P makes Sanctioned a Filter.
+func (Sanctioned) P() int { return 1 }
+
+// Info completes the Filter method set.
+func (Sanctioned) Info() ([]int, bool) { return nil, false }

@@ -1,0 +1,44 @@
+// Package bad holds the failing golden cases for effectcomplete.
+package bad
+
+import "linttest/src/effectcomplete/core"
+
+// Partial drops FxC on the floor.
+func Partial(fx core.Effect) string {
+	switch fx.(type) { // want `type switch over linttest/src/effectcomplete/core.Effect does not handle FxC`
+	case core.FxA:
+		return "a"
+	case core.FxB:
+		return "b"
+	}
+	return ""
+}
+
+// DefaultIsNotEnough swallows two variants behind a default clause.
+func DefaultIsNotEnough(fx core.Effect) string {
+	switch fx.(type) { // want `does not handle FxB, FxC`
+	case core.FxA:
+		return "a"
+	default:
+		return "?"
+	}
+}
+
+// Audited is a deliberately partial switch with an escape: clean.
+func Audited(fx core.Effect) bool {
+	//lint:effectcomplete golden case: probe for one variant only
+	switch fx.(type) {
+	case core.FxA:
+		return true
+	}
+	return false
+}
+
+// NotAUnion switches over a plain interface: ignored.
+func NotAUnion(v interface{}) bool {
+	switch v.(type) {
+	case int:
+		return true
+	}
+	return false
+}

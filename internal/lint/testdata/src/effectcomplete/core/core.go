@@ -1,0 +1,19 @@
+// Package core mimics a protocol core for the effectcomplete golden cases:
+// Effect is a sealed union with three variants.
+package core
+
+// Effect is the closed effect union.
+type Effect interface{ isEffect() }
+
+// FxA is an effect variant.
+type FxA struct{ N int }
+
+// FxB is an effect variant.
+type FxB struct{ S string }
+
+// FxC is an effect variant.
+type FxC struct{}
+
+func (FxA) isEffect() {}
+func (FxB) isEffect() {}
+func (FxC) isEffect() {}

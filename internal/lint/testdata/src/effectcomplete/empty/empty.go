@@ -1,0 +1,13 @@
+// Package empty consumes the union without ever switching over it; the test
+// configures a Require entry for this package, so the analyzer reports the
+// missing consumer switch at the package clause.
+package empty // want `package linttest/src/effectcomplete/empty must contain a complete type switch`
+
+import "linttest/src/effectcomplete/core"
+
+// Peek type-asserts one variant instead of switching: the union is consumed,
+// but nothing here would notice a new variant.
+func Peek(fx core.Effect) bool {
+	_, ok := fx.(core.FxA)
+	return ok
+}

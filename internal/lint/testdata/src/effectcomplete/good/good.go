@@ -1,0 +1,19 @@
+// Package good consumes every variant of the core union: clean, and it
+// satisfies the Require entry the test configures for this package.
+package good
+
+import "linttest/src/effectcomplete/core"
+
+// Apply handles every effect variant.
+func Apply(fx core.Effect) string {
+	switch fx := fx.(type) {
+	case core.FxA:
+		return "a"
+	case core.FxB:
+		return fx.S
+	case core.FxC:
+		return "c"
+	default:
+		return "?"
+	}
+}

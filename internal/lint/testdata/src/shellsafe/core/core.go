@@ -1,0 +1,12 @@
+// Package core mimics a protocol core for the shellsafe golden cases: Node
+// is the configured state type and Step the configured macro-step entry.
+package core
+
+// Node is the automaton state.
+type Node struct{ X int }
+
+// NewNode is the constructor.
+func NewNode() *Node { return &Node{} }
+
+// Step applies one macro-step.
+func Step(n *Node, ev int) { n.X += ev }

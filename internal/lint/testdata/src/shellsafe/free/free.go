@@ -1,0 +1,8 @@
+// Package free never calls a core Step function, so the blocking-send rule
+// does not apply here: a bare send is ordinary Go.
+package free
+
+// Forward sends without a select: clean in a package that drives no core.
+func Forward(ch chan<- int, v int) {
+	ch <- v
+}

@@ -1,0 +1,96 @@
+// Package shell holds golden cases for the shellsafe analyzer: it drives
+// the sibling core's Step from an event loop, so the blocking-send rule is
+// armed for the whole package.
+package shell
+
+import "linttest/src/shellsafe/core"
+
+// Layer is a shell holding its core: any goroutine touching it captures
+// core state one field away.
+type Layer struct {
+	node *core.Node
+	out  chan int
+	stop chan struct{}
+}
+
+// Loop is the run-to-completion pump: Step on the loop goroutine is clean.
+func (l *Layer) Loop(events <-chan int) {
+	for ev := range events {
+		core.Step(l.node, ev)
+		select { // guarded send: clean
+		case l.out <- l.node.X:
+		default:
+		}
+		select { // receive case is enough of an escape hatch: clean
+		case l.out <- l.node.X:
+		case <-l.stop:
+		}
+	}
+}
+
+// node is package state for the transitive-goroutine case below.
+var node = core.NewNode()
+
+// pump steps the core; launching it concurrently breaks run-to-completion.
+func pump() {
+	core.Step(node, 1)
+}
+
+// BadConcurrentStep calls Step from a goroutine, through a named function.
+func BadConcurrentStep() {
+	go pump() // want `goroutine calls a core Step function`
+}
+
+// BadLiteralStep steps the core from a goroutine literal.
+func BadLiteralStep(l *Layer) {
+	go func() { // want `goroutine calls a core Step function`
+		core.Step(l.node, 2)
+	}()
+}
+
+// BadCapture hands live core state to a goroutine without stepping it.
+func BadCapture(l *Layer) {
+	go func() { // want `goroutine captures core state`
+		_ = l.node.X
+	}()
+}
+
+// BadArg passes core state as a goroutine argument.
+func BadArg(l *Layer, f func(*core.Node)) {
+	go f(l.node) // want `goroutine receives core state`
+}
+
+// AuditedGo is an escape-annotated goroutine: clean.
+func AuditedGo(l *Layer) {
+	//lint:shellsafe golden case: audited snapshot hand-off
+	go func() {
+		_ = l.node.X
+	}()
+}
+
+// CleanGo captures only plain values: clean.
+func CleanGo(results chan<- int, v int) {
+	go func() {
+		select {
+		case results <- v * v:
+		default:
+		}
+	}()
+}
+
+// BadBareSend blocks the pump if the channel is full.
+func (l *Layer) BadBareSend(v int) {
+	l.out <- v // want `blocking channel send in a package that drives a core Step loop`
+}
+
+// BadSendOnlySelect has no escape hatch: every case can block.
+func (l *Layer) BadSendOnlySelect(v int) {
+	select {
+	case l.out <- v: // want `blocking channel send in a package that drives a core Step loop`
+	}
+}
+
+// AuditedSend is an escape-annotated send: clean.
+func (l *Layer) AuditedSend(v int) {
+	l.out <- v //lint:shellsafe golden case: capacity reserved by the caller
+}

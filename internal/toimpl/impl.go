@@ -121,22 +121,22 @@ func (im *Impl) Enabled() []ioa.Action {
 	}
 	for _, p := range im.procs {
 		n := im.nodes[p]
-		if a, ok := n.LabelHead(); ok {
+		if a, ok := n.LabelHead(); ok { //lint:corestep checker composition: Enabled enumerates the fine-grained transitions Step composes
 			acts = append(acts, ioa.Action{Name: "label", Kind: ioa.KindInternal, Param: LabelParam{A: a, P: p}})
 		}
-		if m, ok := n.GpSndLabel(); ok {
+		if m, ok := n.GpSndLabel(); ok { //lint:corestep checker composition: Enabled enumerates the fine-grained transitions Step composes
 			acts = append(acts, ioa.Action{Name: dvs.ActGpSnd, Kind: ioa.KindInternal, Param: dvs.SndParam{M: m, P: p}})
 		}
-		if m, ok := n.GpSndSummary(); ok {
+		if m, ok := n.GpSndSummary(); ok { //lint:corestep checker composition: Enabled enumerates the fine-grained transitions Step composes
 			acts = append(acts, ioa.Action{Name: dvs.ActGpSnd, Kind: ioa.KindInternal, Param: dvs.SndParam{M: m, P: p}})
 		}
-		if n.ConfirmEnabled() {
+		if n.ConfirmEnabled() { //lint:corestep checker composition: Enabled enumerates the fine-grained transitions Step composes
 			acts = append(acts, ioa.Action{Name: "confirm", Kind: ioa.KindInternal, Param: ConfirmParam{P: p}})
 		}
-		if a, origin, ok := n.BRcvNext(); ok {
+		if a, origin, ok := n.BRcvNext(); ok { //lint:corestep checker composition: Enabled enumerates the fine-grained transitions Step composes
 			acts = append(acts, ioa.Action{Name: to.ActBRcv, Kind: ioa.KindOutput, Param: to.BRcvParam{A: a, Origin: origin, To: p}})
 		}
-		if n.RegisterEnabled() {
+		if n.RegisterEnabled() { //lint:corestep checker composition: Enabled enumerates the fine-grained transitions Step composes
 			acts = append(acts, ioa.Action{Name: dvs.ActRegister, Kind: ioa.KindInternal, Param: dvs.RegisterParam{P: p}})
 		}
 	}
@@ -156,7 +156,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if !exists {
 			return fmt.Errorf("bcast: unknown process %s", p.P)
 		}
-		n.OnBCast(p.A)
+		n.OnBCast(p.A) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 		return nil
 
 	case "label":
@@ -164,21 +164,21 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if !ok {
 			return badActParam(act)
 		}
-		return im.nodes[p.P].PerformLabel(p.A)
+		return im.nodes[p.P].PerformLabel(p.A) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 
 	case "confirm":
 		p, ok := act.Param.(ConfirmParam)
 		if !ok {
 			return badActParam(act)
 		}
-		return im.nodes[p.P].PerformConfirm()
+		return im.nodes[p.P].PerformConfirm() //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 
 	case to.ActBRcv:
 		p, ok := act.Param.(to.BRcvParam)
 		if !ok {
 			return badActParam(act)
 		}
-		return im.nodes[p.To].PerformBRcv(p.A, p.Origin)
+		return im.nodes[p.To].PerformBRcv(p.A, p.Origin) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 
 	case dvs.ActGpSnd:
 		p, ok := act.Param.(dvs.SndParam)
@@ -188,11 +188,11 @@ func (im *Impl) Perform(act ioa.Action) error {
 		n := im.nodes[p.P]
 		switch m := p.M.(type) {
 		case LabelMsg:
-			if err := n.TakeGpSndLabel(m); err != nil {
+			if err := n.TakeGpSndLabel(m); err != nil { //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 				return err
 			}
 		case SummaryMsg:
-			if err := n.TakeGpSndSummary(m); err != nil {
+			if err := n.TakeGpSndSummary(m); err != nil { //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 				return err
 			}
 		default:
@@ -205,7 +205,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if !ok {
 			return badActParam(act)
 		}
-		if err := im.nodes[p.P].PerformRegister(); err != nil {
+		if err := im.nodes[p.P].PerformRegister(); err != nil { //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 			return err
 		}
 		return im.dvs.Perform(act)
@@ -218,7 +218,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if err := im.dvs.Perform(act); err != nil {
 			return err
 		}
-		im.nodes[p.P].OnDVSNewView(p.View)
+		im.nodes[p.P].OnDVSNewView(p.View) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 		return nil
 
 	case dvs.ActGpRcv:
@@ -229,7 +229,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if err := im.dvs.Perform(act); err != nil {
 			return err
 		}
-		return im.nodes[p.To].OnDVSGpRcv(p.M, p.From)
+		return im.nodes[p.To].OnDVSGpRcv(p.M, p.From) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 
 	case dvs.ActSafe:
 		p, ok := act.Param.(dvs.RcvParam)
@@ -239,7 +239,7 @@ func (im *Impl) Perform(act ioa.Action) error {
 		if err := im.dvs.Perform(act); err != nil {
 			return err
 		}
-		return im.nodes[p.To].OnDVSSafe(p.M, p.From)
+		return im.nodes[p.To].OnDVSSafe(p.M, p.From) //lint:corestep checker composition: Perform fires one fine-grained transition of the composed automaton
 
 	case dvs.ActCreateView, dvs.ActOrder, dvs.ActRcv:
 		return im.dvs.Perform(act)

@@ -13,8 +13,12 @@ import (
 // Apply is invoked exactly once per committed command, in total order, from
 // a single goroutine per replica.
 type StateMachine struct {
-	proc  *Process
-	apply func(cmd string, origin ProcID)
+	proc *Process
+	// deliveries is snapshotted at construction so the apply loop owns only
+	// channels: the goroutine must not reach through Process into the layer
+	// structs holding the protocol cores (shellsafe).
+	deliveries <-chan Delivery
+	apply      func(cmd string, origin ProcID)
 
 	mu      sync.Mutex
 	applied int
@@ -29,10 +33,11 @@ type StateMachine struct {
 // a StateMachine is attached.
 func NewStateMachine(p *Process, apply func(cmd string, origin ProcID)) *StateMachine {
 	sm := &StateMachine{
-		proc:  p,
-		apply: apply,
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		proc:       p,
+		deliveries: p.Deliveries(),
+		apply:      apply,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	go sm.run()
 	return sm
@@ -42,7 +47,7 @@ func (sm *StateMachine) run() {
 	defer close(sm.done)
 	for {
 		select {
-		case d := <-sm.proc.Deliveries():
+		case d := <-sm.deliveries:
 			sm.apply(d.Payload, d.Origin)
 			sm.mu.Lock()
 			sm.applied++

@@ -8,6 +8,10 @@
 #   sh scripts/check.sh smoke   # only the serial-vs-parallel exploration
 #                               # smoke (CI runs the other gates as separate
 #                               # steps so each failure is its own log)
+#   sh scripts/check.sh lintgate # only the negative lint smoke: dvslint must
+#                               # exit 1 on the seeded-bad-edit fixtures in
+#                               # internal/lint/badedit (a clean exit means
+#                               # the macro-step analyzers went dead)
 #   sh scripts/check.sh bench   # only the benchmark-snapshot gate: run
 #                               # `make bench` and fail unless it leaves
 #                               # parseable, non-empty BENCH_checks.json and
@@ -115,6 +119,21 @@ scaling_guard() {
 	done
 }
 
+# lintgate_guard is the negative half of the lint gate: dvslint over the
+# seeded-bad-edit module must exit 1 (diagnostics reported). Exit 0 means
+# the corestep/effectcomplete/shellsafe analyzers stopped protecting the
+# macro-step boundary; exit 2 means the fixtures no longer even load.
+lintgate_guard() {
+	status=0
+	out="$(go run ./cmd/dvslint -dir internal/lint/badedit ./... 2>&1)" || status=$?
+	if [ "$status" != 1 ]; then
+		echo "check.sh: dvslint on internal/lint/badedit exited ${status}, want 1 — the seeded-bad-edit fixtures no longer fail the lint gate" >&2
+		echo "$out" >&2
+		exit 1
+	fi
+	echo "check.sh: bad-edit lint gate OK (dvslint rejects the seeded fixtures)"
+}
+
 bench_guard() {
 	rm -f BENCH_checks.json BENCH_e8.json
 	make bench
@@ -130,10 +149,16 @@ if [ "$mode" = "bench" ]; then
 	exit 0
 fi
 
+if [ "$mode" = "lintgate" ]; then
+	lintgate_guard
+	exit 0
+fi
+
 if [ "$mode" = "all" ]; then
 	go build ./...
 	go vet ./...
 	go run ./cmd/dvslint ./...
+	lintgate_guard
 	go test -race ./...
 fi
 

@@ -64,13 +64,14 @@ type NodeConfig struct {
 	WrapTransport func(netfab.Transport) netfab.Transport
 	// Record enables trace recording of the node's protocol cores; harvest
 	// with Node.TraceLog after Close and check with ReplayTrace together
-	// with the other nodes' logs. Requires ModeDynamic.
+	// with the other nodes' logs. Works in both modes: static runs replay
+	// through the staticcore baseline.
 	Record bool
 	// Stream, when set, spills the node's macro-steps into the given
 	// chunked on-disk trace (see NewTraceStream): bounded recorder memory
 	// for arbitrarily long runs. The caller owns the stream and must Close
 	// it after Node.Close; check the directory with ReplayTraceStream.
-	// Requires ModeDynamic.
+	// Works in both modes, like Record.
 	Stream *TraceStream
 	// Online, when set, runs the in-process sampled conformance checker on
 	// this node (see OnlineCheckConfig); counters surface in
@@ -111,12 +112,6 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = ModeDynamic
-	}
-	if cfg.Record && cfg.Mode != ModeDynamic {
-		return nil, errors.New("dvs: NodeConfig.Record requires ModeDynamic")
-	}
-	if cfg.Stream != nil && cfg.Mode != ModeDynamic {
-		return nil, errors.New("dvs: NodeConfig.Stream requires ModeDynamic")
 	}
 	if cfg.Online != nil && cfg.Mode != ModeDynamic {
 		return nil, errors.New("dvs: NodeConfig.Online requires ModeDynamic")
@@ -179,14 +174,18 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	app.Bind(layer)
 	node.SetHandler(layer)
 
+	// Record the construction parameters as the cores were actually built:
+	// gc only in dynamic mode, static marking the staticcore filter.
+	gcOn := cfg.Mode == ModeDynamic
+	static := cfg.Mode == ModeStatic
 	var rec *conform.Recorder
 	if cfg.Record {
-		rec = conform.NewRecorder(self, initial, initial.Contains(self), !cfg.DisableRegistration, true)
+		rec = conform.NewRecorder(self, initial, initial.Contains(self), !cfg.DisableRegistration, gcOn, static)
 		layer.AddObserver(rec.ObserveDVS)
 		app.AddObserver(rec.ObserveTO)
 	}
 	if cfg.Stream != nil {
-		sn, err := cfg.Stream.Node(self, initial, initial.Contains(self), !cfg.DisableRegistration, true)
+		sn, err := cfg.Stream.Node(self, initial, initial.Contains(self), !cfg.DisableRegistration, gcOn, static)
 		if err != nil {
 			tcp.Close()
 			return nil, fmt.Errorf("dvs: registering node %d with trace stream: %w", cfg.ID, err)
