@@ -5,12 +5,8 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/conform"
-	"repro/internal/core"
 	"repro/internal/dvsg"
 	netfab "repro/internal/net"
-	"repro/internal/quorum"
-	"repro/internal/staticp"
 	"repro/internal/tob"
 	"repro/internal/types"
 	"repro/internal/vsg"
@@ -28,14 +24,12 @@ type Cluster struct {
 	close    sync.Once
 }
 
-// Process is the application-facing handle of one cluster member.
+// Process is the application-facing handle of one cluster member: one
+// group's full protocol stack at one process (group 0 in a single-group
+// Cluster; the sharded runtime hands out one Process per member group).
 type Process struct {
-	id    ProcID
-	vsg   *vsg.Node
-	dvs   *dvsg.Layer
-	tob   *tob.Layer
-	rec   *conform.Recorder      // nil unless Config.Record
-	check *conform.OnlineChecker // nil unless Config.Online
+	id ProcID
+	*stack
 }
 
 // NewCluster builds and starts a cluster.
@@ -71,56 +65,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		procs:    make(map[ProcID]*Process, cfg.Processes),
 	}
 	for _, id := range universe.Sorted() {
-		node := vsg.NewNode(vsg.Config{
-			Self:           id,
-			Universe:       universe,
-			Initial:        initial,
-			Transport:      c.fabric,
-			TickInterval:   cfg.TickInterval,
-			SuspectTimeout: cfg.SuspectTimeout,
-			ProposeRetry:   cfg.ProposeRetry,
+		st, err := buildStack(stackConfig{
+			self:                id,
+			universe:            universe,
+			p0:                  p0,
+			initial:             initial,
+			transport:           c.fabric,
+			mode:                cfg.Mode,
+			disableRegistration: cfg.DisableRegistration,
+			tick:                cfg.TickInterval,
+			suspect:             cfg.SuspectTimeout,
+			retry:               cfg.ProposeRetry,
+			record:              cfg.Record,
+			stream:              cfg.Stream,
+			online:              cfg.Online,
 		})
-
-		var filter dvsg.Filter
-		if cfg.Mode == ModeStatic {
-			filter = staticp.NewNode(id, initial, initial.Contains(id), quorum.Majority(p0))
-		} else {
-			filter = core.NewNode(id, initial, initial.Contains(id))
+		if err != nil {
+			return nil, err
 		}
-		app := tob.New(id, initial, !cfg.DisableRegistration, node.Stopped())
-		layer := dvsg.New(filter, app, cfg.Mode == ModeDynamic)
-		layer.Bind(node)
-		app.Bind(layer)
-		node.SetHandler(layer)
-
-		// The recorded construction parameters must match how the cores were
-		// actually built above: gc is on only in dynamic mode, and static
-		// marks the filter as the staticcore baseline so the replayer
-		// re-executes the right automaton.
-		gcOn := cfg.Mode == ModeDynamic
-		static := cfg.Mode == ModeStatic
-		var rec *conform.Recorder
-		if cfg.Record {
-			rec = conform.NewRecorder(id, initial, initial.Contains(id), !cfg.DisableRegistration, gcOn, static)
-			layer.AddObserver(rec.ObserveDVS)
-			app.AddObserver(rec.ObserveTO)
-		}
-		if cfg.Stream != nil {
-			sn, err := cfg.Stream.Node(id, initial, initial.Contains(id), !cfg.DisableRegistration, gcOn, static)
-			if err != nil {
-				return nil, fmt.Errorf("dvs: registering process %d with trace stream: %w", id, err)
-			}
-			layer.AddObserver(sn.ObserveDVS)
-			app.AddObserver(sn.ObserveTO)
-		}
-		var check *conform.OnlineChecker
-		if cfg.Online != nil {
-			check = conform.NewOnlineChecker(id, initial, initial.Contains(id), !cfg.DisableRegistration, true, *cfg.Online)
-			layer.AddObserver(check.ObserveDVS)
-			app.AddObserver(check.ObserveTO)
-		}
-
-		c.procs[id] = &Process{id: id, vsg: node, dvs: layer, tob: app, rec: rec, check: check}
+		c.procs[id] = &Process{id: id, stack: st}
 	}
 	for _, id := range universe.Sorted() {
 		c.procs[id].vsg.Start()

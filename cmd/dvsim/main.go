@@ -13,16 +13,18 @@
 //
 // Usage:
 //
-//	dvsim -scenario availability|cascade|throughput|recovery|ablation [flags]
+//	dvsim -scenario availability|cascade|throughput|recovery|ablation|sharded [flags]
 //	dvsim -scenario cascade -record tracedir    # run, stream, verify, keep
 //	dvsim -replay tracedir                      # re-check a recorded trace
 //	dvsim -scenario throughput -check           # run the online checker (E13)
+//	dvsim -scenario sharded -groups 4 -crossfrac 0.1 -record tracedir  # E14
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	dvs "repro"
@@ -38,8 +40,10 @@ func main() {
 
 func run() error {
 	var (
-		scenario = flag.String("scenario", "availability", "availability, cascade, throughput, recovery, or ablation")
+		scenario = flag.String("scenario", "availability", "availability, cascade, throughput, recovery, ablation, or sharded")
 		procs    = flag.Int("procs", 5, "group size")
+		groups   = flag.Int("groups", 2, "independent groups (sharded)")
+		crossfr  = flag.Float64("crossfrac", 0.1, "cross-group multicast fraction (sharded)")
 		spares   = flag.Int("spares", 5, "spare processes (availability)")
 		rounds   = flag.Int("rounds", 6, "rounds / replacements")
 		duration = flag.Duration("duration", 500*time.Millisecond, "pump duration (throughput)")
@@ -56,6 +60,29 @@ func run() error {
 
 	if *replay != "" {
 		return replayPath(*replay)
+	}
+
+	// The sharded scenario records to a sharded trace directory (one
+	// group-tagged chunked stream per group plus the multicast logs), not a
+	// single stream, so it branches before the stream is created.
+	if *scenario == "sharded" {
+		res, err := sim.Sharded(sim.ShardedConfig{
+			Processes: *procs, Groups: *groups, Duration: *duration,
+			CrossFrac: *crossfr, Seed: *seed, StreamDir: *record,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		fmt.Printf("  net: %s\n", res.Run)
+		if !res.Consistent {
+			return fmt.Errorf("sharded run inconsistent: %s", res)
+		}
+		if *record != "" {
+			fmt.Printf("recorded sharded trace to %s\n", *record)
+			return replayPath(*record)
+		}
+		return nil
 	}
 
 	var stream *dvs.TraceStream
@@ -194,14 +221,23 @@ func run() error {
 	return nil
 }
 
-// replayPath re-checks a recorded trace: a directory is treated as a
-// chunked stream, a file as a legacy in-memory trace.
+// replayPath re-checks a recorded trace: a directory holding group-NN
+// subdirectories is a sharded trace, any other directory a single chunked
+// stream, and a file a legacy in-memory trace.
 func replayPath(path string) error {
 	info, err := os.Stat(path)
 	if err != nil {
 		return err
 	}
 	if info.IsDir() {
+		if gi, err := os.Stat(filepath.Join(path, "group-00")); err == nil && gi.IsDir() {
+			rep, err := dvs.ReplayShardedTrace(path)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("conformance: %s\n", rep)
+			return rep.Err()
+		}
 		rep, err := dvs.ReplayTraceStream(path)
 		if err != nil {
 			return err

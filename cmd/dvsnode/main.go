@@ -7,6 +7,12 @@
 //	dvsnode -id 0 -n 3 -listen 127.0.0.1:7000 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002
 //	dvsnode -id 1 -n 3 -listen 127.0.0.1:7001 -peers 0=127.0.0.1:7000,2=127.0.0.1:7002
 //	dvsnode -id 2 -n 3 -listen 127.0.0.1:7002 -peers 0=127.0.0.1:7000,1=127.0.0.1:7001
+//
+// With -groups N > 1 the node runs N independent groups over the same TCP
+// transport (every peer must use the same -groups). Stdin lines then route
+// by consistent hash — "key:payload" submits payload under key, a bare line
+// keys on itself — and "@g0,g1:payload" atomically multicasts the payload
+// to the listed groups. Deliveries are printed tagged with their group.
 package main
 
 import (
@@ -39,6 +45,7 @@ func run() error {
 		listen   = flag.String("listen", "127.0.0.1:7000", "listen address")
 		peers    = flag.String("peers", "", "comma-separated id=host:port pairs")
 		static   = flag.Bool("static", false, "use static majority primaries instead of dynamic")
+		groups   = flag.Int("groups", 1, "independent groups sharing this node's transport (sharded mode; incompatible with -trace-dir)")
 		tick     = flag.Duration("tick", 20*time.Millisecond, "heartbeat tick")
 		metrics  = flag.String("metrics", "", "serve per-layer stats over HTTP at this address (expvar at /debug/vars, JSON at /stats)")
 		traceDir = flag.String("trace-dir", "", "stream this node's protocol trace to chunked segments in this directory (dynamic mode only); replay with dvsim -replay <dir>")
@@ -63,6 +70,7 @@ func run() error {
 		Listen:       *listen,
 		Peers:        peerMap,
 		Mode:         mode,
+		Groups:       *groups,
 		TickInterval: *tick,
 	}
 	var stream *dvs.TraceStream
@@ -112,20 +120,30 @@ func run() error {
 		fmt.Printf("metrics on http://%s/stats (expvar at /debug/vars)\n", addr)
 	}
 
-	go func() {
-		for d := range node.Deliveries() {
-			fmt.Printf("[deliver] %q from %d\n", d.Payload, d.Origin)
+	for _, g := range node.Groups() {
+		p, ok := node.Group(g)
+		if !ok {
+			continue
 		}
-	}()
-	go func() {
-		for e := range node.Views() {
-			tag := "view"
-			if e.Established {
-				tag = "established"
+		tag := ""
+		if *groups > 1 {
+			tag = fmt.Sprintf("g%d ", int(g))
+		}
+		go func() {
+			for d := range p.Deliveries() {
+				fmt.Printf("[%sdeliver] %q from %d\n", tag, d.Payload, d.Origin)
 			}
-			fmt.Printf("[%s] %s\n", tag, e.View)
-		}
-	}()
+		}()
+		go func() {
+			for e := range p.Views() {
+				t := "view"
+				if e.Established {
+					t = "established"
+				}
+				fmt.Printf("[%s%s] %s\n", tag, t, e.View)
+			}
+		}()
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
@@ -133,11 +151,46 @@ func run() error {
 		if line == "" {
 			continue
 		}
-		if !node.Broadcast(line) {
-			return nil
+		if *groups == 1 {
+			if !node.Broadcast(line) {
+				return nil
+			}
+			continue
+		}
+		if err := submitSharded(node, line); err != nil {
+			fmt.Fprintln(os.Stderr, "dvsnode:", err)
 		}
 	}
 	return sc.Err()
+}
+
+// submitSharded routes one stdin line of a sharded node: "@g0,g1:payload"
+// is an atomic multicast to the listed groups, "key:payload" a keyed
+// submission, and anything else keys on the whole line.
+func submitSharded(node *dvs.Node, line string) error {
+	if rest, ok := strings.CutPrefix(line, "@"); ok {
+		spec, payload, ok := strings.Cut(rest, ":")
+		if !ok {
+			return fmt.Errorf("bad multicast %q (want @g0,g1:payload)", line)
+		}
+		var dests []dvs.GroupID
+		for _, part := range strings.Split(spec, ",") {
+			g, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad multicast group %q: %v", part, err)
+			}
+			dests = append(dests, dvs.GroupID(g))
+		}
+		return node.SubmitMulti(dests, payload)
+	}
+	key, payload, ok := strings.Cut(line, ":")
+	if !ok {
+		key, payload = line, line
+	}
+	if !node.Submit(key, payload) {
+		return fmt.Errorf("group %d stopped", int(node.SubmitKey(key)))
+	}
+	return nil
 }
 
 // serveMetrics exposes the node's per-layer counters over HTTP: the

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/protocol/dvscore"
+	"repro/internal/protocol/mcastcore"
 	"repro/internal/protocol/tocore"
 	"repro/internal/types"
 )
@@ -24,6 +25,8 @@ func init() {
 		tocore.EvBroadcast{}, tocore.EvNewView{}, tocore.EvRecv{}, tocore.EvSafe{},
 		tocore.FxLabel{}, tocore.FxSend{}, tocore.FxConfirm{},
 		tocore.FxDeliver{}, tocore.FxRegister{},
+		mcastcore.EvSubmit{}, mcastcore.EvData{}, mcastcore.EvProposal{},
+		mcastcore.FxSendData{}, mcastcore.FxSendProp{}, mcastcore.FxDeliver{},
 		dvscore.InfoMsg{}, dvscore.RegisteredMsg{},
 		tocore.LabelMsg{}, tocore.SummaryMsg{},
 		types.ClientMsg(""), types.Batch{},

@@ -54,6 +54,7 @@ type TORecord struct {
 // execution order.
 type NodeLog struct {
 	P        types.ProcID
+	Group    types.GroupID // DVS/TO group this stack belongs to (0 in single-group runs)
 	Initial  types.View
 	InP0     bool
 	Register bool // REGISTER mechanism enabled (tob layer)
@@ -72,12 +73,15 @@ type Recorder struct {
 }
 
 // NewRecorder starts a log for the node with the given core construction
-// parameters. static marks a node whose view filter is the static-primary
-// core (staticcore) rather than the paper's DVS automaton; the replayer
-// re-executes its DVS-layer records through that core instead.
-func NewRecorder(p types.ProcID, initial types.View, inP0, register, gc, static bool) *Recorder {
+// parameters. g tags every step with the group whose stack this node runs
+// (0 in single-group runs); a replayed log set must be group-homogeneous —
+// each group's run is an independent total order, so sharded runs harvest
+// one log set per group. static marks a node whose view filter is the
+// static-primary core (staticcore) rather than the paper's DVS automaton;
+// the replayer re-executes its DVS-layer records through that core instead.
+func NewRecorder(p types.ProcID, g types.GroupID, initial types.View, inP0, register, gc, static bool) *Recorder {
 	return &Recorder{log: NodeLog{
-		P: p, Initial: initial.Clone(), InP0: inP0, Register: register, GC: gc, Static: static,
+		P: p, Group: g, Initial: initial.Clone(), InP0: inP0, Register: register, GC: gc, Static: static,
 	}}
 }
 

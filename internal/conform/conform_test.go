@@ -16,7 +16,7 @@ func recordedRun(t *testing.T) NodeLog {
 	t.Helper()
 	p := types.ProcID(0)
 	initial := types.InitialView(types.RangeProcSet(1))
-	rec := NewRecorder(p, initial, true, true, true, false)
+	rec := NewRecorder(p, 0, initial, true, true, true, false)
 
 	dn := dvscore.NewNode(p, initial, true)
 	tn := tocore.NewNode(p, initial, true, false)

@@ -123,6 +123,12 @@ func validateLogSet(rep *Report, sorted []NodeLog) bool {
 					lg.P, lg.Static, sorted[0].P, sorted[0].Static))
 			ok = false
 		}
+		if lg.Group != sorted[0].Group {
+			rep.Malformed = append(rep.Malformed,
+				fmt.Sprintf("process %s group %s disagrees with process %s group %s — each group is an independent run, harvest one log set per group",
+					lg.P, lg.Group, sorted[0].P, sorted[0].Group))
+			ok = false
+		}
 	}
 	return ok
 }

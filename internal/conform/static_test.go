@@ -17,7 +17,7 @@ func recordedStaticRun(t *testing.T) NodeLog {
 	t.Helper()
 	p := types.ProcID(0)
 	initial := types.InitialView(types.RangeProcSet(1))
-	rec := NewRecorder(p, initial, true, true, false, true)
+	rec := NewRecorder(p, 0, initial, true, true, false, true)
 
 	sn := staticcore.NewNode(p, initial, true, quorum.Majority(initial.Members))
 	tn := tocore.NewNode(p, initial, true, false)

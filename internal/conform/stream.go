@@ -60,6 +60,7 @@ func chunkSeg(seq int) string { return fmt.Sprintf("chunk-%08d.seg", seq) }
 // header — the same fields NodeLog records in-memory.
 type NodeMeta struct {
 	P        types.ProcID
+	Group    types.GroupID // group this stack belongs to (0 in single-group runs)
 	Initial  types.View
 	InP0     bool
 	Register bool
@@ -264,7 +265,7 @@ func (r *StreamRecorder) Dir() string { return r.dir }
 // Node registers one node of the run, with the same core construction
 // parameters NewRecorder takes. All nodes must register before the first
 // record is spilled (registration defines the header, which is written once).
-func (r *StreamRecorder) Node(p types.ProcID, initial types.View, inP0, register, gc, static bool) (*StreamNode, error) {
+func (r *StreamRecorder) Node(p types.ProcID, g types.GroupID, initial types.View, inP0, register, gc, static bool) (*StreamNode, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.started || r.closed {
@@ -274,7 +275,7 @@ func (r *StreamRecorder) Node(p types.ProcID, initial types.View, inP0, register
 		return nil, fmt.Errorf("conform: duplicate stream node %s", p)
 	}
 	sn := &StreamNode{r: r, meta: NodeMeta{
-		P: p, Initial: initial.Clone(), InP0: inP0, Register: register, GC: gc, Static: static,
+		P: p, Group: g, Initial: initial.Clone(), InP0: inP0, Register: register, GC: gc, Static: static,
 	}}
 	r.byP[p] = sn
 	r.nodes = append(r.nodes, sn)

@@ -78,11 +78,11 @@ func recordStreamed(t *testing.T, dir string, opts StreamOptions, rounds int, cu
 	if err != nil {
 		t.Fatalf("new stream recorder: %v", err)
 	}
-	sn, err := sr.Node(p, initial, true, true, true, false)
+	sn, err := sr.Node(p, 0, initial, true, true, true, false)
 	if err != nil {
 		t.Fatalf("register stream node: %v", err)
 	}
-	rec := NewRecorder(p, initial, true, true, true, false)
+	rec := NewRecorder(p, 0, initial, true, true, true, false)
 	driveScript(t, rounds,
 		func(ev dvscore.Event, fx []dvscore.Effect) {
 			rec.ObserveDVS(ev, fx)
@@ -319,17 +319,17 @@ func TestStreamRecorderRegistration(t *testing.T) {
 	}
 	p := types.ProcID(0)
 	initial := types.InitialView(types.RangeProcSet(2))
-	sn, err := sr.Node(p, initial, true, true, true, false)
+	sn, err := sr.Node(p, 0, initial, true, true, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sr.Node(p, initial, true, true, true, false); err == nil {
+	if _, err := sr.Node(p, 0, initial, true, true, true, false); err == nil {
 		t.Error("duplicate node registration accepted")
 	}
 	// WindowSteps 1: the first record cuts a chunk, which writes the header
 	// and closes registration.
 	sn.ObserveDVS(dvscore.EvClientRegister{}, nil)
-	if _, err := sr.Node(types.ProcID(1), initial, true, true, true, false); err == nil {
+	if _, err := sr.Node(types.ProcID(1), 0, initial, true, true, true, false); err == nil {
 		t.Error("registration accepted after the header was written")
 	}
 	if err := sr.Close(); err != nil {

@@ -92,7 +92,7 @@ func ReplayStream(dir string) (*StreamReport, error) {
 	// the same well-formedness properties Replay does on its log set.
 	metas := make([]NodeLog, len(hdr.Nodes))
 	for i, m := range hdr.Nodes {
-		metas[i] = NodeLog{P: m.P, Initial: m.Initial, Static: m.Static}
+		metas[i] = NodeLog{P: m.P, Group: m.Group, Initial: m.Initial, Static: m.Static}
 	}
 	if !validateLogSet(&sr.Report, metas) {
 		return sr, nil

@@ -65,6 +65,11 @@ func DefaultCorestepConfig() CorestepConfig {
 			"repro/internal/protocol/staticcore.Node": {
 				"P", "ClientCur", "Amb", "Quorum",
 			},
+			"repro/internal/protocol/mcastcore.Node": {
+				"P", "Groups", "Clock", "PendingCount",
+				"Delivered", "DeliveredCount",
+				"Clone", "AddFingerprint",
+			},
 		},
 		AliasAccessors: []string{"InfoSent", "InfoRcvd"},
 		FilterIfaces:   []string{"repro/internal/protocol/dvscore.Filter"},

@@ -33,6 +33,7 @@ func DefaultModelpureConfig() ModelpureConfig {
 			"repro/internal/protocol/dvscore",
 			"repro/internal/protocol/tocore",
 			"repro/internal/protocol/staticcore",
+			"repro/internal/protocol/mcastcore",
 			// The conformance recorder/replayer must re-derive recorded
 			// effects bit-for-bit from the event stream alone.
 			"repro/internal/conform",
@@ -43,6 +44,7 @@ func DefaultModelpureConfig() ModelpureConfig {
 			// determinism standard so macro-steps replay exactly.
 			"repro/internal/dvsg",
 			"repro/internal/tob",
+			"repro/internal/mcast",
 			"repro/internal/staticp",
 			"repro/internal/member",
 			"repro/internal/types",

@@ -98,6 +98,20 @@ func TestBadEditFixturesAreCaught(t *testing.T) {
 			t.Errorf("analyzer %s reported nothing on the seeded-bad-edit fixtures; the gate is dead", a)
 		}
 	}
+	// The multicast fixtures must fire their own analyzers: a direct mc
+	// transition trips corestep and the variant-dropping effect switch trips
+	// effectcomplete — the mcast core is governed like the others.
+	mcast := map[string]bool{}
+	for _, d := range diags {
+		if strings.Contains(d.Pos.Filename, "badmcast") {
+			mcast[d.Analyzer] = true
+		}
+	}
+	for _, a := range []string{"corestep", "effectcomplete"} {
+		if !mcast[a] {
+			t.Errorf("analyzer %s reported nothing on the badmcast fixtures; the mcast core is unguarded", a)
+		}
+	}
 	for _, d := range diags {
 		switch d.Analyzer {
 		case "corestep", "effectcomplete", "shellsafe":

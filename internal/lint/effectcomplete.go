@@ -34,17 +34,23 @@ func DefaultEffectcompleteConfig() EffectcompleteConfig {
 			"repro/internal/protocol/dvscore.Effect",
 			"repro/internal/protocol/tocore.Event",
 			"repro/internal/protocol/tocore.Effect",
+			"repro/internal/protocol/mcastcore.Event",
+			"repro/internal/protocol/mcastcore.Effect",
 		},
 		Require: map[string][]string{
-			// dvsg consumes the DVS core's effects; tob the TO core's.
-			"repro/internal/dvsg": {"repro/internal/protocol/dvscore.Effect"},
-			"repro/internal/tob":  {"repro/internal/protocol/tocore.Effect"},
-			// The conformance layer clones and replays all four unions.
+			// dvsg consumes the DVS core's effects; tob the TO core's; the
+			// multicast coordinator the mcast core's.
+			"repro/internal/dvsg":  {"repro/internal/protocol/dvscore.Effect"},
+			"repro/internal/tob":   {"repro/internal/protocol/tocore.Effect"},
+			"repro/internal/mcast": {"repro/internal/protocol/mcastcore.Effect"},
+			// The conformance layer clones and replays all six unions.
 			"repro/internal/conform": {
 				"repro/internal/protocol/dvscore.Event",
 				"repro/internal/protocol/dvscore.Effect",
 				"repro/internal/protocol/tocore.Event",
 				"repro/internal/protocol/tocore.Effect",
+				"repro/internal/protocol/mcastcore.Event",
+				"repro/internal/protocol/mcastcore.Effect",
 			},
 		},
 	}

@@ -34,12 +34,14 @@ func DefaultShellsafeConfig() ShellsafeConfig {
 			"repro/internal/protocol/dvscore.Step",
 			"repro/internal/protocol/tocore.Step",
 			"repro/internal/protocol/tocore.Drain",
+			"repro/internal/protocol/mcastcore.Step",
 		},
 		StateTypes: []string{
 			"repro/internal/protocol/dvscore.Node",
 			"repro/internal/protocol/dvscore.Filter",
 			"repro/internal/protocol/tocore.Node",
 			"repro/internal/protocol/staticcore.Node",
+			"repro/internal/protocol/mcastcore.Node",
 		},
 	}
 }

@@ -1,0 +1,95 @@
+package mcast
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestCodecDataRoundTrip(t *testing.T) {
+	cases := []dataFrame{
+		{id: "p1-1", origin: 1, dests: []types.GroupID{0}, payload: "hello"},
+		{id: "p0-42", origin: 0, dests: []types.GroupID{0, 2, 5}, payload: ""},
+		// Payloads containing the framing characters, the magic itself, and
+		// binary junk must survive the netstring framing untouched.
+		{id: "x", origin: 7, dests: []types.GroupID{1, 3}, payload: "7:colon,comma"},
+		{id: "y", origin: 2, dests: []types.GroupID{4}, payload: magic + "D5:inner"},
+		{id: "z", origin: 3, dests: []types.GroupID{0, 1}, payload: "\x00\xff\n:"},
+	}
+	for _, want := range cases {
+		enc := encodeData(want.id, want.origin, want.dests, want.payload)
+		if !isControl(enc) {
+			t.Fatalf("encoded data frame %q not recognized as control", enc)
+		}
+		got, ok := decode(enc)
+		if !ok {
+			t.Fatalf("decode(%q) failed", enc)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestCodecPropRoundTrip(t *testing.T) {
+	cases := []propFrame{
+		{pgroup: 0, id: "p0-1", ts: 1},
+		{pgroup: 9, id: "p3-17", ts: 0},
+		{pgroup: 2, id: "weird:id,with\x00junk", ts: 1<<64 - 1},
+	}
+	for _, want := range cases {
+		enc := encodeProp(want.pgroup, want.id, want.ts)
+		if !isControl(enc) {
+			t.Fatalf("encoded proposal %q not recognized as control", enc)
+		}
+		got, ok := decode(enc)
+		if !ok {
+			t.Fatalf("decode(%q) failed", enc)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestCodecRejectsMalformed feeds the decoder truncations, corruptions and
+// junk: everything must come back !ok rather than panic or mis-parse —
+// these are network-facing payloads on the TCP runtime.
+func TestCodecRejectsMalformed(t *testing.T) {
+	good := encodeData("id", 1, []types.GroupID{0, 1}, "payload")
+	bad := []string{
+		"",
+		"plain application payload",
+		magic,              // magic with no kind
+		magic + "X",        // unknown kind
+		magic + "D",        // no fields
+		magic + "P3:0:",    // mangled netstring
+		magic + "D5:id",    // length overruns the buffer
+		good[:len(good)-3], // truncated tail
+		good + "extra",     // trailing garbage
+		magic + "Dx:id",    // non-numeric length
+		strings.Replace(encodeProp(1, "id", 7), "7", "ts", 1), // non-numeric timestamp
+		strings.Replace(good, "0,1", "g,1", 1),                // non-numeric dest
+	}
+	for _, s := range bad {
+		if f, ok := decode(s); ok {
+			t.Fatalf("decode(%q) accepted malformed input as %+v", s, f)
+		}
+	}
+}
+
+// TestCodecNonControlPassThrough pins the reservation boundary: ordinary
+// payloads — including ones that merely start with a NUL — are only treated
+// as control when they carry the full magic.
+func TestCodecNonControlPassThrough(t *testing.T) {
+	for _, s := range []string{"", "m", "mc", "\x00", "\x00m", "\x00Mc", "hello"} {
+		if isControl(s) {
+			t.Fatalf("isControl(%q) = true for a non-control payload", s)
+		}
+	}
+	if !isControl(magic) || !isControl(magic+"Danything") {
+		t.Fatal("magic-prefixed payloads must be reserved")
+	}
+}

@@ -1,0 +1,72 @@
+package mcastcore
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/types"
+)
+
+// Pinned counts for the default exploration (2 processes, 2 groups, 2
+// submissions over the menu {0}, {1}, {0,1}): the space is exhausted, and
+// any core edit that changes the reachable state graph moves these numbers.
+const (
+	pinnedStates = 8863
+	pinnedEdges  = 25210
+)
+
+// TestExploreSmoke exhaustively model-checks the default multicast
+// configuration: every interleaving of submissions, per-group broadcast
+// orderings, and consumption speeds, with the full invariant suite (no
+// duplicates, (ts,id) order, per-group agreement, cross-group partial
+// order, clock determinism) at every distinct state. The state and edge
+// counts are pinned: treat a delta like a failed test unless the protocol
+// deliberately changed (then re-pin here and in EXPERIMENTS.md).
+func TestExploreSmoke(t *testing.T) {
+	res, err := Explore(ExploreConfig{})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if res.Truncated {
+		t.Fatalf("exploration truncated: states=%d edges=%d", res.States, res.Edges)
+	}
+	if res.States != pinnedStates || res.Edges != pinnedEdges {
+		t.Fatalf("explore counts moved: states=%d edges=%d, pinned %d/%d",
+			res.States, res.Edges, pinnedStates, pinnedEdges)
+	}
+}
+
+// TestExploreParallelDeterministic checks that the worker count does not
+// change the counts (the level-synchronous BFS guarantee, re-asserted for
+// the new automaton).
+func TestExploreParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Explore(ExploreConfig{Parallel: 3})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if res.States != pinnedStates || res.Edges != pinnedEdges {
+		t.Fatalf("parallel explore diverged: states=%d edges=%d, pinned %d/%d",
+			res.States, res.Edges, pinnedStates, pinnedEdges)
+	}
+}
+
+// TestExploreCatchesBrokenMerge seeds a deliberate protocol bug through
+// the exploration to prove the invariant suite has teeth: delivering
+// non-final heads (skipping the head-of-line wait) must violate the
+// cross-group partial order somewhere in the explored space.
+func TestExploreCatchesBrokenMerge(t *testing.T) {
+	menu := [][]types.GroupID{{0}, {0, 1}}
+	sys := NewSystem(2, 2, menu, 2)
+	sys.breakHeadWait = true
+	_, err := ioa.Explore(sys, Env(), ioa.ExploreConfig{
+		MaxStates:  200000,
+		Invariants: Invariants(),
+	})
+	if err == nil {
+		t.Fatalf("broken head-of-line wait survived exploration")
+	}
+	t.Logf("caught as expected: %v", err)
+}

@@ -1,0 +1,141 @@
+package mcastcore
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// This file states the multicast correctness conditions as checks over
+// delivery histories, so the same formulas run in three places: as
+// exploration invariants (explore.go), in the conformance replayer's
+// cross-node suite (internal/conform), and in runtime soaks. A history is
+// identified by the (process, group) pair that produced it.
+
+// DeliverySeq is the multicast delivery history one process observed in
+// one group, in delivery order.
+type DeliverySeq struct {
+	P          types.ProcID
+	G          types.GroupID
+	Deliveries []Delivered
+}
+
+// CheckPerGroupAgreement verifies that, within each group, the delivery
+// histories of all members are prefix-consistent: one is a prefix of the
+// other (members consume the same group total order at different speeds,
+// so their multicast histories may differ only in length).
+func CheckPerGroupAgreement(seqs []DeliverySeq) error {
+	byGroup := make(map[types.GroupID][]DeliverySeq)
+	for _, s := range seqs {
+		byGroup[s.G] = append(byGroup[s.G], s)
+	}
+	for g, members := range byGroup {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				n := len(a.Deliveries)
+				if len(b.Deliveries) < n {
+					n = len(b.Deliveries)
+				}
+				for k := 0; k < n; k++ {
+					if a.Deliveries[k] != b.Deliveries[k] {
+						return fmt.Errorf("group %v: processes %v and %v disagree at delivery %d: %+v vs %+v",
+							g, a.P, b.P, k, a.Deliveries[k], b.Deliveries[k])
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTimestampOrder verifies that every history is ordered by the global
+// multicast key: final timestamps non-decreasing, ties broken by message
+// id ascending.
+func CheckTimestampOrder(seqs []DeliverySeq) error {
+	for _, s := range seqs {
+		for k := 1; k < len(s.Deliveries); k++ {
+			prev, cur := s.Deliveries[k-1], s.Deliveries[k]
+			if cur.TS < prev.TS || (cur.TS == prev.TS && cur.ID <= prev.ID) {
+				return fmt.Errorf("process %v group %v: deliveries out of (ts,id) order at %d: (%d,%q) then (%d,%q)",
+					s.P, s.G, k, prev.TS, prev.ID, cur.TS, cur.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCrossGroupOrder verifies the atomic-multicast partial order: any
+// two histories (across any processes and any groups) deliver the
+// messages they have in common in the same relative order. Within a group
+// this is implied by agreement; across groups it is the property the
+// timestamp merge exists to provide — two groups that both deliver m and
+// m' deliver them in the same order.
+func CheckCrossGroupOrder(seqs []DeliverySeq) error {
+	for i := 0; i < len(seqs); i++ {
+		for j := i + 1; j < len(seqs); j++ {
+			if err := checkCommonOrder(seqs[i], seqs[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkCommonOrder checks that the ids common to a and b appear in the
+// same relative order in both, and carry identical (origin, payload,
+// final-timestamp) attributes.
+func checkCommonOrder(a, b DeliverySeq) error {
+	posB := make(map[string]int, len(b.Deliveries))
+	for k, d := range b.Deliveries {
+		posB[d.ID] = k
+	}
+	last := -1
+	var lastID string
+	for _, d := range a.Deliveries {
+		k, ok := posB[d.ID]
+		if !ok {
+			continue
+		}
+		if d != b.Deliveries[k] {
+			return fmt.Errorf("(%v,%v) and (%v,%v): message %q delivered with different attributes: %+v vs %+v",
+				a.P, a.G, b.P, b.G, d.ID, d, b.Deliveries[k])
+		}
+		if k <= last {
+			return fmt.Errorf("(%v,%v) and (%v,%v): cross-group order violation: %q before %q in one, after in the other",
+				a.P, a.G, b.P, b.G, lastID, d.ID)
+		}
+		last, lastID = k, d.ID
+	}
+	return nil
+}
+
+// CheckNoDuplicates verifies that no history delivers the same message id
+// twice.
+func CheckNoDuplicates(seqs []DeliverySeq) error {
+	for _, s := range seqs {
+		seen := make(map[string]bool, len(s.Deliveries))
+		for k, d := range s.Deliveries {
+			if seen[d.ID] {
+				return fmt.Errorf("process %v group %v: message %q delivered twice (second at %d)", s.P, s.G, d.ID, k)
+			}
+			seen[d.ID] = true
+		}
+	}
+	return nil
+}
+
+// CheckAll runs the full multicast invariant suite over the given
+// histories.
+func CheckAll(seqs []DeliverySeq) error {
+	if err := CheckNoDuplicates(seqs); err != nil {
+		return err
+	}
+	if err := CheckTimestampOrder(seqs); err != nil {
+		return err
+	}
+	if err := CheckPerGroupAgreement(seqs); err != nil {
+		return err
+	}
+	return CheckCrossGroupOrder(seqs)
+}

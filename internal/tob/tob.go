@@ -47,6 +47,19 @@ type ViewEvent struct {
 // state and are not observed.
 type Observer func(ev tocore.Event, effects []tocore.Effect)
 
+// DeliverHook intercepts each totally-ordered delivery before it reaches
+// the application stream, and returns the deliveries to hand up in its
+// place: nil consumes the delivery, a singleton passes it (possibly
+// rewritten) through, and a longer slice injects additional deliveries at
+// this point of the order. The multicast coordinator uses this seam to
+// strip its control payloads out of the application stream and to splice
+// finalized cross-group deliveries in at deterministic points. The hook
+// runs inline on the event loop, inside the macro-step's effect
+// application, so whatever it returns inherits the total order's
+// determinism — it must itself be a deterministic function of the
+// delivery sequence it has seen.
+type DeliverHook func(d Delivery) []Delivery
+
 // Stats are cumulative per-node tob counters. The frames-vs-payloads pairs
 // (BatchesOut/PayloadsOut, BatchesIn/PayloadsIn) make the effect of shell
 // batching observable: PayloadsOut counts individual label/summary messages
@@ -81,6 +94,7 @@ type Layer struct {
 	stop     <-chan struct{}
 	stats    Stats
 	observer Observer
+	hook     DeliverHook
 
 	deliveries chan Delivery
 	views      chan ViewEvent
@@ -144,6 +158,10 @@ func (l *Layer) AddObserver(o Observer) {
 	}
 	l.observer = o
 }
+
+// SetDeliverHook installs the delivery interceptor. It must be called
+// before the node starts.
+func (l *Layer) SetDeliverHook(h DeliverHook) { l.hook = h }
 
 // Deliveries is the application-facing totally ordered stream. Consumers
 // must drain it; if it fills, further deliveries are dropped and counted.
@@ -302,7 +320,14 @@ func (l *Layer) step(ev tocore.Event) {
 			l.stats.Confirmed++
 		case tocore.FxDeliver:
 			l.stats.Delivered++
-			l.pushDelivery(Delivery{Payload: fx.A, Origin: fx.Origin})
+			d := Delivery{Payload: fx.A, Origin: fx.Origin}
+			if l.hook != nil {
+				for _, hd := range l.hook(d) {
+					l.pushDelivery(hd)
+				}
+			} else {
+				l.pushDelivery(d)
+			}
 		case tocore.FxRegister:
 			l.stats.Established++
 			l.pushView(ViewEvent{View: fx.View, Established: true})

@@ -1,0 +1,43 @@
+package types
+
+import (
+	"slices"
+	"strconv"
+)
+
+// GroupID identifies one DVS/TO group (shard) of a sharded deployment. The
+// classic single-group stack is group 0; a sharded cluster runs N
+// independent groups, each with its own membership protocol, primary-view
+// filter, and per-group total order, multiplexed over one shared transport.
+type GroupID int
+
+// String returns the decimal form of the group id.
+func (g GroupID) String() string { return strconv.Itoa(int(g)) }
+
+// RangeGroups returns the ids {0, 1, ..., n-1} in order.
+func RangeGroups(n int) []GroupID {
+	out := make([]GroupID, n)
+	for i := range out {
+		out[i] = GroupID(i)
+	}
+	return out
+}
+
+// SortGroups orders group ids ascending, in place.
+func SortGroups(gs []GroupID) {
+	slices.Sort(gs)
+}
+
+// DedupGroups sorts gs and removes duplicates, returning the (possibly
+// shorter) slice. The multicast core requires destination sets in this
+// canonical form so its effect emission order is deterministic.
+func DedupGroups(gs []GroupID) []GroupID {
+	SortGroups(gs)
+	return slices.Compact(gs)
+}
+
+// ContainsGroup reports whether the sorted slice gs contains g.
+func ContainsGroup(gs []GroupID, g GroupID) bool {
+	_, ok := slices.BinarySearch(gs, g)
+	return ok
+}

@@ -18,6 +18,11 @@
 #    used to run E8 concurrently with all package tests, which made the
 #    absolute throughput figures meaningless. Emits BENCH_e8.json.
 #
+# 3. Sharded scaling (E14: aggregate delivery rate vs group count at a
+#    fixed 10% cross-group multicast fraction), isolated for the same
+#    reason. Emits BENCH_e14.json; check.sh gates the 4-group/1-group
+#    ratio on machines with enough CPUs to show scaling.
+#
 # Every benchmark is repeated (`-count`, default 3 for E1-E3) and the
 # snapshot keeps only the best repetition per benchmark (lowest ns/op):
 # scheduler noise on shared CI runners only ever slows a run down, so the
@@ -25,7 +30,7 @@
 #
 # Knobs: BENCHTIME (-benchtime for E1-E3, default 2x), BENCH_COUNT (-count
 # for E1-E3, default 3), E12_BENCHTIME / E12_COUNT (defaults 1x / 1),
-# E8_BENCHTIME (default 3x).
+# E8_BENCHTIME (default 3x), E14_BENCHTIME (default 3x).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -102,3 +107,13 @@ raw8_rec=$(go test -run '^$' -bench 'BenchmarkE8Recovery' -benchtime 1x .)
 printf '%s\n' "$raw8_rec"
 { printf '%s\n' "$raw8_tp"; printf '%s\n' "$raw8_rec"; } | to_json > "$out8"
 echo "wrote $out8"
+
+# E14 isolated: sharded aggregate throughput at 1, 2 and 4 groups with a
+# fixed 10% cross-group multicast fraction. The per-run safety checks
+# (per-group total order, multicast agreement, cross-group partial order)
+# fail the benchmark itself, so a snapshot implies the invariants held.
+out14=BENCH_e14.json
+raw14=$(go test -run '^$' -bench 'BenchmarkE14ShardedThroughput' -benchtime "${E14_BENCHTIME:-3x}" .)
+printf '%s\n' "$raw14"
+printf '%s\n' "$raw14" | to_json > "$out14"
+echo "wrote $out14"

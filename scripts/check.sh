@@ -14,12 +14,14 @@
 #                               # the macro-step analyzers went dead)
 #   sh scripts/check.sh bench   # only the benchmark-snapshot gate: run
 #                               # `make bench` and fail unless it leaves
-#                               # parseable, non-empty BENCH_checks.json and
-#                               # BENCH_e8.json snapshots, with the E8 n=5
-#                               # throughput above the recorded floor, the
-#                               # E12 exploration at its pinned state counts,
-#                               # and (on machines with >= 4 CPUs) the E1-E3
-#                               # parallel speedup above the scaling floor
+#                               # parseable, non-empty BENCH_checks.json,
+#                               # BENCH_e8.json and BENCH_e14.json snapshots,
+#                               # with the E8 n=5 throughput above the
+#                               # recorded floor, the E12 exploration at its
+#                               # pinned state counts, and (on machines with
+#                               # >= 4 CPUs) the E1-E3 parallel speedup and
+#                               # the E14 4-group/1-group sharded throughput
+#                               # ratio above their scaling floors
 set -eu
 
 mode="${1:-all}"
@@ -119,6 +121,36 @@ scaling_guard() {
 	done
 }
 
+# e14_guard reads the sharded scaling snapshot and fails if 4 groups do not
+# deliver at least E14_FLOOR (default 2.5) times the 1-group aggregate rate
+# at the fixed 10% cross-group fraction. Sharding's whole claim is that
+# independent per-group total orders buy near-linear aggregate throughput,
+# so a ratio near 1.0 means the groups serialized — the mux pump collapsed
+# onto one loop, or the multicast coordinator's mutex got into the keyed
+# fast path. Skipped below 4 CPUs, where the groups have no cores to scale
+# onto and the benchmark only covers the code path (the snapshot itself is
+# still produced and validated).
+e14_guard() {
+	out=BENCH_e14.json
+	ncpu=$( (nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null) || echo 1 )
+	if [ "${ncpu:-1}" -lt 4 ]; then
+		echo "check.sh: E14 scaling gate skipped (${ncpu:-1} CPUs < 4 — no sharded speedup to measure)"
+		return 0
+	fi
+	floor="${E14_FLOOR:-2.5}"
+	one=$(grep -o '"name": "E14ShardedThroughput/groups=1"[^}]*' "$out" | grep -o '"msg_per_s": [0-9.]*' | awk '{print $2}')
+	four=$(grep -o '"name": "E14ShardedThroughput/groups=4"[^}]*' "$out" | grep -o '"msg_per_s": [0-9.]*' | awk '{print $2}')
+	if [ -z "$one" ] || [ -z "$four" ]; then
+		echo "check.sh: missing E14ShardedThroughput msg_per_s records in $out (groups=1='${one:-}', groups=4='${four:-}')" >&2
+		exit 1
+	fi
+	if ! awk -v o="$one" -v f="$four" -v fl="$floor" 'BEGIN { exit !(o + 0 > 0 && f / o >= fl + 0) }'; then
+		echo "check.sh: E14 4-group/1-group throughput ratio $(awk -v o="$one" -v f="$four" 'BEGIN { printf "%.2f", f / o }')x is below the floor ${floor}x — sharded groups serialized" >&2
+		exit 1
+	fi
+	echo "check.sh: E14 scaling OK (1 group ${one} msg/s, 4 groups ${four} msg/s)"
+}
+
 # lintgate_guard is the negative half of the lint gate: dvslint over the
 # seeded-bad-edit module must exit 1 (diagnostics reported). Exit 0 means
 # the corestep/effectcomplete/shellsafe analyzers stopped protecting the
@@ -135,13 +167,15 @@ lintgate_guard() {
 }
 
 bench_guard() {
-	rm -f BENCH_checks.json BENCH_e8.json
+	rm -f BENCH_checks.json BENCH_e8.json BENCH_e14.json
 	make bench
 	snapshot_guard BENCH_checks.json
 	snapshot_guard BENCH_e8.json
+	snapshot_guard BENCH_e14.json
 	e8_floor_guard
 	e12_guard
 	scaling_guard
+	e14_guard
 }
 
 if [ "$mode" = "bench" ]; then
@@ -200,6 +234,23 @@ if [ "$mode" = "all" ]; then
 	go run ./cmd/dvsim -replay "$tracedir/trace"
 	rm -rf "$tracedir"
 	echo "check.sh: streamed conformance gate OK"
+
+	# Sharded conformance gate: run the multi-group scenario with 10%
+	# cross-group multicasts, record the sharded trace directory (one
+	# group-tagged stream per group plus the multicast logs), and replay
+	# the sealed directory cold — per-group protocol conformance and the
+	# multicast safety suite (agreement, timestamp order, no duplicates,
+	# cross-group partial order) in one pass.
+	sharddir="$(mktemp -d)"
+	go run ./cmd/dvsim -scenario sharded -groups 3 -crossfrac 0.1 -duration 300ms -seed 3 -record "$sharddir/trace"
+	go run ./cmd/dvsim -replay "$sharddir/trace"
+	rm -rf "$sharddir"
+	echo "check.sh: sharded conformance gate OK"
+
+	# Sharded chaos soak in isolation (also runs in the full suite above):
+	# partition/heal nemesis with >= 10% cross-group traffic, pinning the
+	# cross-group partial-order invariant end to end.
+	go test -race -count=1 -run 'TestShardedChaosSoak' .
 
 	bench_guard
 fi

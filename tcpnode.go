@@ -8,10 +8,10 @@ import (
 	"repro/internal/conform"
 	"repro/internal/core"
 	"repro/internal/dvsg"
+	"repro/internal/mcast"
 	"repro/internal/member"
 	netfab "repro/internal/net"
-	"repro/internal/quorum"
-	"repro/internal/staticp"
+	"repro/internal/shard"
 	"repro/internal/tob"
 	"repro/internal/toimpl"
 	"repro/internal/types"
@@ -19,7 +19,8 @@ import (
 )
 
 // registerWireTypes registers every payload type the stack puts on the
-// wire, so the TCP transport can gob-encode them.
+// wire, so the TCP transport can gob-encode them. GroupFrame is the
+// sharded mode's group tag wrapping every other payload.
 func registerWireTypes() {
 	for _, v := range []any{
 		member.Heartbeat{}, member.Propose{}, member.Accept{}, member.Install{},
@@ -27,6 +28,7 @@ func registerWireTypes() {
 		core.InfoMsg{}, core.RegisteredMsg{},
 		toimpl.LabelMsg{}, toimpl.SummaryMsg{},
 		types.ClientMsg(""), types.Batch{}, dvsg.WireBatch{},
+		netfab.GroupFrame{},
 	} {
 		netfab.RegisterWireType(v)
 	}
@@ -40,7 +42,17 @@ type NodeConfig struct {
 	ID int
 	// Processes is the universe size.
 	Processes int
-	// Initial lists v0's members (empty = all).
+	// Groups is the number of independent DVS/TO groups this node runs
+	// over its one TCP transport (default 1). With Groups > 1 the node
+	// participates in every group: each group is a complete stack
+	// (membership, view synchrony, filter, total order) multiplexed over
+	// the shared transport by a group tag, client payloads route to groups
+	// by consistent key hash (Node.Submit), and a cross-group atomic
+	// multicast coordinates payloads addressed to several groups
+	// (Node.SubmitMulti). All nodes of a deployment must agree on Groups.
+	Groups int
+	// Initial lists v0's members (empty = all). Every group starts from
+	// the same initial view.
 	Initial []int
 	// Listen is the local address, e.g. "127.0.0.1:7000" (":0" picks a
 	// port; see Node.Addr).
@@ -90,16 +102,25 @@ type NodeStats struct {
 	Check OnlineCheckStats // zero unless NodeConfig.Online
 }
 
-// Node is one standalone process of a TCP-connected group.
+// Node is one standalone process of a TCP-connected deployment. In
+// single-group mode (Groups <= 1) the embedded stack is the node's whole
+// protocol state and the historical API is unchanged. In sharded mode the
+// node runs one stack per group behind a group multiplexer; the embedded
+// stack is group 0's, so the single-group accessors keep working and read
+// that group, while Group, Submit and SubmitMulti expose the rest.
 type Node struct {
 	id        ProcID
 	tcp       *netfab.TCPTransport
 	transport netfab.Transport // tcp, possibly wrapped (see WrapTransport)
-	vsg       *vsg.Node
-	dvs       *dvsg.Layer
-	tob       *tob.Layer
-	rec       *conform.Recorder      // nil unless NodeConfig.Record
-	check     *conform.OnlineChecker // nil unless NodeConfig.Online
+	*stack                     // group 0's stack
+
+	// Sharded mode only (nil/empty in single-group mode).
+	mux    *netfab.GroupMux
+	groups []types.GroupID
+	stacks map[types.GroupID]*stack
+	ring   *shard.Ring
+	mc     *mcast.Coordinator
+	mrec   *conform.McastRecorder // nil unless NodeConfig.Record
 }
 
 // StartNode launches a standalone process.
@@ -113,8 +134,17 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Mode == 0 {
 		cfg.Mode = ModeDynamic
 	}
+	if cfg.Groups <= 0 {
+		cfg.Groups = 1
+	}
 	if cfg.Online != nil && cfg.Mode != ModeDynamic {
 		return nil, errors.New("dvs: NodeConfig.Online requires ModeDynamic")
+	}
+	if cfg.Groups > 1 && cfg.Stream != nil {
+		// One stream holds one group's run (the trace is group-homogeneous);
+		// a sharded node needs one stream per group, which the embedding
+		// runtime owns.
+		return nil, errors.New("dvs: NodeConfig.Stream requires Groups <= 1")
 	}
 	if cfg.TickInterval <= 0 {
 		cfg.TickInterval = 20 * time.Millisecond
@@ -153,55 +183,141 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		transport = cfg.WrapTransport(tcp)
 	}
 
-	node := vsg.NewNode(vsg.Config{
-		Self:           self,
-		Universe:       universe,
-		Initial:        initial,
-		Transport:      transport,
-		TickInterval:   cfg.TickInterval,
-		SuspectTimeout: cfg.SuspectTimeout,
-		ProposeRetry:   cfg.ProposeRetry,
-	})
-	var filter dvsg.Filter
-	if cfg.Mode == ModeStatic {
-		filter = staticp.NewNode(self, initial, initial.Contains(self), quorum.Majority(p0))
-	} else {
-		filter = core.NewNode(self, initial, initial.Contains(self))
+	n := &Node{id: self, tcp: tcp, transport: transport}
+	sc := stackConfig{
+		self:                self,
+		universe:            universe,
+		p0:                  p0,
+		initial:             initial,
+		transport:           transport,
+		mode:                cfg.Mode,
+		disableRegistration: cfg.DisableRegistration,
+		tick:                cfg.TickInterval,
+		suspect:             cfg.SuspectTimeout,
+		retry:               cfg.ProposeRetry,
+		record:              cfg.Record,
+		stream:              cfg.Stream,
+		online:              cfg.Online,
 	}
-	app := tob.New(self, initial, !cfg.DisableRegistration, node.Stopped())
-	layer := dvsg.New(filter, app, cfg.Mode == ModeDynamic)
-	layer.Bind(node)
-	app.Bind(layer)
-	node.SetHandler(layer)
 
-	// Record the construction parameters as the cores were actually built:
-	// gc only in dynamic mode, static marking the staticcore filter.
-	gcOn := cfg.Mode == ModeDynamic
-	static := cfg.Mode == ModeStatic
-	var rec *conform.Recorder
-	if cfg.Record {
-		rec = conform.NewRecorder(self, initial, initial.Contains(self), !cfg.DisableRegistration, gcOn, static)
-		layer.AddObserver(rec.ObserveDVS)
-		app.AddObserver(rec.ObserveTO)
-	}
-	if cfg.Stream != nil {
-		sn, err := cfg.Stream.Node(self, initial, initial.Contains(self), !cfg.DisableRegistration, gcOn, static)
+	if cfg.Groups == 1 {
+		st, err := buildStack(sc)
 		if err != nil {
 			tcp.Close()
-			return nil, fmt.Errorf("dvs: registering node %d with trace stream: %w", cfg.ID, err)
+			return nil, err
 		}
-		layer.AddObserver(sn.ObserveDVS)
-		app.AddObserver(sn.ObserveTO)
+		n.stack = st
+		st.vsg.Start()
+		return n, nil
 	}
-	var check *conform.OnlineChecker
-	if cfg.Online != nil {
-		check = conform.NewOnlineChecker(self, initial, initial.Contains(self), !cfg.DisableRegistration, true, *cfg.Online)
-		layer.AddObserver(check.ObserveDVS)
-		app.AddObserver(check.ObserveTO)
-	}
-	node.Start()
 
-	return &Node{id: self, tcp: tcp, transport: transport, vsg: node, dvs: layer, tob: app, rec: rec, check: check}, nil
+	// Sharded mode: one stack per group over the shared transport, a
+	// consistent-hash ring on the submit path, and the cross-group atomic
+	// multicast coordinator hooked into every group's delivery stream.
+	n.groups = types.RangeGroups(cfg.Groups)
+	n.mux = netfab.NewGroupMux(self, transport, n.groups, netfab.GroupMuxConfig{})
+	n.stacks = make(map[types.GroupID]*stack, cfg.Groups)
+	n.ring = shard.NewRing(n.groups, 0)
+	ports := make([]mcast.GroupPort, 0, cfg.Groups)
+	for _, g := range n.groups {
+		sc.group = g
+		sc.transport = n.mux.Group(g)
+		st, err := buildStack(sc)
+		if err != nil {
+			tcp.Close()
+			return nil, err
+		}
+		n.stacks[g] = st
+		ports = append(ports, mcast.GroupPort{G: g, TOB: st.tob, Run: st.vsg.Do})
+	}
+	n.stack = n.stacks[0]
+	n.mc = mcast.New(self, ports)
+	if cfg.Record {
+		n.mrec = conform.NewMcastRecorder(self, n.groups)
+		n.mc.AddObserver(n.mrec.Observe)
+	}
+	for _, g := range n.groups {
+		n.stacks[g].tob.SetDeliverHook(n.mc.Hook(g))
+	}
+	n.mux.Start()
+	for _, g := range n.groups {
+		n.stacks[g].vsg.Start()
+	}
+	n.mc.Start()
+	return n, nil
+}
+
+// Groups returns the node's group ids ({0} in single-group mode).
+func (n *Node) Groups() []types.GroupID {
+	if n.mux == nil {
+		return []types.GroupID{0}
+	}
+	return append([]types.GroupID(nil), n.groups...)
+}
+
+// Group returns the stack handle of group g, presented as a Process (the
+// same per-group API the in-memory cluster hands out). In single-group
+// mode only group 0 exists.
+func (n *Node) Group(g types.GroupID) (*Process, bool) {
+	if n.mux == nil {
+		if g != 0 {
+			return nil, false
+		}
+		return &Process{id: n.id, stack: n.stack}, true
+	}
+	st, ok := n.stacks[g]
+	if !ok {
+		return nil, false
+	}
+	return &Process{id: n.id, stack: st}, true
+}
+
+// Submit routes a keyed payload to its group by consistent hash and
+// broadcasts it there. In single-group mode every key routes to group 0.
+// It reports false if the owning group's stack has stopped.
+func (n *Node) Submit(key, payload string) bool {
+	st := n.stack
+	if n.mux != nil {
+		st = n.stacks[n.ring.Group(key)]
+	}
+	return st.vsg.Do(func() { st.tob.Broadcast(payload) })
+}
+
+// SubmitKey returns the group a key routes to.
+func (n *Node) SubmitKey(key string) types.GroupID {
+	if n.mux == nil {
+		return 0
+	}
+	return n.ring.Group(key)
+}
+
+// SubmitMulti atomically multicasts a payload to several groups: every
+// addressed group delivers it, in the same relative order as every other
+// multicast those groups share. Requires sharded mode.
+func (n *Node) SubmitMulti(dests []types.GroupID, payload string) error {
+	if n.mc == nil {
+		return errors.New("dvs: SubmitMulti requires Groups > 1")
+	}
+	return n.mc.Submit(dests, payload)
+}
+
+// McastStats returns the multicast coordinator's counters (zero in
+// single-group mode).
+func (n *Node) McastStats() mcast.Stats {
+	if n.mc == nil {
+		return mcast.Stats{}
+	}
+	return n.mc.Stats()
+}
+
+// McastLog returns this node's recorded multicast trace, and whether one
+// was recorded (sharded mode with NodeConfig.Record). Harvest after Close
+// and check with conform.ReplayMcast together with the other nodes' logs.
+func (n *Node) McastLog() (conform.McastLog, bool) {
+	if n.mrec == nil {
+		return conform.McastLog{}, false
+	}
+	return n.mrec.Log(), true
 }
 
 // ID returns the node's process id.
@@ -296,10 +412,40 @@ func (n *Node) TraceLog() (TraceLog, bool) {
 	return n.rec.Log(), true
 }
 
-// Close stops the node and its transport (including any wrapper installed
-// via WrapTransport).
+// GroupTraceLog returns group g's recorded trace (sharded mode; group 0 in
+// single-group mode is TraceLog). Each group's logs replay as their own
+// set: the trace of one group is one run of the single-group protocol.
+func (n *Node) GroupTraceLog(g types.GroupID) (TraceLog, bool) {
+	st := n.stack
+	if n.mux != nil {
+		var ok bool
+		if st, ok = n.stacks[g]; !ok {
+			return TraceLog{}, false
+		}
+	} else if g != 0 {
+		return TraceLog{}, false
+	}
+	if st.rec == nil {
+		return TraceLog{}, false
+	}
+	return st.rec.Log(), true
+}
+
+// Close stops the node — every group's stack, the multicast coordinator
+// and group multiplexer in sharded mode — and its transport (including any
+// wrapper installed via WrapTransport).
 func (n *Node) Close() {
-	n.vsg.Stop()
+	if n.mc != nil {
+		n.mc.Stop()
+	}
+	if n.mux != nil {
+		for _, g := range n.groups {
+			n.stacks[g].vsg.Stop()
+		}
+		n.mux.Stop()
+	} else {
+		n.vsg.Stop()
+	}
 	if closer, ok := n.transport.(interface{ Close() }); ok && n.transport != netfab.Transport(n.tcp) {
 		closer.Close()
 	}

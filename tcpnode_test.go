@@ -80,6 +80,110 @@ func TestTCPNodesDeliverTotalOrder(t *testing.T) {
 	}
 }
 
+func TestTCPNodesShardedDeliverPerGroup(t *testing.T) {
+	const n, groups = 3, 2
+	base := 39600
+	addrs := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", base+i)
+	}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		peers := make(map[int]string, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers[j] = addrs[j]
+			}
+		}
+		node, err := StartNode(NodeConfig{
+			ID:           i,
+			Processes:    n,
+			Listen:       addrs[i],
+			Peers:        peers,
+			Mode:         ModeDynamic,
+			Groups:       groups,
+			TickInterval: 5 * time.Millisecond,
+		})
+		if err != nil {
+			for _, nd := range nodes[:i] {
+				nd.Close()
+			}
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes[i] = node
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	time.Sleep(150 * time.Millisecond)
+
+	// Keyed traffic lands on whichever group the ring picks; count per
+	// group with SubmitKey so the expectation matches the routing.
+	want := make([]int, groups)
+	for k := 0; k < 8; k++ {
+		key := fmt.Sprintf("key%d", k)
+		g := nodes[0].SubmitKey(key)
+		if og := nodes[1].SubmitKey(key); og != g {
+			t.Fatalf("ring disagreement for %q: %v vs %v", key, g, og)
+		}
+		if !nodes[k%n].Submit(key, "v:"+key) {
+			t.Fatalf("submit %q failed", key)
+		}
+		want[g]++
+	}
+	// One atomic multicast addressed to both groups: each group delivers
+	// the payload exactly once.
+	allGroups := nodes[0].Groups()
+	if err := nodes[0].SubmitMulti(allGroups, "both"); err != nil {
+		t.Fatalf("SubmitMulti: %v", err)
+	}
+	for g := range want {
+		want[g]++
+	}
+
+	seqs := make([][][]Delivery, n) // [node][group]
+	for i := 0; i < n; i++ {
+		seqs[i] = make([][]Delivery, groups)
+		for gi, g := range allGroups {
+			h, ok := nodes[i].Group(g)
+			if !ok {
+				t.Fatalf("node %d: no handle for group %v", i, g)
+			}
+			deadline := time.After(20 * time.Second)
+			for len(seqs[i][gi]) < want[gi] {
+				select {
+				case d := <-h.Deliveries():
+					seqs[i][gi] = append(seqs[i][gi], d)
+				case <-deadline:
+					t.Fatalf("node %d group %v: %d of %d deliveries",
+						i, g, len(seqs[i][gi]), want[gi])
+				}
+			}
+		}
+	}
+	for gi := range allGroups {
+		sawMulti := false
+		for _, d := range seqs[0][gi] {
+			if d.Payload == "both" {
+				sawMulti = true
+			}
+		}
+		if !sawMulti {
+			t.Fatalf("group %d never delivered the multicast", gi)
+		}
+		for i := 1; i < n; i++ {
+			for k := range seqs[0][gi] {
+				if seqs[i][gi][k] != seqs[0][gi][k] {
+					t.Fatalf("node %d group %d diverges at %d: %v vs %v",
+						i, gi, k, seqs[i][gi][k], seqs[0][gi][k])
+				}
+			}
+		}
+	}
+}
+
 func TestTCPNodeSurvivesPeerShutdown(t *testing.T) {
 	nodes := startTCPGroup(t, 3, ModeDynamic)
 	time.Sleep(150 * time.Millisecond)
